@@ -1,0 +1,1 @@
+bin/atec.ml: Arg Ate Cmd Cmdliner Core Format Mcts Nn Out_channel Pbqp Printf Solvers Term

@@ -1,0 +1,1 @@
+bin/minicc.ml: Arg Cir Cmd Cmdliner Format In_channel List Mcts Nn Pbqp Printf String Term

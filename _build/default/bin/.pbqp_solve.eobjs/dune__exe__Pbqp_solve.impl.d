@@ -1,0 +1,1 @@
+bin/pbqp_solve.ml: Arg Cmd Cmdliner Core Format Mcts Nn Option Pbqp Printf Solvers Term

@@ -1,0 +1,1 @@
+bin/pbqp_solve.mli:

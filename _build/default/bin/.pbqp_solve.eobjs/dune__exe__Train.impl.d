@@ -1,0 +1,1 @@
+bin/train.ml: Arg Ate Cmd Cmdliner Core Mcts Nn Pbqp Printf Random Term Unix

@@ -1,0 +1,113 @@
+(* CLI: the ATE "compiler" — allocate registers for a test-pattern
+   program (the translation workflow of the paper's SII-B), or dump the
+   synthetic PRO benchmark programs. *)
+
+open Cmdliner
+
+
+let solver_of name net_path k =
+  match name with
+  | "liberty" ->
+      Ok
+        (fun g ->
+          fst (Solvers.Liberty.solve ~max_liberty:13 ~max_states:2_000_000 g))
+  | "scholz" ->
+      Ok
+        (fun g ->
+          let s, c, _ = Solvers.Scholz.solve_with_cost g in
+          if Pbqp.Cost.is_finite c then Some s else None)
+  | "rl" -> (
+      match net_path with
+      | None -> Error "--net is required for the rl solver"
+      | Some path ->
+          let net = Nn.Pvnet.load path in
+          Ok
+            (fun g ->
+              fst
+                (Core.Solver.solve_feasible ~net
+                   ~mcts:{ Mcts.default_config with k }
+                   ~order:Core.Order.Increasing_liberty g)))
+  | other -> Error (Printf.sprintf "unknown solver %S" other)
+
+let run input output solver net k gen_pro stats target =
+  let machine = Ate.Machine.model target in
+  match gen_pro with
+  | Some idx ->
+      let p = Ate.Progen.pro idx in
+      let text = Ate.Ast.to_string p in
+      (match output with
+      | Some path ->
+          Out_channel.with_open_text path (fun oc -> output_string oc text)
+      | None -> print_string text);
+      `Ok ()
+  | None -> (
+      match input with
+      | None -> `Error (true, "an input program (or --gen-pro) is required")
+      | Some path -> (
+          let p = Ate.Parse.of_file path in
+          if stats then begin
+            let info = Ate.Program.analyze_exn p in
+            let built = Ate.Pbqp_build.build machine info in
+            Format.printf "%s: %d instructions, %d vregs@.%a@."
+              p.Ate.Ast.name
+              (Ate.Program.instr_count info)
+              (Ate.Program.vreg_count info)
+              Pbqp.Stats.pp
+              (Pbqp.Stats.compute built.Ate.Pbqp_build.graph);
+            `Ok ()
+          end
+          else
+            match solver_of solver net k with
+            | Error e -> `Error (false, e)
+            | Ok solve -> (
+                match Ate.Translate.allocate machine ~solve p with
+                | Error e -> `Error (false, "allocation failed: " ^ e)
+                | Ok q ->
+                    let text = Ate.Ast.to_string q in
+                    (match output with
+                    | Some path ->
+                        Out_channel.with_open_text path (fun oc ->
+                            output_string oc text)
+                    | None -> print_string text);
+                    `Ok ())))
+
+let () =
+  let input =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"ATE test-pattern program")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT"
+           ~doc:"output file (default stdout)")
+  in
+  let solver =
+    Arg.(value & opt string "liberty"
+         & info [ "solver"; "s" ] ~doc:"one of: liberty, scholz, rl")
+  in
+  let net =
+    Arg.(value & opt (some file) None
+         & info [ "net" ] ~docv:"CKPT" ~doc:"Pvnet checkpoint (rl)")
+  in
+  let k = Arg.(value & opt int 25 & info [ "k" ] ~doc:"MCTS simulations") in
+  let gen_pro =
+    Arg.(value & opt (some int) None
+         & info [ "gen-pro" ] ~docv:"K" ~doc:"emit the synthetic PRO$(docv) program")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"print PBQP statistics only")
+  in
+  let target =
+    Arg.(value & opt string "modelA"
+         & info [ "target"; "t" ] ~docv:"MODEL"
+             ~doc:"target ATE model: modelA (13 regs, 8-way) or modelB (10 \
+                   regs, 4-way)")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "atec" ~doc:"Allocate registers for ATE test-pattern programs")
+      Term.(
+        ret
+          (const run $ input $ output $ solver $ net $ k $ gen_pro $ stats
+         $ target))
+  in
+  exit (Cmd.eval cmd)

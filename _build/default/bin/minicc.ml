@@ -1,0 +1,93 @@
+(* CLI: the MiniC compiler — compile, allocate with a chosen allocator,
+   and run on the VCPU simulator. *)
+
+open Cmdliner
+
+let kind_of name net_path k =
+  match name with
+  | "fast" -> Ok Cir.Driver.Fast
+  | "basic" -> Ok Cir.Driver.Basic
+  | "greedy" -> Ok Cir.Driver.Greedy
+  | "pbqp" -> Ok Cir.Driver.Pbqp
+  | "pbqp-rl" -> (
+      match net_path with
+      | None -> Error "--net is required for pbqp-rl"
+      | Some path ->
+          Ok
+            (Cir.Driver.Pbqp_rl
+               (Nn.Pvnet.load path, { Mcts.default_config with k })))
+  | other -> Error (Printf.sprintf "unknown allocator %S" other)
+
+let run input builtin alloc net k dump_ir optimize =
+  let src =
+    match (input, builtin) with
+    | Some path, None ->
+        Ok (In_channel.with_open_text path In_channel.input_all)
+    | None, Some name -> (
+        match Cir.Programs.find name with
+        | src -> Ok src
+        | exception Not_found ->
+            Error
+              (Printf.sprintf "unknown builtin %S (known: %s)" name
+                 (String.concat ", " Cir.Programs.names)))
+    | _ -> Error "give exactly one of FILE or --builtin"
+  in
+  match src with
+  | Error e -> `Error (true, e)
+  | Ok src -> (
+      let ir = Cir.Lower.compile src in
+      let ir = if optimize then Cir.Opt.run ir else ir in
+      if dump_ir then begin
+        Format.printf "%a@." Cir.Ir.pp_program ir;
+        `Ok ()
+      end
+      else
+        match kind_of alloc net k with
+        | Error e -> `Error (false, e)
+        | Ok kind ->
+            let r = Cir.Driver.run kind ir in
+            List.iter print_endline r.Cir.Driver.outcome.Cir.Msim.output;
+            Printf.printf
+              "; allocator=%s cycles=%d spills=%d%s\n"
+              (Cir.Driver.alloc_kind_name kind)
+              r.Cir.Driver.outcome.Cir.Msim.cycles r.Cir.Driver.spills
+              (match r.Cir.Driver.pbqp_cost with
+              | Some c -> Printf.sprintf " pbqp-cost=%s" (Pbqp.Cost.to_string c)
+              | None -> "");
+            `Ok ())
+
+let () =
+  let input =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"MiniC source file")
+  in
+  let builtin =
+    Arg.(value & opt (some string) None
+         & info [ "builtin" ] ~docv:"NAME"
+             ~doc:"run a builtin benchmark instead of a file")
+  in
+  let alloc =
+    Arg.(value & opt string "greedy"
+         & info [ "alloc"; "a" ]
+             ~doc:"one of: fast, basic, greedy, pbqp, pbqp-rl")
+  in
+  let net =
+    Arg.(value & opt (some file) None
+         & info [ "net" ] ~docv:"CKPT" ~doc:"Pvnet checkpoint (pbqp-rl)")
+  in
+  let k = Arg.(value & opt int 60 & info [ "k" ] ~doc:"MCTS simulations") in
+  let dump_ir =
+    Arg.(value & flag & info [ "dump-ir" ] ~doc:"print the IR and exit")
+  in
+  let optimize =
+    Arg.(value & flag
+         & info [ "O"; "optimize" ]
+             ~doc:"run constant folding / copy propagation / DCE first")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "minicc" ~doc:"Compile and run MiniC programs on the VCPU")
+      Term.(
+        ret (const run $ input $ builtin $ alloc $ net $ k $ dump_ir $ optimize))
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,109 @@
+(* CLI: solve a .pbqp instance file with any of the solvers. *)
+
+open Cmdliner
+
+let solve file solver net_path k backtracking max_states dot =
+  let g = Pbqp.Io.of_file file in
+  Option.iter (fun path -> Pbqp.Dot.to_file path g) dot;
+  Printf.printf "instance: %d vertices, %d edges, m = %d\n"
+    (Pbqp.Graph.n_alive g) (Pbqp.Graph.edge_count g) (Pbqp.Graph.m g);
+  let report label sol cost extra =
+    match sol with
+    | Some s ->
+        Printf.printf "%s: cost %s%s\n  solution: %s\n" label
+          (Pbqp.Cost.to_string cost) extra
+          (Format.asprintf "%a" Pbqp.Solution.pp s)
+    | None -> Printf.printf "%s: no solution found%s\n" label extra
+  in
+  match solver with
+  | "brute" ->
+      let result, stats = Solvers.Brute.solve ~max_states g in
+      (match result with
+      | Some (s, c) ->
+          report "brute" (Some s) c
+            (Printf.sprintf " (%d states)" stats.Solvers.Brute.states)
+      | None ->
+          report "brute" None Pbqp.Cost.inf
+            (Printf.sprintf " (%d states)" stats.Solvers.Brute.states));
+      `Ok ()
+  | "scholz" ->
+      let s, c, st = Solvers.Scholz.solve_with_cost g in
+      report "scholz" (Some s) c
+        (Printf.sprintf " (r0/r1/r2/rn = %d/%d/%d/%d)" st.Solvers.Scholz.r0
+           st.r1 st.r2 st.rn);
+      `Ok ()
+  | "mrv" ->
+      let s, st = Solvers.Mrv.solve ~max_states g in
+      report "mrv" s
+        (match s with
+        | Some s -> Pbqp.Solution.cost g s
+        | None -> Pbqp.Cost.inf)
+        (Printf.sprintf " (%d states, %d backtracks%s)" st.Solvers.Mrv.states
+           st.backtracks
+           (if st.budget_exhausted then ", budget exhausted" else ""));
+      `Ok ()
+  | "liberty" ->
+      let s, st = Solvers.Liberty.solve ~max_states g in
+      report "liberty"
+        s
+        (match s with
+        | Some s -> Pbqp.Solution.cost g s
+        | None -> Pbqp.Cost.inf)
+        (Printf.sprintf " (%d states, %d backtracks%s)" st.Solvers.Liberty.states
+           st.backtracks
+           (if st.budget_exhausted then ", budget exhausted" else ""));
+      `Ok ()
+  | "rl" -> (
+      match net_path with
+      | None -> `Error (false, "--net is required for the rl solver")
+      | Some path ->
+          let net = Nn.Pvnet.load path in
+          let mcts = { Mcts.default_config with k } in
+          let sol, stats = Core.Solver.solve_feasible ~net ~mcts ~backtracking g in
+          report "deep-rl"
+            sol
+            (match sol with
+            | Some s -> Pbqp.Solution.cost g s
+            | None -> Pbqp.Cost.inf)
+            (Printf.sprintf " (%d nodes, %d backtracks)" stats.Core.Solver.nodes
+               stats.backtracks);
+          `Ok ())
+  | other -> `Error (false, Printf.sprintf "unknown solver %S" other)
+
+let () =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"PBQP instance in the text format of Pbqp.Io")
+  in
+  let solver =
+    Arg.(value & opt string "scholz"
+         & info [ "solver"; "s" ] ~docv:"SOLVER"
+             ~doc:"one of: brute, scholz, liberty, mrv, rl")
+  in
+  let net =
+    Arg.(value & opt (some file) None
+         & info [ "net" ] ~docv:"CKPT" ~doc:"Pvnet checkpoint (rl solver)")
+  in
+  let k =
+    Arg.(value & opt int 50 & info [ "k" ] ~doc:"MCTS simulations per move")
+  in
+  let backtracking =
+    Arg.(value & flag & info [ "backtrack"; "b" ] ~doc:"enable backtracking (rl)")
+  in
+  let max_states =
+    Arg.(value & opt int 1_000_000
+         & info [ "max-states" ] ~doc:"search budget (brute/liberty/mrv)")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"also write a Graphviz rendering")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "pbqp_solve" ~doc:"Solve a PBQP instance")
+      Term.(
+        ret
+          (const solve $ file $ solver $ net $ k $ backtracking $ max_states
+         $ dot))
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,110 @@
+(* CLI: train a policy/value network, up to the paper's schedule (200
+   iterations x 100 episodes, graphs of ~100 vertices, k_train 50-100 —
+   expect a long run at that scale). *)
+
+open Cmdliner
+
+let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
+    ate batch replay domains checkpoint seed out =
+  let instance_generator =
+    if ate then
+      Some
+        (fun ~rng ->
+          let target = 16 + Random.State.int rng 30 in
+          let p = Ate.Progen.generate ~rng ~target_vregs:target () in
+          let info = Ate.Program.analyze_exn p in
+          (Ate.Pbqp_build.build Ate.Machine.default info).Ate.Pbqp_build.graph)
+    else None
+  in
+  let cfg =
+    {
+      (Core.Train.default_config ~m) with
+      iterations;
+      episodes_per_iteration = episodes;
+      graph =
+        { Pbqp.Generate.default with m; p_edge; p_inf; zero_inf;
+          cost_max = 30.0 };
+      n_mean;
+      n_stddev = n_mean /. 4.0;
+      mcts = { Mcts.default_config with k = k_train };
+      planted;
+      batch_size = batch;
+      replay_capacity = replay;
+      domains;
+      checkpoint;
+      instance_generator;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let net =
+    Core.Train.run
+      ~on_iteration:(fun p ->
+        Printf.printf
+          "iter %3d/%d  loss=%.4f  arena wins/ties=%d/%d  kept=%b  \
+           replay=%d  failed=%d  (%.0fs)\n%!"
+          p.Core.Train.iteration iterations p.mean_loss p.arena_wins
+          p.arena_ties p.kept p.replay_size p.episodes_failed
+          (Unix.gettimeofday () -. t0))
+      ~rng:(Random.State.make [| seed |])
+      cfg
+  in
+  Nn.Pvnet.save net out;
+  Printf.printf "saved %s (%d parameters) after %.0fs\n" out
+    (Nn.Pvnet.param_count net)
+    (Unix.gettimeofday () -. t0)
+
+let () =
+  let m = Arg.(value & opt int 13 & info [ "m" ] ~doc:"number of colors") in
+  let iterations =
+    Arg.(value & opt int 20 & info [ "iterations"; "i" ] ~doc:"paper: 200")
+  in
+  let episodes =
+    Arg.(value & opt int 12 & info [ "episodes"; "e" ] ~doc:"per iteration; paper: 100")
+  in
+  let k_train =
+    Arg.(value & opt int 25 & info [ "k-train"; "k" ] ~doc:"MCTS sims; paper: 50-100")
+  in
+  let n_mean =
+    Arg.(value & opt float 20.0 & info [ "n-mean" ] ~doc:"graph size mean; paper: 100")
+  in
+  let p_edge = Arg.(value & opt float 0.2 & info [ "p-edge" ] ~doc:"edge probability") in
+  let p_inf =
+    Arg.(value & opt float 0.01 & info [ "p-inf" ] ~doc:"infinity ratio; paper: 1%")
+  in
+  let zero_inf =
+    Arg.(value & flag & info [ "zero-inf" ] ~doc:"ATE-style 0/inf costs")
+  in
+  let planted =
+    Arg.(value & flag & info [ "planted" ] ~doc:"guaranteed-solvable instances")
+  in
+  let ate =
+    Arg.(value & flag
+         & info [ "ate" ] ~doc:"train on PBQP graphs of synthetic ATE programs")
+  in
+  let batch = Arg.(value & opt int 32 & info [ "batch" ] ~doc:"paper: 64") in
+  let replay =
+    Arg.(value & opt int 20_000 & info [ "replay" ] ~doc:"paper: 200000")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains"; "j" ]
+             ~doc:"parallel self-play worker domains (needs real cores)")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"PREFIX"
+             ~doc:"save nets + replay after each iteration; resume if present")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"rng seed") in
+  let out =
+    Arg.(value & opt string "pvnet.ckpt" & info [ "o" ] ~doc:"output checkpoint")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "train" ~doc:"Train a PBQP policy/value network by self-play")
+      Term.(
+        const run $ m $ iterations $ episodes $ k_train $ n_mean $ p_edge
+        $ p_inf $ zero_inf $ planted $ ate $ batch $ replay $ domains
+        $ checkpoint $ seed $ out)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/ate_translation.ml: Ate Core List Mcts Nn Pbqp Printf Random Solvers String

@@ -1,0 +1,1 @@
+examples/ate_translation.mli:

@@ -1,0 +1,1 @@
+examples/hybrid_solver.ml: Core Generate Graph Mcts Nn Pbqp Printf Random Solution Solvers

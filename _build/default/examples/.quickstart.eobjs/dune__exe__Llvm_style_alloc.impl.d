@@ -1,0 +1,1 @@
+examples/llvm_style_alloc.ml: Cir List Mcts Nn Printf Random String

@@ -1,0 +1,1 @@
+examples/llvm_style_alloc.mli:

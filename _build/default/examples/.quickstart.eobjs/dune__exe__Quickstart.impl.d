@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Cost Format Generate Graph Mcts Nn Pbqp Random Solution Solvers

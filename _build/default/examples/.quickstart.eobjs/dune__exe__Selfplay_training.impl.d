@@ -1,0 +1,1 @@
+examples/selfplay_training.ml: Core Mcts Nn Pbqp Printf Random Unix

@@ -1,0 +1,1 @@
+examples/selfplay_training.mli:

@@ -1,0 +1,54 @@
+(* ATE translation (the paper's SII-B workflow): take a test-pattern
+   program over virtual registers, allocate the 13 irregular physical
+   registers of the target ATE with the Deep-RL solver, and emit the
+   translated program.
+
+   Run: dune exec examples/ate_translation.exe *)
+
+let machine = Ate.Machine.default
+
+let () =
+  (* the synthetic "product-level" program PRO1 *)
+  let program = Ate.Progen.pro 1 in
+  let info = Ate.Program.analyze_exn program in
+  let built = Ate.Pbqp_build.build machine info in
+  let n, low = Ate.Pbqp_build.liberty_profile built in
+  Printf.printf
+    "%s: %d instructions, %d virtual registers\nPBQP graph: %d vertices, %d \
+     edges, %.0f%% of vertices with liberty <= 4\n\n"
+    program.Ate.Ast.name
+    (Ate.Program.instr_count info)
+    (Ate.Program.vreg_count info)
+    n
+    (Pbqp.Graph.edge_count built.Ate.Pbqp_build.graph)
+    (100. *. low);
+
+  (* the original Scholz solver fails on such graphs (the paper's
+     motivation) *)
+  Printf.printf "Scholz-Eckstein finds a valid allocation: %b\n\n"
+    (Solvers.Scholz.succeeded built.Ate.Pbqp_build.graph);
+
+  (* a lightly-trained network is enough once backtracking is on *)
+  let net =
+    Nn.Pvnet.create ~rng:(Random.State.make [| 7 |])
+      (Nn.Pvnet.default_config ~m:13)
+  in
+  let solve g =
+    let sol, stats =
+      Core.Solver.solve_feasible ~net
+        ~mcts:{ Mcts.default_config with k = 25 }
+        ~order:Core.Order.Increasing_liberty g
+    in
+    Printf.printf "Deep-RL search: %d game-tree nodes, %d backtracks\n"
+      stats.Core.Solver.nodes stats.backtracks;
+    sol
+  in
+  match Ate.Translate.allocate machine ~solve program with
+  | Error e -> Printf.printf "translation failed: %s\n" e
+  | Ok translated ->
+      let text = Ate.Ast.to_string translated in
+      let lines = String.split_on_char '\n' text in
+      Printf.printf "\ntranslated program (first 15 lines of %d):\n"
+        (List.length lines);
+      List.iteri (fun i l -> if i < 15 then print_endline l) lines;
+      print_endline "  ..."

@@ -1,0 +1,42 @@
+(* LLVM-style register allocation (the paper's SV-C setup): compile a C
+   program, allocate with each of the allocators, and compare generated
+   code quality on the VCPU simulator.
+
+   Run: dune exec examples/llvm_style_alloc.exe *)
+
+let () =
+  let name = "Queens" in
+  let ir = Cir.Lower.compile (Cir.Programs.find name) in
+  Printf.printf "compiling %s: %d functions\n\n" name
+    (List.length ir.Cir.Ir.funcs);
+  let expected = (Cir.Driver.reference ir).Cir.Interp.output in
+  Printf.printf "reference output: %s\n\n" (String.concat " " expected);
+
+  let net =
+    Nn.Pvnet.create ~rng:(Random.State.make [| 3 |])
+      (Nn.Pvnet.default_config ~m:Cir.Alloc_pbqp.num_colors)
+  in
+  let kinds =
+    [
+      Cir.Driver.Fast;
+      Cir.Driver.Basic;
+      Cir.Driver.Greedy;
+      Cir.Driver.Pbqp;
+      Cir.Driver.Pbqp_rl (net, { Mcts.default_config with k = 60 });
+    ]
+  in
+  Printf.printf "%-8s %10s %8s %10s %8s\n" "alloc" "cycles" "spills" "speedup"
+    "output";
+  let fast_cycles = ref 0 in
+  List.iter
+    (fun kind ->
+      let r = Cir.Driver.run kind ir in
+      let cycles = r.Cir.Driver.outcome.Cir.Msim.cycles in
+      if kind = Cir.Driver.Fast then fast_cycles := cycles;
+      Printf.printf "%-8s %10d %8d %9.2fx %8s\n"
+        (Cir.Driver.alloc_kind_name kind)
+        cycles r.Cir.Driver.spills
+        (float_of_int !fast_cycles /. float_of_int cycles)
+        (if r.Cir.Driver.outcome.Cir.Msim.output = expected then "ok"
+         else "WRONG"))
+    kinds

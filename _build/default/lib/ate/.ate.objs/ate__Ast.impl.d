@@ -1,0 +1,1 @@
+lib/ate/ast.ml: Array Format List Machine

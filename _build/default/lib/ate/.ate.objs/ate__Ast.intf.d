@@ -1,0 +1,1 @@
+lib/ate/ast.mli: Format Machine

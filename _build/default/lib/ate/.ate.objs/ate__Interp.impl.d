@@ -1,0 +1,1 @@
+lib/ate/interp.ml: Array Ast Hashtbl List Option Printf Program

@@ -1,0 +1,1 @@
+lib/ate/interp.mli: Ast

@@ -1,0 +1,1 @@
+lib/ate/liveness.ml: Array Ast Int List Program Set

@@ -1,0 +1,1 @@
+lib/ate/liveness.mli: Program Set

@@ -1,0 +1,1 @@
+lib/ate/machine.ml: Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/ate/machine.mli: Format

@@ -1,0 +1,1 @@
+lib/ate/parse.ml: Array Ast Filename Fun In_channel List Option Printf String

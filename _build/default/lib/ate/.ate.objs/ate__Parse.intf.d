@@ -1,0 +1,1 @@
+lib/ate/parse.mli: Ast

@@ -1,0 +1,1 @@
+lib/ate/pbqp_build.ml: Array Ast Cost Graph Hashtbl List Liveness Machine Mat Pbqp Program Solution Vec

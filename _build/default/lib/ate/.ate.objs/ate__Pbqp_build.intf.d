@@ -1,0 +1,1 @@
+lib/ate/pbqp_build.mli: Hashtbl Machine Pbqp Program

@@ -1,0 +1,1 @@
+lib/ate/progen.ml: Array Ast Fun Hashtbl List Machine Printf Program Random Validate

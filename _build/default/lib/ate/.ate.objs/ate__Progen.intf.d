@@ -1,0 +1,1 @@
+lib/ate/progen.mli: Ast Machine Random

@@ -1,0 +1,1 @@
+lib/ate/program.ml: Array Ast Hashtbl Int List Machine Printf Seq

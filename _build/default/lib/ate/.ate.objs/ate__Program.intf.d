@@ -1,0 +1,1 @@
+lib/ate/program.mli: Ast Hashtbl Machine

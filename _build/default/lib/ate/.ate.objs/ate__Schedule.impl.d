@@ -1,0 +1,1 @@
+lib/ate/schedule.ml: Array Ast List Machine

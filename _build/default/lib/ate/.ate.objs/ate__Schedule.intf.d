@@ -1,0 +1,1 @@
+lib/ate/schedule.mli: Ast Machine

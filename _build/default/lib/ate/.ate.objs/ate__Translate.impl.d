@@ -1,0 +1,1 @@
+lib/ate/translate.ml: Array Ast Pbqp_build Printf Program Schedule Validate

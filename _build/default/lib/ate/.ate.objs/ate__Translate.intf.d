@@ -1,0 +1,1 @@
+lib/ate/translate.mli: Ast Machine Pbqp

@@ -1,0 +1,1 @@
+lib/ate/validate.ml: Array Ast List Liveness Machine Printf Program

@@ -1,0 +1,1 @@
+lib/ate/validate.mli: Machine Program

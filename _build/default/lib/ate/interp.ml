@@ -1,0 +1,66 @@
+type outcome = { emits : int list list; steps : int }
+
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let run ?(fuel = 1_000_000) (p : Ast.program) =
+  let info =
+    match Program.analyze p with
+    | Ok info -> info
+    | Error e -> err "bad program: %s" e
+  in
+  let virt = Hashtbl.create 32 in
+  let phys = Hashtbl.create 16 in
+  let read = function
+    | Ast.Virt v -> Option.value (Hashtbl.find_opt virt v) ~default:0
+    | Ast.Phys r -> Option.value (Hashtbl.find_opt phys r) ~default:0
+  in
+  let write r x =
+    match r with
+    | Ast.Virt v -> Hashtbl.replace virt v x
+    | Ast.Phys r -> Hashtbl.replace phys r x
+  in
+  let emits = ref [] in
+  let steps = ref 0 in
+  let n = Array.length info.Program.instrs in
+  let rec exec pc =
+    if pc >= n then ()
+    else begin
+      incr steps;
+      if !steps > fuel then err "out of fuel";
+      match info.Program.instrs.(pc) with
+      | Ast.Mov { dst; src } ->
+          write dst (match src with Ast.Reg r -> read r | Ast.Imm i -> i);
+          exec (pc + 1)
+      | Ast.Add { dst; src1; src2 } ->
+          write dst (read src1 + read src2);
+          exec (pc + 1)
+      | Ast.Sub { dst; src1; src2 } ->
+          write dst (read src1 - read src2);
+          exec (pc + 1)
+      | Ast.And { dst; src1; src2 } ->
+          write dst (read src1 land read src2);
+          exec (pc + 1)
+      | Ast.Shl { dst; src; amount } ->
+          write dst ((read src lsl amount) land 0xFFFF);
+          exec (pc + 1)
+      | Ast.Emit rs ->
+          emits := List.map read rs :: !emits;
+          exec (pc + 1)
+      | Ast.Jnz { counter; target } ->
+          if read counter <> 0 then
+            exec (Hashtbl.find info.Program.label_pos target)
+          else exec (pc + 1)
+      | Ast.Jmp target -> exec (Hashtbl.find info.Program.label_pos target)
+      | Ast.Halt -> ()
+      | Ast.Nop -> exec (pc + 1)
+    end
+  in
+  exec 0;
+  { emits = List.rev !emits; steps = !steps }
+
+let same_behaviour a b =
+  match (run a, run b) with
+  | oa, ob -> oa.emits = ob.emits
+  | exception Runtime_error _ -> false

@@ -1,0 +1,23 @@
+(** Reference interpreter for ATE test-pattern programs.
+
+    Executes a program — over virtual registers or, after translation,
+    over physical registers — and records the stream of [emit]ted pattern
+    values.  The translation end-to-end property (checked in the test
+    suite) is that a program and its register-allocated translation
+    produce {e identical} emit streams: allocation must not change what
+    reaches the pins. *)
+
+type outcome = {
+  emits : int list list;  (** one entry per [emit], values in order *)
+  steps : int;
+}
+
+exception Runtime_error of string
+(** Unbound register read, missing label, or fuel exhaustion. *)
+
+val run : ?fuel:int -> Ast.program -> outcome
+(** Registers (virtual or physical) start at 0.  Default fuel 1,000,000
+    executed instructions. *)
+
+val same_behaviour : Ast.program -> Ast.program -> bool
+(** Both runs succeed with identical emit streams. *)

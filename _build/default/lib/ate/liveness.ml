@@ -1,0 +1,74 @@
+module Iset = Set.Make (Int)
+
+type t = { live_in : Iset.t array; live_out : Iset.t array }
+
+let vregs_of regs =
+  List.filter_map (function Ast.Virt v -> Some v | Ast.Phys _ -> None) regs
+
+let compute info =
+  let n = Array.length info.Program.instrs in
+  let live_in = Array.make n Iset.empty in
+  let live_out = Array.make n Iset.empty in
+  let uses = Array.map (fun i -> Iset.of_list (vregs_of (Ast.uses i))) info.instrs in
+  let defs = Array.map (fun i -> Iset.of_list (vregs_of (Ast.defs i))) info.instrs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Iset.union acc live_in.(s))
+          Iset.empty (Program.successors info i)
+      in
+      let inn = Iset.union uses.(i) (Iset.diff out defs.(i)) in
+      if not (Iset.equal out live_out.(i)) then begin
+        live_out.(i) <- out;
+        changed := true
+      end;
+      if not (Iset.equal inn live_in.(i)) then begin
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+module Pair = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module Pset = Set.Make (Pair)
+
+let interference_pairs info t =
+  let acc = ref Pset.empty in
+  Array.iteri
+    (fun i instr ->
+      let move_src =
+        match instr with
+        | Ast.Mov { src = Ast.Reg (Ast.Virt s); _ } -> Some s
+        | _ -> None
+      in
+      List.iter
+        (fun d ->
+          Iset.iter
+            (fun v ->
+              if v <> d && Some v <> move_src then
+                let p = if d < v then (d, v) else (v, d) in
+                acc := Pset.add p !acc)
+            t.live_out.(i))
+        (vregs_of (Ast.defs instr)))
+    info.Program.instrs;
+  Pset.elements !acc
+
+let max_pressure info t =
+  let best = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      best := max !best (Iset.cardinal t.live_out.(i));
+      best := max !best (Iset.cardinal t.live_in.(i)))
+    info.Program.instrs;
+  !best
+
+let live_at t i = t.live_out.(i)

@@ -1,0 +1,24 @@
+(** Backward dataflow liveness over ATE programs (virtual registers).
+
+    Standard per-instruction live-in/live-out fixpoint over the
+    control-flow successors.  Interference follows Chaitin's rule — a
+    definition interferes with everything live-out at its site — with the
+    classic move refinement: the destination of [mov d, s] does not
+    interfere with [s]. *)
+
+module Iset : Set.S with type elt = int
+
+type t = { live_in : Iset.t array; live_out : Iset.t array }
+
+val compute : Program.info -> t
+
+val interference_pairs : Program.info -> t -> (int * int) list
+(** Distinct unordered pairs [(u, v)] with [u < v] of virtual registers
+    that must live in different physical registers. *)
+
+val max_pressure : Program.info -> t -> int
+(** Largest number of simultaneously live virtual registers (a lower bound
+    witness: more than [nregs] means certainly unallocatable). *)
+
+val live_at : t -> int -> Iset.t
+(** Live-out set of instruction [i]. *)

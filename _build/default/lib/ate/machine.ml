@@ -1,0 +1,59 @@
+type t = { nregs : int; ways : int }
+
+let create ~nregs ~ways =
+  if nregs < 3 then invalid_arg "Machine.create: need at least 3 registers";
+  if ways < 1 then invalid_arg "Machine.create: ways < 1";
+  { nregs; ways }
+
+let default = create ~nregs:13 ~ways:8
+
+let models =
+  [ ("modelA", default); ("modelB", create ~nregs:10 ~ways:4) ]
+
+let model name =
+  match List.assoc_opt name models with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Machine.model: unknown %S (known: %s)" name
+           (String.concat ", " (List.map fst models)))
+
+type bank = A | B | C
+
+(* ~40% A, ~30% B, the rest C; 13 -> 5/4/4 as documented. *)
+let a_end t = max 1 ((t.nregs * 2 / 5) + 1)
+let b_end t = a_end t + max 1 (t.nregs * 3 / 10)
+
+let bank_of t r =
+  if r < 0 || r >= t.nregs then
+    invalid_arg (Printf.sprintf "Machine.bank_of: register %d out of range" r);
+  if r < a_end t then A else if r < b_end t then B else C
+
+let bank_regs t b =
+  List.filter (fun r -> bank_of t r = b) (List.init t.nregs Fun.id)
+
+let pair_compatible t r1 r2 =
+  match (bank_of t r1, bank_of t r2) with
+  | A, A | B, B | C, C -> true
+  | A, B | B, A | B, C | C, B -> (r1 + r2) mod 2 = 0
+  | A, C | C, A -> false
+
+type rclass = Any | Counter | Data | Pattern
+
+let class_allowed t cls r =
+  match cls with
+  | Any -> r >= 0 && r < t.nregs
+  | Counter -> bank_of t r = A
+  | Data -> bank_of t r = B
+  | Pattern -> bank_of t r = C
+
+let class_regs t cls =
+  List.filter (class_allowed t cls) (List.init t.nregs Fun.id)
+
+let pp_reg ppf r = Format.fprintf ppf "r%d" r
+
+let rclass_to_string = function
+  | Any -> "any"
+  | Counter -> "counter"
+  | Data -> "data"
+  | Pattern -> "pattern"

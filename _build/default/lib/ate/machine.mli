@@ -1,0 +1,66 @@
+(** The synthetic ATE (automated test equipment) machine model.
+
+    This is the substitute for the proprietary ATE of the paper (§II-B);
+    see DESIGN.md.  It reproduces the three sources of register
+    irregularity the paper describes:
+
+    - {b banked register classes}: the [nregs] registers are split into
+      banks A (counters), B (data) and C (pattern); some instruction
+      operands are restricted to one bank;
+    - {b irregular pairing}: the two sources of a binary ALU instruction
+      must be a {e compatible} pair — same bank always works, an
+      adjacent-bank mix (A/B or B/C) only when the index parity matches,
+      and an A/C mix never ("we can add registers A and B but cannot add
+      registers A and C");
+    - {b major cycles}: the machine interleaves [ways] ALPG units, so a
+      bundle of [ways] consecutive instructions executes as one major
+      cycle in which a physical register may be written at most once and
+      must not be read ahead of a write.
+
+    There is no data memory: spills are impossible, every PBQP cost is
+    0 or ∞. *)
+
+type t = { nregs : int; ways : int }
+
+val default : t
+(** 13 registers (the paper's [m = 13]), 8-way interleave. *)
+
+val models : (string * t) list
+(** Named machine profiles — different ATE vendors/models have different
+    numbers of ALPGs and registers (§II-B), and translation re-allocates
+    a program for the target machine: ["modelA"] is {!default} (13 regs /
+    8-way); ["modelB"] is a smaller 10-register, 4-way machine. *)
+
+val model : string -> t
+(** @raise Invalid_argument on unknown names. *)
+
+val create : nregs:int -> ways:int -> t
+(** @raise Invalid_argument if [nregs < 3] or [ways < 1]. *)
+
+type bank = A | B | C
+
+val bank_of : t -> int -> bank
+(** Banks split the register file ~40/30/30 (for the default 13:
+    A = r0–r4, B = r5–r8, C = r9–r12).
+    @raise Invalid_argument on an out-of-range register. *)
+
+val bank_regs : t -> bank -> int list
+
+val pair_compatible : t -> int -> int -> bool
+(** Whether two physical registers may be the sources of one binary ALU
+    instruction.  Symmetric. *)
+
+(** Operand class constraints. *)
+type rclass =
+  | Any
+  | Counter  (** bank A — loop counters (JNZ) *)
+  | Data  (** bank B — shift destinations *)
+  | Pattern  (** bank C — pattern registers driven onto pins (EMIT) *)
+
+val class_allowed : t -> rclass -> int -> bool
+
+val class_regs : t -> rclass -> int list
+
+val pp_reg : Format.formatter -> int -> unit
+
+val rclass_to_string : rclass -> string

@@ -1,0 +1,113 @@
+let fail lineno msg =
+  invalid_arg (Printf.sprintf "Ate.Parse: line %d: %s" lineno msg)
+
+let parse_reg lineno tok =
+  let body prefix =
+    match
+      int_of_string_opt (String.sub tok 1 (String.length tok - 1))
+    with
+    | Some k when k >= 0 -> k
+    | _ -> fail lineno (Printf.sprintf "bad %s register %S" prefix tok)
+  in
+  if String.length tok < 2 then fail lineno (Printf.sprintf "bad register %S" tok)
+  else
+    match tok.[0] with
+    | 'v' -> Ast.Virt (body "virtual")
+    | 'r' -> Ast.Phys (body "physical")
+    | _ -> fail lineno (Printf.sprintf "bad register %S" tok)
+
+let parse_operand lineno tok =
+  if String.length tok > 1 && tok.[0] = '#' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some i -> Ast.Imm i
+    | None -> fail lineno (Printf.sprintf "bad immediate %S" tok)
+  else Ast.Reg (parse_reg lineno tok)
+
+let parse_int lineno tok =
+  match int_of_string_opt tok with
+  | Some i -> i
+  | None -> fail lineno (Printf.sprintf "expected integer, got %S" tok)
+
+let is_label_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let of_string ?name text =
+  let name = ref (Option.value name ~default:"anonymous") in
+  let lines = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i raw ->
+         let lineno = i + 1 in
+         let raw =
+           match String.index_opt raw ';' with
+           | Some k -> String.sub raw 0 k
+           | None -> raw
+         in
+         let raw = String.trim raw in
+         if raw = "" then ()
+         else if String.length raw > 6 && String.sub raw 0 6 = ".name " then
+           name := String.trim (String.sub raw 6 (String.length raw - 6))
+         else if raw.[String.length raw - 1] = ':' then begin
+           let l = String.sub raw 0 (String.length raw - 1) in
+           if not (is_label_name l) then
+             fail lineno (Printf.sprintf "bad label %S" l);
+           lines := Ast.Label l :: !lines
+         end
+         else begin
+           let mnemonic, rest =
+             match String.index_opt raw ' ' with
+             | None -> (raw, "")
+             | Some k ->
+                 ( String.sub raw 0 k,
+                   String.sub raw (k + 1) (String.length raw - k - 1) )
+           in
+           let args =
+             String.split_on_char ',' rest
+             |> List.map String.trim
+             |> List.filter (fun s -> s <> "")
+           in
+           let reg = parse_reg lineno in
+           let instr =
+             match (String.lowercase_ascii mnemonic, args) with
+             | "mov", [ d; s ] ->
+                 Ast.Mov { dst = reg d; src = parse_operand lineno s }
+             | "add", [ d; s1; s2 ] ->
+                 Ast.Add { dst = reg d; src1 = reg s1; src2 = reg s2 }
+             | "sub", [ d; s1; s2 ] ->
+                 Ast.Sub { dst = reg d; src1 = reg s1; src2 = reg s2 }
+             | "and", [ d; s1; s2 ] ->
+                 Ast.And { dst = reg d; src1 = reg s1; src2 = reg s2 }
+             | "shl", [ d; s; a ] ->
+                 Ast.Shl { dst = reg d; src = reg s; amount = parse_int lineno a }
+             | "emit", (_ :: _ as rs) -> Ast.Emit (List.map reg rs)
+             | "jnz", [ c; target ] ->
+                 if not (is_label_name target) then
+                   fail lineno (Printf.sprintf "bad jump target %S" target);
+                 Ast.Jnz { counter = reg c; target }
+             | "jmp", [ target ] ->
+                 if not (is_label_name target) then
+                   fail lineno (Printf.sprintf "bad jump target %S" target);
+                 Ast.Jmp target
+             | "halt", [] -> Ast.Halt
+             | "nop", [] -> Ast.Nop
+             | m, _ ->
+                 fail lineno
+                   (Printf.sprintf "unknown instruction or bad arity: %S" m)
+           in
+           lines := Ast.Instr instr :: !lines
+         end);
+  { Ast.name = !name; lines = Array.of_list (List.rev !lines) }
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      of_string
+        ~name:(Filename.remove_extension (Filename.basename path))
+        (In_channel.input_all ic))
+
+let roundtrip p = of_string (Ast.to_string p)

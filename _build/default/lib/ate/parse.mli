@@ -1,0 +1,26 @@
+(** Parser for the ATE test-pattern language.
+
+    Line-oriented assembly syntax; [;] starts a comment:
+    {v
+    .name PRO1
+    start:
+      mov v0, #8
+    loop:
+      add v1, v2, v3
+      shl v5, v6, 2
+      emit v10, v11
+      sub v0, v0, v4
+      jnz v0, loop
+      halt
+    v}
+    Registers are [v<k>] (virtual) or [r<k>] (physical); immediates are
+    [#<int>]. *)
+
+val of_string : ?name:string -> string -> Ast.program
+(** @raise Invalid_argument with a line-numbered message on syntax
+    errors. *)
+
+val of_file : string -> Ast.program
+
+val roundtrip : Ast.program -> Ast.program
+(** [of_string (Ast.to_string p)] — used by tests. *)

@@ -1,0 +1,115 @@
+open Pbqp
+
+type t = {
+  graph : Graph.t;
+  vreg_of_vertex : int array;
+  vertex_of_vreg : (int, int) Hashtbl.t;
+}
+
+let vreg = function Ast.Virt v -> v | Ast.Phys _ -> assert false
+
+let build machine info =
+  (match Program.require_virtual info with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Pbqp_build.build: " ^ e));
+  (match Program.check_schedulable machine info with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Pbqp_build.build: " ^ e));
+  let m = machine.Machine.nregs in
+  let vregs = Array.of_list info.Program.vregs in
+  let n = Array.length vregs in
+  let vertex_of_vreg = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.replace vertex_of_vreg v i) vregs;
+  let vx v = Hashtbl.find vertex_of_vreg v in
+  let g = Graph.create ~m ~n in
+  (* vertex class constraints *)
+  let allowed = Array.make_matrix n m true in
+  Array.iter
+    (fun instr ->
+      List.iter
+        (fun (r, cls) ->
+          let i = vx (vreg r) in
+          for c = 0 to m - 1 do
+            if not (Machine.class_allowed machine cls c) then
+              allowed.(i).(c) <- false
+          done)
+        (Ast.operand_classes instr))
+    info.Program.instrs;
+  for i = 0 to n - 1 do
+    Graph.set_cost g i
+      (Vec.init m (fun c -> if allowed.(i).(c) then Cost.zero else Cost.inf))
+  done;
+  (* diagonal-∞ (must-differ) pairs: interference + major-cycle rules *)
+  let diff_pairs = Hashtbl.create 64 in
+  let add_diff u v =
+    if u <> v then begin
+      let p = (min u v, max u v) in
+      Hashtbl.replace diff_pairs p ()
+    end
+  in
+  let live = Liveness.compute info in
+  List.iter (fun (u, v) -> add_diff u v) (Liveness.interference_pairs info live);
+  let ninstr = Array.length info.Program.instrs in
+  let vdefs i =
+    List.filter_map
+      (function Ast.Virt v -> Some v | Ast.Phys _ -> None)
+      (Ast.defs info.Program.instrs.(i))
+  in
+  let vuses i =
+    List.filter_map
+      (function Ast.Virt v -> Some v | Ast.Phys _ -> None)
+      (Ast.uses info.Program.instrs.(i))
+  in
+  for i = 0 to ninstr - 1 do
+    for j = i + 1 to ninstr - 1 do
+      if Program.cycle_of machine i = Program.cycle_of machine j then begin
+        (* write-once per cycle *)
+        List.iter (fun d -> List.iter (add_diff d) (vdefs j)) (vdefs i);
+        (* no read before a later write *)
+        List.iter (fun u -> List.iter (add_diff u) (vdefs j)) (vuses i)
+      end
+    done
+  done;
+  Hashtbl.iter
+    (fun (u, v) () -> Graph.add_edge g (vx u) (vx v) (Mat.interference m))
+    diff_pairs;
+  (* pairing constraints: sources of binary ALU ops *)
+  let pairing =
+    Mat.init ~rows:m ~cols:m (fun i j ->
+        if Machine.pair_compatible machine i j then Cost.zero else Cost.inf)
+  in
+  let pair_seen = Hashtbl.create 16 in
+  Array.iter
+    (fun instr ->
+      match Ast.pair_sources instr with
+      | Some (r1, r2) ->
+          let u = vreg r1 and v = vreg r2 in
+          if u <> v then begin
+            let p = (min u v, max u v) in
+            if not (Hashtbl.mem pair_seen p) then begin
+              Hashtbl.replace pair_seen p ();
+              Graph.add_edge g (vx (fst p)) (vx (snd p)) pairing
+            end
+          end
+          (* same vreg on both sides: pair_compatible is reflexive within a
+             bank, so no vertex constraint is needed *)
+      | None -> ())
+    info.Program.instrs;
+  { graph = g; vreg_of_vertex = vregs; vertex_of_vreg }
+
+let assignment_of_solution t sol v =
+  match Hashtbl.find_opt t.vertex_of_vreg v with
+  | None -> None
+  | Some i ->
+      let c = Solution.get sol i in
+      if c = Solution.unassigned then None else Some c
+
+let liberty_profile t =
+  let verts = Graph.vertices t.graph in
+  let n = List.length verts in
+  let low =
+    List.fold_left
+      (fun acc u -> if Graph.liberty t.graph u <= 4 then acc + 1 else acc)
+      0 verts
+  in
+  (n, if n = 0 then 0.0 else float_of_int low /. float_of_int n)

@@ -1,0 +1,32 @@
+(** PBQP graph construction for ATE register allocation (paper §II-B).
+
+    One vertex per virtual register, [m = nregs] colors, every cost 0
+    or ∞:
+
+    - {b vertex vectors}: ∞ for registers outside the intersection of the
+      operand classes the register appears in;
+    - {b interference edges}: ∞ on the diagonal for live-range overlaps;
+    - {b pairing edges}: ∞ at every incompatible combination for the two
+      sources of each binary ALU instruction;
+    - {b major-cycle edges}: ∞ on the diagonal for write/write and
+      read-before-write pairs inside one cycle.
+
+    A zero-cost solution of this graph is exactly a legal allocation
+    (cross-validated against {!Validate.check} in the tests). *)
+
+type t = {
+  graph : Pbqp.Graph.t;
+  vreg_of_vertex : int array;
+  vertex_of_vreg : (int, int) Hashtbl.t;
+}
+
+val build : Machine.t -> Program.info -> t
+(** @raise Invalid_argument if the program contains physical registers or
+    is not schedulable (see {!Program.check_schedulable}). *)
+
+val assignment_of_solution : t -> Pbqp.Solution.t -> (int -> int option)
+(** Map a PBQP solution back to [vreg → physical register]. *)
+
+val liberty_profile : t -> int * float
+(** [(vertices, share)]: the number of PBQP vertices and the fraction with
+    liberty ≤ 4 — the hardness profile the paper reports (~40%). *)

@@ -1,0 +1,118 @@
+type info = {
+  program : Ast.program;
+  instrs : Ast.instr array;
+  label_pos : (string, int) Hashtbl.t;
+  vregs : int list;
+}
+
+let analyze (p : Ast.program) =
+  let label_pos = Hashtbl.create 8 in
+  let instrs = ref [] in
+  let count = ref 0 in
+  let error = ref None in
+  Array.iter
+    (fun line ->
+      match line with
+      | Ast.Label l ->
+          if Hashtbl.mem label_pos l then
+            (if !error = None then
+               error := Some (Printf.sprintf "duplicate label %S" l))
+          else Hashtbl.replace label_pos l !count
+      | Ast.Instr i ->
+          instrs := i :: !instrs;
+          incr count)
+    p.Ast.lines;
+  let instrs = Array.of_list (List.rev !instrs) in
+  (* jump targets must exist *)
+  Array.iter
+    (fun i ->
+      let check_target t =
+        if not (Hashtbl.mem label_pos t) && !error = None then
+          error := Some (Printf.sprintf "undefined jump target %S" t)
+      in
+      match i with
+      | Ast.Jnz { target; _ } | Ast.Jmp target -> check_target target
+      | _ -> ())
+    instrs;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      let vregs =
+        Array.to_seq instrs
+        |> Seq.concat_map (fun i -> List.to_seq (Ast.defs i @ Ast.uses i))
+        |> Seq.filter_map (function Ast.Virt v -> Some v | Ast.Phys _ -> None)
+        |> List.of_seq |> List.sort_uniq Int.compare
+      in
+      Ok { program = p; instrs; label_pos; vregs }
+
+let analyze_exn p =
+  match analyze p with
+  | Ok info -> info
+  | Error e -> invalid_arg ("Program.analyze: " ^ e)
+
+let require_virtual info =
+  let has_phys =
+    Array.exists
+      (fun i ->
+        List.exists
+          (function Ast.Phys _ -> true | Ast.Virt _ -> false)
+          (Ast.defs i @ Ast.uses i))
+      info.instrs
+  in
+  if has_phys then Error "program contains physical registers" else Ok ()
+
+let successors info i =
+  let n = Array.length info.instrs in
+  let next = if i + 1 < n then [ i + 1 ] else [] in
+  match info.instrs.(i) with
+  | Ast.Halt -> []
+  | Ast.Jmp t ->
+      let tp = Hashtbl.find info.label_pos t in
+      if tp < n then [ tp ] else []
+  | Ast.Jnz { target; _ } ->
+      let tp = Hashtbl.find info.label_pos target in
+      if tp < n && not (List.mem tp next) then tp :: next else next
+  | _ -> next
+
+let cycle_of (m : Machine.t) pos = pos / m.Machine.ways
+
+let check_schedulable machine info =
+  let n = Array.length info.instrs in
+  let result = ref (Ok ()) in
+  let fail msg = if !result = Ok () then result := Error msg in
+  let vreg_defs i =
+    List.filter_map
+      (function Ast.Virt v -> Some v | Ast.Phys _ -> None)
+      (Ast.defs info.instrs.(i))
+  in
+  let vreg_uses i =
+    List.filter_map
+      (function Ast.Virt v -> Some v | Ast.Phys _ -> None)
+      (Ast.uses info.instrs.(i))
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if cycle_of machine i = cycle_of machine j then begin
+        List.iter
+          (fun d ->
+            if List.mem d (vreg_defs j) then
+              fail
+                (Printf.sprintf
+                   "v%d written twice in major cycle %d (positions %d and %d)"
+                   d (cycle_of machine i) i j))
+          (vreg_defs i);
+        List.iter
+          (fun u ->
+            if List.mem u (vreg_defs j) then
+              fail
+                (Printf.sprintf
+                   "v%d read at %d before its write at %d in major cycle %d" u
+                   i j (cycle_of machine i)))
+          (vreg_uses i)
+      end
+    done
+  done;
+  !result
+
+let vreg_count info = List.length info.vregs
+let instr_count info = Array.length info.instrs

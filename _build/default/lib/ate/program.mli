@@ -1,0 +1,36 @@
+(** Structural analysis of ATE programs: label resolution, instruction
+    positions (which determine major cycles), and static sanity checks. *)
+
+type info = {
+  program : Ast.program;
+  instrs : Ast.instr array;  (** instructions only, in program order *)
+  label_pos : (string, int) Hashtbl.t;
+      (** label → index of the instruction it precedes (= [Array.length
+          instrs] for a trailing label) *)
+  vregs : int list;  (** distinct virtual registers, sorted *)
+}
+
+val analyze : Ast.program -> (info, string) result
+(** Checks: unique labels, defined jump targets. *)
+
+val analyze_exn : Ast.program -> info
+(** @raise Invalid_argument on the same conditions. *)
+
+val require_virtual : info -> (unit, string) result
+(** Fails if any physical register occurs (allocation input must be fully
+    virtual). *)
+
+val successors : info -> int -> int list
+(** Control-flow successors of instruction [i]. *)
+
+val cycle_of : Machine.t -> int -> int
+(** The major cycle an instruction position belongs to. *)
+
+val check_schedulable : Machine.t -> info -> (unit, string) result
+(** Detects major-cycle violations that no register assignment can fix:
+    the same virtual register written twice in one cycle, or read at one
+    position and written at a {e later} position of the same cycle. *)
+
+val vreg_count : info -> int
+
+val instr_count : info -> int

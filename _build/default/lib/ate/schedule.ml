@@ -1,0 +1,55 @@
+let vregs regs =
+  List.filter_map (function Ast.Virt v -> Some v | Ast.Phys _ -> None) regs
+
+(* Walk the program forward, tracking which vregs the current major cycle
+   has read and written; pad with nops whenever the next instruction's
+   same-vreg accesses would violate the write-once / read-before-write
+   rules. *)
+let pad (machine : Machine.t) (p : Ast.program) =
+  let ways = machine.Machine.ways in
+  let out = ref [] in
+  let pos = ref 0 in
+  let cyc_reads = ref [] in
+  let cyc_writes = ref [] in
+  let emit line =
+    (match line with
+    | Ast.Instr i ->
+        cyc_reads := vregs (Ast.uses i) @ !cyc_reads;
+        cyc_writes := vregs (Ast.defs i) @ !cyc_writes;
+        incr pos;
+        if !pos mod ways = 0 then begin
+          cyc_reads := [];
+          cyc_writes := []
+        end
+    | Ast.Label _ -> ());
+    out := line :: !out
+  in
+  let conflicts i =
+    let defs = vregs (Ast.defs i) in
+    (* write-once: a def of a vreg already written this cycle *)
+    List.exists (fun d -> List.mem d !cyc_writes) defs
+    (* read-before-write: a def of a vreg already *read* this cycle *)
+    || List.exists (fun d -> List.mem d !cyc_reads) defs
+  in
+  let pad_to_boundary () =
+    while !pos mod ways <> 0 do
+      emit (Ast.Instr Ast.Nop)
+    done
+  in
+  Array.iter
+    (fun line ->
+      (match line with
+      | Ast.Instr i when conflicts i -> pad_to_boundary ()
+      | _ -> ());
+      emit line)
+    p.Ast.lines;
+  { p with Ast.lines = Array.of_list (List.rev !out) }
+
+let nops_added machine p =
+  let count prog =
+    Array.fold_left
+      (fun acc line ->
+        match line with Ast.Instr Ast.Nop -> acc + 1 | _ -> acc)
+      0 prog.Ast.lines
+  in
+  count (pad machine p) - count p

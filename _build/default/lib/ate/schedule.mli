@@ -1,0 +1,19 @@
+(** Instruction scheduling for major-cycle feasibility (a first step
+    toward the combined scheduling-and-allocation problem the paper's
+    §VII names as future work).
+
+    Register allocation cannot fix major-cycle violations that involve a
+    {e single} virtual register — the same vreg written twice in one
+    cycle, or read before a later write to it in the same cycle.  This
+    pass makes any program schedulable by padding with [nop]s: walking
+    forward, an instruction that would conflict with the same-vreg
+    accesses already in its major cycle is pushed to the next cycle
+    boundary.  Labels are untouched, so control flow is preserved, and
+    only [nop]s are added (never reordering), so data flow is trivially
+    preserved. *)
+
+val pad : Machine.t -> Ast.program -> Ast.program
+(** The padded program always satisfies {!Program.check_schedulable}. *)
+
+val nops_added : Machine.t -> Ast.program -> int
+(** How many [nop]s {!pad} would insert. *)

@@ -1,0 +1,44 @@
+let apply (p : Ast.program) ~assignment =
+  let map_reg = function
+    | Ast.Virt v -> (
+        match assignment v with
+        | Some r -> Ast.Phys r
+        | None ->
+            invalid_arg (Printf.sprintf "Translate.apply: v%d unassigned" v))
+    | Ast.Phys _ as r -> r
+  in
+  {
+    p with
+    Ast.lines =
+      Array.map
+        (function
+          | Ast.Instr i -> Ast.Instr (Ast.map_regs map_reg i)
+          | Ast.Label _ as l -> l)
+        p.Ast.lines;
+  }
+
+let allocate ?(auto_schedule = false) machine ~solve p =
+  match Program.analyze p with
+  | Error e -> Error ("analysis failed: " ^ e)
+  | Ok info0 -> (
+      match Program.require_virtual info0 with
+      | Error e -> Error e
+      | Ok () -> (
+          let p, info =
+            if auto_schedule && Program.check_schedulable machine info0 <> Ok ()
+            then
+              let p' = Schedule.pad machine p in
+              (p', Program.analyze_exn p')
+            else (p, info0)
+          in
+          match Program.check_schedulable machine info with
+          | Error e -> Error ("unschedulable: " ^ e)
+          | Ok () -> (
+              let built = Pbqp_build.build machine info in
+              match solve built.Pbqp_build.graph with
+              | None -> Error "no allocation found"
+              | Some sol -> (
+                  let assignment = Pbqp_build.assignment_of_solution built sol in
+                  match Validate.check machine info ~assignment with
+                  | Error e -> Error ("solver returned an invalid allocation: " ^ e)
+                  | Ok () -> Ok (apply p ~assignment)))))

@@ -1,0 +1,19 @@
+(** Program rewriting: substitute an allocation into a virtual-register
+    program, producing the physical-register program an ATE would run —
+    the final step of the translation workflow of §II-B. *)
+
+val apply : Ast.program -> assignment:(int -> int option) -> Ast.program
+(** @raise Invalid_argument if some virtual register has no assignment. *)
+
+val allocate :
+  ?auto_schedule:bool ->
+  Machine.t ->
+  solve:(Pbqp.Graph.t -> Pbqp.Solution.t option) ->
+  Ast.program ->
+  (Ast.program, string) result
+(** End-to-end: analyze, build the PBQP graph, run the given solver, check
+    the result with {!Validate}, rewrite.  [Error] on unschedulable
+    programs, solver failure, or (defensively) a solution that fails
+    validation.  With [auto_schedule] (default false), unschedulable
+    programs are first repaired by {!Schedule.pad} — a first step toward
+    the combined scheduling-and-allocation problem of the paper's §VII. *)

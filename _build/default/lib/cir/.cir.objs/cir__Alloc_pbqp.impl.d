@@ -1,0 +1,1 @@
+lib/cir/alloc_pbqp.ml: Array Core Cost Float Fun Graph Hashtbl Ir List Liveness Mat Mcts Pbqp Regalloc Solution Solvers Target Vec

@@ -1,0 +1,1 @@
+lib/cir/alloc_pbqp.mli: Hashtbl Ir Liveness Mcts Nn Pbqp Regalloc

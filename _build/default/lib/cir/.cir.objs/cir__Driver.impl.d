@@ -1,0 +1,1 @@
+lib/cir/driver.ml: Alloc_pbqp Interp Ir List Liveness Mcts Msim Nn Pbqp Printf Regalloc Rewrite

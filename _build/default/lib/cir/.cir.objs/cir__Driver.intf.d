@@ -1,0 +1,1 @@
+lib/cir/driver.mli: Interp Ir Liveness Mcts Msim Nn Pbqp Regalloc

@@ -1,0 +1,1 @@
+lib/cir/fuzzgen.ml: Buffer List Printf Random String

@@ -1,0 +1,1 @@
+lib/cir/fuzzgen.mli: Random

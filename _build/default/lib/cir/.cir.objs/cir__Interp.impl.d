@@ -1,0 +1,1 @@
+lib/cir/interp.ml: Array Hashtbl Ir List Option Printf

@@ -1,0 +1,1 @@
+lib/cir/interp.mli: Ir

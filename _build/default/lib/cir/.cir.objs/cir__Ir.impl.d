@@ -1,0 +1,1 @@
+lib/cir/ir.ml: Array Format List Option Printf

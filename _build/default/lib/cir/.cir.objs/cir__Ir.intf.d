@@ -1,0 +1,1 @@
+lib/cir/ir.mli: Format

@@ -1,0 +1,1 @@
+lib/cir/liveness.ml: Array Int Ir List Set

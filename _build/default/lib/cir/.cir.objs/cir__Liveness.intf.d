@@ -1,0 +1,1 @@
+lib/cir/liveness.mli: Ir Set

@@ -1,0 +1,1 @@
+lib/cir/lower.ml: Array Hashtbl Ir List Minic_ast Minic_parse Option Printf

@@ -1,0 +1,1 @@
+lib/cir/mach.ml: Array Format Ir List

@@ -1,0 +1,1 @@
+lib/cir/mach.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/cir/minic_ast.ml:

@@ -1,0 +1,1 @@
+lib/cir/minic_lex.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/cir/minic_parse.ml: List Minic_ast Minic_lex Printf

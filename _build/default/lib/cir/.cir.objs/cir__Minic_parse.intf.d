@@ -1,0 +1,1 @@
+lib/cir/minic_parse.mli: Minic_ast

@@ -1,0 +1,1 @@
+lib/cir/msim.ml: Array Hashtbl Interp Ir List Mach Printf Target

@@ -1,0 +1,1 @@
+lib/cir/msim.mli: Interp Mach

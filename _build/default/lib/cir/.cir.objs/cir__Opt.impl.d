@@ -1,0 +1,1 @@
+lib/cir/opt.ml: Array Hashtbl Ir List

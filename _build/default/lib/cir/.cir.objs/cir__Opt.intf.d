@@ -1,0 +1,1 @@
+lib/cir/opt.mli: Ir

@@ -1,0 +1,1 @@
+lib/cir/regalloc.ml: Array Fun Int Ir List Liveness Printf Target

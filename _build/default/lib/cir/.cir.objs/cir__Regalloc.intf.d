@@ -1,0 +1,1 @@
+lib/cir/regalloc.mli: Ir Liveness

@@ -1,0 +1,1 @@
+lib/cir/rewrite.ml: Array Ir List Mach Regalloc Target

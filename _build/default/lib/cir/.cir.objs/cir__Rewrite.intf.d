@@ -1,0 +1,1 @@
+lib/cir/rewrite.mli: Ir Mach Regalloc

@@ -1,0 +1,1 @@
+lib/cir/target.ml: Ir

@@ -1,0 +1,169 @@
+(* Expression/statement generator with care for totality: loops are
+   bounded counters, array indices are taken modulo the array size (made
+   non-negative), and division is guarded by [| d | + 1]-style
+   denominators. *)
+
+type ctx = {
+  rng : Random.State.t;
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable ints : string list;  (* assignable int locals in scope *)
+  mutable floats : string list;
+  mutable readonly : string list;  (* loop counters: readable, never assigned *)
+  mutable fresh : int;
+}
+
+let rnd ctx n = Random.State.int ctx.rng n
+let pick ctx xs = List.nth xs (rnd ctx (List.length xs))
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let fresh ctx prefix =
+  let v = Printf.sprintf "%s%d" prefix ctx.fresh in
+  ctx.fresh <- ctx.fresh + 1;
+  v
+
+(* --- expressions --- *)
+
+let rec int_expr ctx depth =
+  let readable = ctx.ints @ ctx.readonly in
+  if depth = 0 || readable = [] then
+    match rnd ctx 3 with
+    | 0 -> string_of_int (rnd ctx 100)
+    | _ when readable <> [] -> pick ctx readable
+    | _ -> string_of_int (rnd ctx 100)
+  else
+    match rnd ctx 8 with
+    | 0 | 1 ->
+        Printf.sprintf "(%s + %s)" (int_expr ctx (depth - 1))
+          (int_expr ctx (depth - 1))
+    | 2 ->
+        Printf.sprintf "(%s - %s)" (int_expr ctx (depth - 1))
+          (int_expr ctx (depth - 1))
+    | 3 ->
+        Printf.sprintf "(%s * %s)" (int_expr ctx (depth - 1))
+          (int_expr ctx (depth - 1))
+    | 4 ->
+        (* guarded division: b %% 9 is in [-8, 8], so +10 never yields 0 *)
+        Printf.sprintf "(%s / (%s %% 9 + 10))"
+          (int_expr ctx (depth - 1))
+          (int_expr ctx (depth - 1))
+    | 5 -> Printf.sprintf "(%s %% 17 + 17)" (int_expr ctx (depth - 1))
+    | 6 ->
+        Printf.sprintf "(%s < %s)" (int_expr ctx (depth - 1))
+          (int_expr ctx (depth - 1))
+    | _ ->
+        Printf.sprintf "arr[(%s %% 8 + 8) %% 8]" (int_expr ctx (depth - 1))
+
+and float_expr ctx depth =
+  if depth = 0 || ctx.floats = [] then
+    match rnd ctx 3 with
+    | 0 -> Printf.sprintf "%d.%d" (rnd ctx 10) (rnd ctx 100)
+    | _ when ctx.floats <> [] -> pick ctx ctx.floats
+    | _ -> Printf.sprintf "%d.5" (rnd ctx 10)
+  else
+    match rnd ctx 5 with
+    | 0 ->
+        Printf.sprintf "(%s + %s)" (float_expr ctx (depth - 1))
+          (float_expr ctx (depth - 1))
+    | 1 ->
+        Printf.sprintf "(%s - %s)" (float_expr ctx (depth - 1))
+          (float_expr ctx (depth - 1))
+    | 2 ->
+        Printf.sprintf "(%s * 0.5)" (float_expr ctx (depth - 1))
+    | 3 -> Printf.sprintf "((float)%s)" (int_expr ctx (depth - 1))
+    | _ ->
+        Printf.sprintf "(%s / 4.0)" (float_expr ctx (depth - 1))
+
+(* --- statements --- *)
+
+let rec stmt ctx depth =
+  match rnd ctx 10 with
+  | 0 | 1 ->
+      let v = fresh ctx "i" in
+      line ctx "int %s = %s;" v (int_expr ctx 2);
+      ctx.ints <- v :: ctx.ints
+  | 2 ->
+      let v = fresh ctx "f" in
+      line ctx "float %s = %s;" v (float_expr ctx 2);
+      ctx.floats <- v :: ctx.floats
+  | 3 when ctx.ints <> [] ->
+      line ctx "%s = %s;" (pick ctx ctx.ints) (int_expr ctx 2)
+  | 4 when ctx.floats <> [] ->
+      line ctx "%s = %s;" (pick ctx ctx.floats) (float_expr ctx 2)
+  | 5 ->
+      line ctx "arr[(%s %% 8 + 8) %% 8] = %s;" (int_expr ctx 1)
+        (int_expr ctx 2)
+  | 6 when depth > 0 ->
+      (* names declared inside the braces go out of scope with them *)
+      let saved = (ctx.ints, ctx.floats) in
+      line ctx "if (%s) {" (int_expr ctx 1);
+      ctx.indent <- ctx.indent + 1;
+      block ctx (depth - 1) (1 + rnd ctx 2);
+      ctx.indent <- ctx.indent - 1;
+      (ctx.ints <- fst saved;
+       ctx.floats <- snd saved);
+      if rnd ctx 2 = 0 then begin
+        line ctx "} else {";
+        ctx.indent <- ctx.indent + 1;
+        block ctx (depth - 1) (1 + rnd ctx 2);
+        ctx.indent <- ctx.indent - 1;
+        ctx.ints <- fst saved;
+        ctx.floats <- snd saved
+      end;
+      line ctx "}"
+  | 7 when depth > 0 ->
+      let v = fresh ctx "k" in
+      line ctx "int %s;" v;
+      line ctx "for (%s = 0; %s < %d; %s = %s + 1) {" v v (2 + rnd ctx 6) v v;
+      ctx.indent <- ctx.indent + 1;
+      let saved = (ctx.ints, ctx.floats, ctx.readonly) in
+      ctx.readonly <- v :: ctx.readonly;
+      block ctx (depth - 1) (1 + rnd ctx 3);
+      let si, sf, sr = saved in
+      ctx.ints <- si;
+      ctx.floats <- sf;
+      ctx.readonly <- sr;
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}"
+  | 8 ->
+      line ctx "print(%s);" (int_expr ctx 2)
+  | _ when ctx.floats <> [] ->
+      line ctx "print(%s);" (float_expr ctx 1)
+  | _ -> line ctx "print(%s);" (int_expr ctx 1)
+
+and block ctx depth count =
+  for _ = 1 to count do
+    stmt ctx depth
+  done
+
+let generate ~rng =
+  let ctx =
+    { rng; buf = Buffer.create 512; indent = 0; ints = []; floats = [];
+      readonly = []; fresh = 0 }
+  in
+  line ctx "int arr[8];";
+  line ctx "int helper(int a, int b) { return a * 3 - b + arr[(a %% 8 + 8) %% 8]; }";
+  line ctx "float scale(float x) { return x * 0.25 + 1.0; }";
+  line ctx "int main() {";
+  ctx.indent <- 1;
+  (* seed the scopes *)
+  line ctx "int s0 = %d;" (rnd ctx 50);
+  line ctx "float g0 = %d.25;" (rnd ctx 10);
+  ctx.ints <- [ "s0" ];
+  ctx.floats <- [ "g0" ];
+  block ctx 2 (4 + rnd ctx 6);
+  (* exercise the helpers and close with checksums *)
+  line ctx "print(helper(%s, %s));" (int_expr ctx 1) (int_expr ctx 1);
+  line ctx "print(scale(%s));" (float_expr ctx 1);
+  line ctx "print(s0);";
+  line ctx "return 0;";
+  ctx.indent <- 0;
+  line ctx "}";
+  Buffer.contents ctx.buf

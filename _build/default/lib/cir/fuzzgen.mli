@@ -1,0 +1,11 @@
+(** Random MiniC program generation for differential testing.
+
+    Produces small, terminating, deterministic programs exercising
+    arithmetic, arrays, loops, conditionals, helper-function calls and
+    mixed int/float expressions.  The test suite runs the output through
+    every register allocator and requires bit-identical [print] output
+    against the reference interpreter — a program-level fuzzer for the
+    whole backend. *)
+
+val generate : rng:Random.State.t -> string
+(** MiniC source text; always compiles, always terminates. *)

@@ -1,0 +1,459 @@
+module A = Minic_ast
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let typ_of_ast = function A.Tint -> Ir.Tint | A.Tfloat -> Ir.Tfloat
+
+(* builder-side basic block *)
+type bblock = {
+  id : int;
+  mutable instrs_rev : Ir.instr list;
+  mutable term : Ir.terminator option;
+  depth : int;
+}
+
+type fctx = {
+  fname : string;
+  globals : (string * Ir.global) list;
+  fsigs : (string, Ir.typ list * Ir.typ option) Hashtbl.t;
+  mutable scopes : (string, Ir.vreg * Ir.typ) Hashtbl.t list;
+  mutable types_rev : Ir.typ list;
+  mutable nv : int;
+  mutable blocks_rev : bblock list;
+  mutable nblocks : int;
+  mutable cur : bblock;
+  mutable depth : int;
+  mutable loops : (int * int) list;
+      (* innermost first: (break target, continue target) block ids *)
+  ret : Ir.typ option;
+}
+
+let new_vreg ctx t =
+  let v = ctx.nv in
+  ctx.nv <- v + 1;
+  ctx.types_rev <- t :: ctx.types_rev;
+  v
+
+let new_block ctx =
+  let b = { id = ctx.nblocks; instrs_rev = []; term = None; depth = ctx.depth } in
+  ctx.nblocks <- ctx.nblocks + 1;
+  ctx.blocks_rev <- b :: ctx.blocks_rev;
+  b
+
+let emit ctx i =
+  if ctx.cur.term = None then ctx.cur.instrs_rev <- i :: ctx.cur.instrs_rev
+
+let set_term ctx t = if ctx.cur.term = None then ctx.cur.term <- Some t
+
+let push_scope ctx = ctx.scopes <- Hashtbl.create 8 :: ctx.scopes
+let pop_scope ctx = ctx.scopes <- List.tl ctx.scopes
+
+let declare ctx name t =
+  match ctx.scopes with
+  | [] -> assert false
+  | scope :: _ ->
+      if Hashtbl.mem scope name then
+        fail "%s: duplicate declaration of %s" ctx.fname name;
+      let v = new_vreg ctx t in
+      Hashtbl.replace scope name (v, t);
+      v
+
+let lookup_local ctx name =
+  List.find_map (fun scope -> Hashtbl.find_opt scope name) ctx.scopes
+
+let global_scalar ctx name =
+  match List.assoc_opt name ctx.globals with
+  | Some (Ir.Scalar t) -> Some t
+  | _ -> None
+
+let global_array ctx name =
+  match List.assoc_opt name ctx.globals with
+  | Some (Ir.Array (t, n)) -> Some (t, n)
+  | _ -> None
+
+(* coerce a typed value to the requested type *)
+let coerce ctx (v, t) want =
+  match (t, want) with
+  | Ir.Tint, Ir.Tint | Ir.Tfloat, Ir.Tfloat -> v
+  | Ir.Tint, Ir.Tfloat -> (
+      match v with
+      | Ir.VInt i -> Ir.VFloat (float_of_int i)
+      | _ ->
+          let d = new_vreg ctx Ir.Tfloat in
+          emit ctx (Ir.I2f (d, v));
+          Ir.VReg d)
+  | Ir.Tfloat, Ir.Tint -> (
+      match v with
+      | Ir.VFloat f -> Ir.VInt (int_of_float f)
+      | _ ->
+          let d = new_vreg ctx Ir.Tint in
+          emit ctx (Ir.F2i (d, v));
+          Ir.VReg d)
+
+let int_binop = function
+  | A.Add -> Ir.Add | A.Sub -> Ir.Sub | A.Mul -> Ir.Mul | A.Div -> Ir.Div
+  | A.Mod -> Ir.Mod | A.Lt -> Ir.Lt | A.Le -> Ir.Le | A.Gt -> Ir.Gt
+  | A.Ge -> Ir.Ge | A.Eq -> Ir.Eq | A.Ne -> Ir.Ne
+  | A.LAnd | A.LOr -> assert false
+
+let float_binop = function
+  | A.Add -> Ir.Fadd | A.Sub -> Ir.Fsub | A.Mul -> Ir.Fmul | A.Div -> Ir.Fdiv
+  | A.Lt -> Ir.Flt | A.Le -> Ir.Fle | A.Gt -> Ir.Fgt | A.Ge -> Ir.Fge
+  | A.Eq -> Ir.Feq | A.Ne -> Ir.Fne
+  | A.Mod -> assert false
+  | A.LAnd | A.LOr -> assert false
+
+let is_comparison = function
+  | A.Lt | A.Le | A.Gt | A.Ge | A.Eq | A.Ne -> true
+  | _ -> false
+
+let rec lower_expr ctx (e : A.expr) : Ir.value * Ir.typ =
+  match e with
+  | A.Int_lit i -> (Ir.VInt i, Ir.Tint)
+  | A.Float_lit f -> (Ir.VFloat f, Ir.Tfloat)
+  | A.Var name -> (
+      match lookup_local ctx name with
+      | Some (v, t) -> (Ir.VReg v, t)
+      | None -> (
+          match global_scalar ctx name with
+          | Some t ->
+              let d = new_vreg ctx t in
+              emit ctx (Ir.Load_var (d, name));
+              (Ir.VReg d, t)
+          | None -> fail "%s: unbound variable %s" ctx.fname name))
+  | A.Index (name, idx) -> (
+      match global_array ctx name with
+      | None -> fail "%s: %s is not a global array" ctx.fname name
+      | Some (t, _) ->
+          let iv = lower_expr ctx idx in
+          let iv = coerce_strict_int ctx name iv in
+          let d = new_vreg ctx t in
+          emit ctx (Ir.Load (d, name, iv));
+          (Ir.VReg d, t))
+  | A.Unop (A.Neg, e) -> (
+      let v, t = lower_expr ctx e in
+      match t with
+      | Ir.Tint ->
+          let d = new_vreg ctx Ir.Tint in
+          emit ctx (Ir.Bin (Ir.Sub, d, Ir.VInt 0, v));
+          (Ir.VReg d, Ir.Tint)
+      | Ir.Tfloat ->
+          let d = new_vreg ctx Ir.Tfloat in
+          emit ctx (Ir.Bin (Ir.Fsub, d, Ir.VFloat 0.0, v));
+          (Ir.VReg d, Ir.Tfloat))
+  | A.Unop (A.LNot, e) ->
+      let b = lower_bool ctx e in
+      let d = new_vreg ctx Ir.Tint in
+      emit ctx (Ir.Bin (Ir.Eq, d, b, Ir.VInt 0));
+      (Ir.VReg d, Ir.Tint)
+  | A.Binop ((A.LAnd | A.LOr) as op, a, b) ->
+      let ba = lower_bool ctx a in
+      let bb = lower_bool ctx b in
+      let d = new_vreg ctx Ir.Tint in
+      (match op with
+      | A.LAnd -> emit ctx (Ir.Bin (Ir.Mul, d, ba, bb))
+      | A.LOr ->
+          let s = new_vreg ctx Ir.Tint in
+          emit ctx (Ir.Bin (Ir.Add, s, ba, bb));
+          emit ctx (Ir.Bin (Ir.Ne, d, Ir.VReg s, Ir.VInt 0))
+      | _ -> assert false);
+      (Ir.VReg d, Ir.Tint)
+  | A.Binop (op, a, b) ->
+      let va, ta = lower_expr ctx a in
+      let vb, tb = lower_expr ctx b in
+      let unified = if ta = Ir.Tfloat || tb = Ir.Tfloat then Ir.Tfloat else Ir.Tint in
+      if op = A.Mod && unified = Ir.Tfloat then
+        fail "%s: %% requires integer operands" ctx.fname;
+      let va = coerce ctx (va, ta) unified in
+      let vb = coerce ctx (vb, tb) unified in
+      let result_t = if is_comparison op then Ir.Tint else unified in
+      let irop = if unified = Ir.Tfloat then float_binop op else int_binop op in
+      let d = new_vreg ctx result_t in
+      emit ctx (Ir.Bin (irop, d, va, vb));
+      (Ir.VReg d, result_t)
+  | A.Call (name, args) -> (
+      match Hashtbl.find_opt ctx.fsigs name with
+      | None -> fail "%s: call to undefined function %s" ctx.fname name
+      | Some (ptypes, ret) ->
+          if List.length ptypes <> List.length args then
+            fail "%s: %s expects %d arguments" ctx.fname name
+              (List.length ptypes);
+          let vals =
+            List.map2 (fun pt a -> coerce ctx (lower_expr ctx a) pt) ptypes args
+          in
+          (match ret with
+          | None -> fail "%s: void call to %s used as a value" ctx.fname name
+          | Some rt ->
+              let d = new_vreg ctx rt in
+              emit ctx (Ir.Call (Some d, name, vals));
+              (Ir.VReg d, rt)))
+  | A.Cast (t, e) ->
+      let want = typ_of_ast t in
+      let v = lower_expr ctx e in
+      (coerce ctx v want, want)
+
+and coerce_strict_int ctx name (v, t) =
+  if t <> Ir.Tint then fail "%s: array index of %s must be int" ctx.fname name;
+  v
+
+(* a value suitable for a ≠-0 test, always of int type *)
+and lower_bool ctx e =
+  let v, t = lower_expr ctx e in
+  match t with
+  | Ir.Tint ->
+      let d = new_vreg ctx Ir.Tint in
+      emit ctx (Ir.Bin (Ir.Ne, d, v, Ir.VInt 0));
+      Ir.VReg d
+  | Ir.Tfloat ->
+      let d = new_vreg ctx Ir.Tint in
+      emit ctx (Ir.Bin (Ir.Fne, d, v, Ir.VFloat 0.0));
+      Ir.VReg d
+
+let rec lower_stmt ctx (s : A.stmt) =
+  match s with
+  | A.Decl (t, name, init) ->
+      let t = typ_of_ast t in
+      let v = declare ctx name t in
+      let value =
+        match init with
+        | Some e -> coerce ctx (lower_expr ctx e) t
+        | None -> ( match t with Ir.Tint -> Ir.VInt 0 | Ir.Tfloat -> Ir.VFloat 0.0)
+      in
+      emit ctx (Ir.Mov (v, value))
+  | A.Assign (name, e) -> (
+      match lookup_local ctx name with
+      | Some (v, t) ->
+          let value = coerce ctx (lower_expr ctx e) t in
+          emit ctx (Ir.Mov (v, value))
+      | None -> (
+          match global_scalar ctx name with
+          | Some t ->
+              let value = coerce ctx (lower_expr ctx e) t in
+              emit ctx (Ir.Store_var (name, value))
+          | None -> fail "%s: assignment to unbound %s" ctx.fname name))
+  | A.Store (name, idx, e) -> (
+      match global_array ctx name with
+      | None -> fail "%s: %s is not a global array" ctx.fname name
+      | Some (t, _) ->
+          let iv = coerce_strict_int ctx name (lower_expr ctx idx) in
+          let value = coerce ctx (lower_expr ctx e) t in
+          emit ctx (Ir.Store (name, iv, value)))
+  | A.If (cond, then_, else_) -> (
+      let c = lower_bool ctx cond in
+      let then_b = new_block ctx in
+      match else_ with
+      | None ->
+          let join = new_block ctx in
+          set_term ctx (Ir.Br (c, then_b.id, join.id));
+          ctx.cur <- then_b;
+          lower_block ctx then_;
+          set_term ctx (Ir.Jmp join.id);
+          ctx.cur <- join
+      | Some else_ ->
+          let else_b = new_block ctx in
+          let join = new_block ctx in
+          set_term ctx (Ir.Br (c, then_b.id, else_b.id));
+          ctx.cur <- then_b;
+          lower_block ctx then_;
+          set_term ctx (Ir.Jmp join.id);
+          ctx.cur <- else_b;
+          lower_block ctx else_;
+          set_term ctx (Ir.Jmp join.id);
+          ctx.cur <- join)
+  | A.While (cond, body) ->
+      ctx.depth <- ctx.depth + 1;
+      let header = new_block ctx in
+      set_term ctx (Ir.Jmp header.id);
+      ctx.cur <- header;
+      let c = lower_bool ctx cond in
+      let body_b = new_block ctx in
+      ctx.depth <- ctx.depth - 1;
+      let exit_b = new_block ctx in
+      ctx.depth <- ctx.depth + 1;
+      set_term ctx (Ir.Br (c, body_b.id, exit_b.id));
+      ctx.cur <- body_b;
+      ctx.loops <- (exit_b.id, header.id) :: ctx.loops;
+      lower_block ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      set_term ctx (Ir.Jmp header.id);
+      ctx.depth <- ctx.depth - 1;
+      ctx.cur <- exit_b
+  | A.For (init, cond, step, body) ->
+      push_scope ctx;
+      Option.iter (lower_stmt ctx) init;
+      ctx.depth <- ctx.depth + 1;
+      let header = new_block ctx in
+      set_term ctx (Ir.Jmp header.id);
+      ctx.cur <- header;
+      let c =
+        match cond with Some c -> lower_bool ctx c | None -> Ir.VInt 1
+      in
+      let body_b = new_block ctx in
+      let step_b = new_block ctx in
+      ctx.depth <- ctx.depth - 1;
+      let exit_b = new_block ctx in
+      ctx.depth <- ctx.depth + 1;
+      set_term ctx (Ir.Br (c, body_b.id, exit_b.id));
+      ctx.cur <- body_b;
+      ctx.loops <- (exit_b.id, step_b.id) :: ctx.loops;
+      lower_block ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      set_term ctx (Ir.Jmp step_b.id);
+      ctx.cur <- step_b;
+      Option.iter (lower_stmt ctx) step;
+      set_term ctx (Ir.Jmp header.id);
+      ctx.depth <- ctx.depth - 1;
+      ctx.cur <- exit_b;
+      pop_scope ctx
+  | A.Return e -> (
+      match (ctx.ret, e) with
+      | None, None -> set_term ctx (Ir.Ret None)
+      | None, Some _ -> fail "%s: returning a value from void" ctx.fname
+      | Some _, None -> fail "%s: missing return value" ctx.fname
+      | Some rt, Some e ->
+          let v = coerce ctx (lower_expr ctx e) rt in
+          set_term ctx (Ir.Ret (Some v)))
+  | A.Break -> (
+      match ctx.loops with
+      | (brk, _) :: _ -> set_term ctx (Ir.Jmp brk)
+      | [] -> fail "%s: break outside a loop" ctx.fname)
+  | A.Continue -> (
+      match ctx.loops with
+      | (_, cont) :: _ -> set_term ctx (Ir.Jmp cont)
+      | [] -> fail "%s: continue outside a loop" ctx.fname)
+  | A.Expr_stmt (A.Call (name, args)) -> (
+      (* allow calling void functions in statement position *)
+      match Hashtbl.find_opt ctx.fsigs name with
+      | None -> fail "%s: call to undefined function %s" ctx.fname name
+      | Some (ptypes, ret) ->
+          if List.length ptypes <> List.length args then
+            fail "%s: %s expects %d arguments" ctx.fname name
+              (List.length ptypes);
+          let vals =
+            List.map2 (fun pt a -> coerce ctx (lower_expr ctx a) pt) ptypes args
+          in
+          let d = Option.map (fun rt -> new_vreg ctx rt) ret in
+          emit ctx (Ir.Call (d, name, vals)))
+  | A.Expr_stmt e -> ignore (lower_expr ctx e)
+  | A.Print e ->
+      let v, t = lower_expr ctx e in
+      emit ctx (Ir.Print (t, v))
+  | A.Block b ->
+      push_scope ctx;
+      lower_block ctx b;
+      pop_scope ctx
+
+and lower_block ctx stmts = List.iter (lower_stmt ctx) stmts
+
+let lower_func globals fsigs (f : A.func) ~extra_entry : Ir.func =
+  let ret = Option.map typ_of_ast f.A.ret in
+  let entry = { id = 0; instrs_rev = []; term = None; depth = 0 } in
+  let ctx =
+    {
+      fname = f.A.name;
+      globals;
+      fsigs;
+      scopes = [];
+      types_rev = [];
+      nv = 0;
+      blocks_rev = [ entry ];
+      nblocks = 1;
+      cur = entry;
+      depth = 0;
+      loops = [];
+      ret;
+    }
+  in
+  push_scope ctx;
+  let params =
+    List.map
+      (fun (t, name) -> declare ctx name (typ_of_ast t))
+      f.A.params
+  in
+  List.iter (emit ctx) extra_entry;
+  lower_block ctx f.A.body;
+  (* fall-off-the-end: default return *)
+  set_term ctx
+    (match ret with
+    | None -> Ir.Ret None
+    | Some Ir.Tint -> Ir.Ret (Some (Ir.VInt 0))
+    | Some Ir.Tfloat -> Ir.Ret (Some (Ir.VFloat 0.0)));
+  let blocks =
+    List.rev ctx.blocks_rev
+    |> List.map (fun b ->
+           {
+             Ir.id = b.id;
+             instrs = List.rev b.instrs_rev;
+             term = Option.value b.term ~default:(Ir.Ret None);
+             depth = b.depth;
+           })
+    |> Array.of_list
+  in
+  {
+    Ir.name = f.A.name;
+    params;
+    ret;
+    blocks;
+    vreg_types = Array.of_list (List.rev ctx.types_rev);
+  }
+
+let const_of_expr fname = function
+  | A.Int_lit i -> Ir.VInt i
+  | A.Float_lit f -> Ir.VFloat f
+  | A.Unop (A.Neg, A.Int_lit i) -> Ir.VInt (-i)
+  | A.Unop (A.Neg, A.Float_lit f) -> Ir.VFloat (-.f)
+  | _ -> fail "global initializer of %s must be a literal" fname
+
+let lower (p : A.program) : Ir.program =
+  let globals =
+    List.map
+      (function
+        | A.Garray (t, name, n) -> (name, Ir.Array (typ_of_ast t, n))
+        | A.Gvar (t, name, _) -> (name, Ir.Scalar (typ_of_ast t)))
+      p.A.globals
+  in
+  (let names = List.map fst globals in
+   if List.length (List.sort_uniq compare names) <> List.length names then
+     fail "duplicate global names");
+  let fsigs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : A.func) ->
+      if Hashtbl.mem fsigs f.A.name then fail "duplicate function %s" f.A.name;
+      Hashtbl.replace fsigs f.A.name
+        (List.map (fun (t, _) -> typ_of_ast t) f.A.params,
+         Option.map typ_of_ast f.A.ret))
+    p.A.funcs;
+  (* global scalar initializers run at the top of main *)
+  let init_instrs =
+    List.filter_map
+      (function
+        | A.Gvar (t, name, Some e) ->
+            let v = const_of_expr name e in
+            let t = typ_of_ast t in
+            let v =
+              match (t, v) with
+              | Ir.Tfloat, Ir.VInt i -> Ir.VFloat (float_of_int i)
+              | Ir.Tint, Ir.VFloat _ -> fail "initializer of %s must be int" name
+              | _ -> v
+            in
+            Some (Ir.Store_var (name, v))
+        | _ -> None)
+      p.A.globals
+  in
+  if init_instrs <> [] && not (Hashtbl.mem fsigs "main") then
+    fail "global initializers need a main function";
+  let funcs =
+    List.map
+      (fun (f : A.func) ->
+        let extra_entry = if f.A.name = "main" then init_instrs else [] in
+        lower_func globals fsigs f ~extra_entry)
+      p.A.funcs
+  in
+  { Ir.globals; funcs }
+
+let compile src =
+  let ir = lower (Minic_parse.parse src) in
+  (match Ir.check ir with
+  | Ok () -> ()
+  | Error e -> fail "IR check failed: %s" e);
+  ir

@@ -1,0 +1,11 @@
+(** Lowering from the MiniC AST to the IR: scoped name resolution, type
+    checking with implicit int↔float coercions at operator boundaries,
+    short-circuit-free boolean lowering, loop-depth annotation of blocks,
+    and global-initializer placement at the top of [main]. *)
+
+val lower : Minic_ast.program -> Ir.program
+(** @raise Invalid_argument with a descriptive message on type or
+    name-resolution errors. *)
+
+val compile : string -> Ir.program
+(** [parse] then [lower]; the IR is structurally {!Ir.check}ed. *)

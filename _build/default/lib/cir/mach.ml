@@ -1,0 +1,82 @@
+type mval = MReg of int | MInt of int | MFloat of float | MSlot of int
+
+type minstr =
+  | MBin of Ir.binop * int * mval * mval
+  | MMov of int * mval
+  | MI2f of int * mval
+  | MF2i of int * mval
+  | MLoad of int * string * mval
+  | MStore of string * mval * mval
+  | MLoad_var of int * string
+  | MStore_var of string * mval
+  | MCall of int option * string * mval list
+  | MPrint of Ir.typ * mval
+  | MSpill_load of int * int
+  | MSpill_store of int * int
+
+type ploc = PReg of int | PSlot of int
+
+type mterm = MRet of mval option | MJmp of int | MBr of mval * int * int
+type mblock = { id : int; instrs : minstr list; term : mterm }
+
+type mfunc = {
+  name : string;
+  params_loc : ploc list;
+  nslots : int;
+  blocks : mblock array;
+  callee_saved_used : int list;
+}
+
+type mprogram = { globals : (string * Ir.global) list; funcs : mfunc list }
+
+let find_func p name = List.find_opt (fun f -> f.name = name) p.funcs
+
+let pp_mval ppf = function
+  | MReg r -> Format.fprintf ppf "P%d" r
+  | MInt i -> Format.fprintf ppf "%d" i
+  | MFloat f -> Format.fprintf ppf "%g" f
+  | MSlot s -> Format.fprintf ppf "[slot %d]" s
+
+let pp_minstr ppf = function
+  | MBin (op, d, a, b) ->
+      Format.fprintf ppf "P%d = %s %a, %a" d
+        (match op with
+        | Ir.Add -> "add" | Ir.Sub -> "sub" | Ir.Mul -> "mul" | Ir.Div -> "div"
+        | Ir.Mod -> "mod" | Ir.Lt -> "lt" | Ir.Le -> "le" | Ir.Gt -> "gt"
+        | Ir.Ge -> "ge" | Ir.Eq -> "eq" | Ir.Ne -> "ne" | Ir.Fadd -> "fadd"
+        | Ir.Fsub -> "fsub" | Ir.Fmul -> "fmul" | Ir.Fdiv -> "fdiv"
+        | Ir.Flt -> "flt" | Ir.Fle -> "fle" | Ir.Fgt -> "fgt" | Ir.Fge -> "fge"
+        | Ir.Feq -> "feq" | Ir.Fne -> "fne")
+        pp_mval a pp_mval b
+  | MMov (d, a) -> Format.fprintf ppf "P%d = %a" d pp_mval a
+  | MI2f (d, a) -> Format.fprintf ppf "P%d = i2f %a" d pp_mval a
+  | MF2i (d, a) -> Format.fprintf ppf "P%d = f2i %a" d pp_mval a
+  | MLoad (d, g, i) -> Format.fprintf ppf "P%d = %s[%a]" d g pp_mval i
+  | MStore (g, i, v) -> Format.fprintf ppf "%s[%a] = %a" g pp_mval i pp_mval v
+  | MLoad_var (d, g) -> Format.fprintf ppf "P%d = %s" d g
+  | MStore_var (g, v) -> Format.fprintf ppf "%s = %a" g pp_mval v
+  | MCall (d, name, args) ->
+      (match d with
+      | Some d -> Format.fprintf ppf "P%d = call %s(" d name
+      | None -> Format.fprintf ppf "call %s(" name);
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        pp_mval ppf args;
+      Format.fprintf ppf ")"
+  | MPrint (_, v) -> Format.fprintf ppf "print %a" pp_mval v
+  | MSpill_load (r, s) -> Format.fprintf ppf "P%d = [slot %d]" r s
+  | MSpill_store (r, s) -> Format.fprintf ppf "[slot %d] = P%d" s r
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v>mfunc %s (%d slots):" f.name f.nslots;
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "@,b%d:" b.id;
+      List.iter (fun i -> Format.fprintf ppf "@,  %a" pp_minstr i) b.instrs;
+      (match b.term with
+      | MRet None -> Format.fprintf ppf "@,  ret"
+      | MRet (Some v) -> Format.fprintf ppf "@,  ret %a" pp_mval v
+      | MJmp l -> Format.fprintf ppf "@,  jmp b%d" l
+      | MBr (v, a, c) -> Format.fprintf ppf "@,  br %a, b%d, b%d" pp_mval v a c))
+    f.blocks;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** VCPU machine code: the IR after register allocation and spill-code
+    insertion.  Operands are physical registers (including the two
+    reserved scratch registers), immediates, or — in call argument
+    position only — stack slots. *)
+
+type mval =
+  | MReg of int
+  | MInt of int
+  | MFloat of float
+  | MSlot of int  (** call arguments only *)
+
+type minstr =
+  | MBin of Ir.binop * int * mval * mval
+  | MMov of int * mval
+  | MI2f of int * mval
+  | MF2i of int * mval
+  | MLoad of int * string * mval
+  | MStore of string * mval * mval
+  | MLoad_var of int * string
+  | MStore_var of string * mval
+  | MCall of int option * string * mval list
+  | MPrint of Ir.typ * mval
+  | MSpill_load of int * int  (** reg ← slot *)
+  | MSpill_store of int * int  (** slot ← reg *)
+
+type ploc = PReg of int | PSlot of int
+
+type mterm = MRet of mval option | MJmp of int | MBr of mval * int * int
+
+type mblock = { id : int; instrs : minstr list; term : mterm }
+
+type mfunc = {
+  name : string;
+  params_loc : ploc list;  (** where incoming arguments land *)
+  nslots : int;  (** stack frame size in slots *)
+  blocks : mblock array;
+  callee_saved_used : int list;
+      (** callee-saved registers this function's allocation touches
+          (charged as save/restore cycles per call) *)
+}
+
+type mprogram = { globals : (string * Ir.global) list; funcs : mfunc list }
+
+val find_func : mprogram -> string -> mfunc option
+val pp_func : Format.formatter -> mfunc -> unit

@@ -1,0 +1,52 @@
+type typ = Tint | Tfloat
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr
+
+type unop = Neg | LNot
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Cast of typ * expr
+
+type stmt =
+  | Decl of typ * string * expr option
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr_stmt of expr
+  | Print of expr
+  | Block of block
+
+and block = stmt list
+
+type func = {
+  name : string;
+  params : (typ * string) list;
+  ret : typ option;
+  body : block;
+}
+
+type global = Garray of typ * string * int | Gvar of typ * string * expr option
+
+type program = { globals : global list; funcs : func list }
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | LAnd -> "&&" | LOr -> "||"
+
+let typ_to_string = function Tint -> "int" | Tfloat -> "float"

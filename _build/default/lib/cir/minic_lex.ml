@@ -1,0 +1,99 @@
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = { tok : token; line : int }
+
+let keywords =
+  [ "int"; "float"; "void"; "if"; "else"; "while"; "for"; "return"; "print";
+    "break"; "continue" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let fail msg = invalid_arg (Printf.sprintf "MiniC lexer: line %d: %s" !line msg) in
+  let i = ref 0 in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i + 1 < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        push (FLOAT_LIT (float_of_string (String.sub src start (!i - start))))
+      end
+      else push (INT_LIT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then push (KW word) else push (IDENT word)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("<=" | ">=" | "==" | "!=" | "&&" | "||") as op) ->
+          push (PUNCT op);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '!' | '(' | ')'
+          | '{' | '}' | '[' | ']' | ';' | ',' ->
+              push (PUNCT (String.make 1 c));
+              incr i
+          | _ -> fail (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  push EOF;
+  List.rev !toks
+
+let token_to_string = function
+  | INT_LIT i -> string_of_int i
+  | FLOAT_LIT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

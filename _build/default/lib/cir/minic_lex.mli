@@ -1,0 +1,18 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string
+      (** int float void if else while for return print break continue *)
+  | PUNCT of string  (** operators and punctuation *)
+  | EOF
+
+type t = { tok : token; line : int }
+
+val tokenize : string -> t list
+(** @raise Invalid_argument with a line-numbered message on lexical
+    errors. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,313 @@
+open Minic_ast
+open Minic_lex
+
+type state = { mutable toks : Minic_lex.t list }
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+
+let fail st msg =
+  invalid_arg
+    (Printf.sprintf "MiniC parser: line %d: %s (at %S)" (peek st).line msg
+       (token_to_string (peek st).tok))
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let eat_punct st p =
+  match (peek st).tok with
+  | PUNCT q when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" p)
+
+let ident st =
+  match (peek st).tok with
+  | IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+let is_punct st p = match (peek st).tok with PUNCT q -> q = p | _ -> false
+let is_kw st k = match (peek st).tok with KW q -> q = k | _ -> false
+
+let typ_of_kw st =
+  match (peek st).tok with
+  | KW "int" ->
+      advance st;
+      Tint
+  | KW "float" ->
+      advance st;
+      Tfloat
+  | _ -> fail st "expected a type"
+
+(* --- expressions: precedence climbing --- *)
+
+let binop_of_punct = function
+  | "+" -> Some Add | "-" -> Some Sub | "*" -> Some Mul | "/" -> Some Div
+  | "%" -> Some Mod | "<" -> Some Lt | "<=" -> Some Le | ">" -> Some Gt
+  | ">=" -> Some Ge | "==" -> Some Eq | "!=" -> Some Ne | "&&" -> Some LAnd
+  | "||" -> Some LOr | _ -> None
+
+let precedence = function
+  | LOr -> 1
+  | LAnd -> 2
+  | Eq | Ne -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).tok with
+    | PUNCT p -> (
+        match binop_of_punct p with
+        | Some op when precedence op >= min_prec ->
+            advance st;
+            let rhs = parse_binary st (precedence op + 1) in
+            lhs := Binop (op, !lhs, rhs)
+        | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match (peek st).tok with
+  | PUNCT "-" ->
+      advance st;
+      Unop (Neg, parse_unary st)
+  | PUNCT "!" ->
+      advance st;
+      Unop (LNot, parse_unary st)
+  | PUNCT "(" when is_cast st -> (
+      advance st;
+      let t = typ_of_kw st in
+      eat_punct st ")";
+      Cast (t, parse_unary st))
+  | _ -> parse_postfix st
+
+and is_cast st =
+  (* '(' followed by a type keyword then ')' *)
+  match st.toks with
+  | { tok = PUNCT "("; _ } :: { tok = KW ("int" | "float"); _ }
+    :: { tok = PUNCT ")"; _ } :: _ ->
+      true
+  | _ -> false
+
+and parse_postfix st =
+  match (peek st).tok with
+  | INT_LIT i ->
+      advance st;
+      Int_lit i
+  | FLOAT_LIT f ->
+      advance st;
+      Float_lit f
+  | PUNCT "(" ->
+      advance st;
+      let e = parse_expr st in
+      eat_punct st ")";
+      e
+  | IDENT name -> (
+      advance st;
+      if is_punct st "(" then begin
+        advance st;
+        let args = ref [] in
+        if not (is_punct st ")") then begin
+          args := [ parse_expr st ];
+          while is_punct st "," do
+            advance st;
+            args := parse_expr st :: !args
+          done
+        end;
+        eat_punct st ")";
+        Call (name, List.rev !args)
+      end
+      else if is_punct st "[" then begin
+        advance st;
+        let e = parse_expr st in
+        eat_punct st "]";
+        Index (name, e)
+      end
+      else Var name)
+  | _ -> fail st "expected an expression"
+
+(* --- statements --- *)
+
+let rec parse_block st =
+  eat_punct st "{";
+  let stmts = ref [] in
+  while not (is_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  eat_punct st "}";
+  List.rev !stmts
+
+and parse_simple_stmt st =
+  (* a statement without its trailing ';' — used by for-headers *)
+  match (peek st).tok with
+  | KW ("int" | "float") ->
+      let t = typ_of_kw st in
+      let name = ident st in
+      let init =
+        if is_punct st "=" then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      Decl (t, name, init)
+  | IDENT name -> (
+      match st.toks with
+      | _ :: { tok = PUNCT "="; _ } :: _ ->
+          advance st;
+          advance st;
+          Assign (name, parse_expr st)
+      | _ :: { tok = PUNCT "["; _ } :: _ -> (
+          advance st;
+          advance st;
+          let idx = parse_expr st in
+          eat_punct st "]";
+          if is_punct st "=" then begin
+            advance st;
+            Store (name, idx, parse_expr st)
+          end
+          else fail st "expected '=' after array index")
+      | _ -> Expr_stmt (parse_expr st))
+  | _ -> Expr_stmt (parse_expr st)
+
+and parse_stmt st =
+  match (peek st).tok with
+  | PUNCT "{" -> Block (parse_block st)
+  | KW "if" ->
+      advance st;
+      eat_punct st "(";
+      let cond = parse_expr st in
+      eat_punct st ")";
+      let then_ = parse_stmt_as_block st in
+      let else_ =
+        if is_kw st "else" then begin
+          advance st;
+          Some (parse_stmt_as_block st)
+        end
+        else None
+      in
+      If (cond, then_, else_)
+  | KW "while" ->
+      advance st;
+      eat_punct st "(";
+      let cond = parse_expr st in
+      eat_punct st ")";
+      While (cond, parse_stmt_as_block st)
+  | KW "for" ->
+      advance st;
+      eat_punct st "(";
+      let init =
+        if is_punct st ";" then None else Some (parse_simple_stmt st)
+      in
+      eat_punct st ";";
+      let cond = if is_punct st ";" then None else Some (parse_expr st) in
+      eat_punct st ";";
+      let step =
+        if is_punct st ")" then None else Some (parse_simple_stmt st)
+      in
+      eat_punct st ")";
+      For (init, cond, step, parse_stmt_as_block st)
+  | KW "return" ->
+      advance st;
+      let e = if is_punct st ";" then None else Some (parse_expr st) in
+      eat_punct st ";";
+      Return e
+  | KW "break" ->
+      advance st;
+      eat_punct st ";";
+      Break
+  | KW "continue" ->
+      advance st;
+      eat_punct st ";";
+      Continue
+  | KW "print" ->
+      advance st;
+      eat_punct st "(";
+      let e = parse_expr st in
+      eat_punct st ")";
+      eat_punct st ";";
+      Print e
+  | _ ->
+      let s = parse_simple_stmt st in
+      eat_punct st ";";
+      s
+
+and parse_stmt_as_block st =
+  if is_punct st "{" then parse_block st else [ parse_stmt st ]
+
+(* --- top level --- *)
+
+let parse_params st =
+  eat_punct st "(";
+  let params = ref [] in
+  if not (is_punct st ")") then begin
+    let one () =
+      let t = typ_of_kw st in
+      let name = ident st in
+      (t, name)
+    in
+    params := [ one () ];
+    while is_punct st "," do
+      advance st;
+      params := one () :: !params
+    done
+  end;
+  eat_punct st ")";
+  List.rev !params
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec loop () =
+    match (peek st).tok with
+    | EOF -> ()
+    | KW "void" ->
+        advance st;
+        let name = ident st in
+        let params = parse_params st in
+        let body = parse_block st in
+        funcs := { name; params; ret = None; body } :: !funcs;
+        loop ()
+    | KW ("int" | "float") -> (
+        let t = typ_of_kw st in
+        let name = ident st in
+        match (peek st).tok with
+        | PUNCT "(" ->
+            let params = parse_params st in
+            let body = parse_block st in
+            funcs := { name; params; ret = Some t; body } :: !funcs;
+            loop ()
+        | PUNCT "[" ->
+            advance st;
+            let size =
+              match (peek st).tok with
+              | INT_LIT i when i > 0 ->
+                  advance st;
+                  i
+              | _ -> fail st "expected positive array size"
+            in
+            eat_punct st "]";
+            eat_punct st ";";
+            globals := Garray (t, name, size) :: !globals;
+            loop ()
+        | _ ->
+            let init =
+              if is_punct st "=" then begin
+                advance st;
+                Some (parse_expr st)
+              end
+              else None
+            in
+            eat_punct st ";";
+            globals := Gvar (t, name, init) :: !globals;
+            loop ())
+    | _ -> fail st "expected a global or function declaration"
+  in
+  loop ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar (informal):
+    {v
+    program   := (global | func)*
+    global    := type ident ('[' int ']')? ('=' expr)? ';'
+    func      := (type | 'void') ident '(' params ')' block
+    block     := '{' stmt* '}'
+    stmt      := decl | assign | store | if | while | for | return
+               | print | expr ';' | block
+    expr      := precedence-climbing over || && == != < <= > >=
+                 + - * / % with unary - ! and casts '(int)'/'(float)'
+    v} *)
+
+val parse : string -> Minic_ast.program
+(** @raise Invalid_argument with a line-numbered message on syntax
+    errors. *)

@@ -1,0 +1,224 @@
+(* Classic scalar optimizations over the IR.  All three passes are local
+   (per block) or flow-insensitive, which keeps them simple and obviously
+   safe; they still remove most of the lowering's temporaries. *)
+
+let fold_binop op a b =
+  (* mirror of Interp.eval_binop over literals; None when the operation
+     would trap or operands are not literals of the right kind *)
+  let open Ir in
+  match (op, a, b) with
+  | Add, VInt x, VInt y -> Some (VInt (x + y))
+  | Sub, VInt x, VInt y -> Some (VInt (x - y))
+  | Mul, VInt x, VInt y -> Some (VInt (x * y))
+  | Div, VInt x, VInt y when y <> 0 -> Some (VInt (x / y))
+  | Mod, VInt x, VInt y when y <> 0 -> Some (VInt (x mod y))
+  | Lt, VInt x, VInt y -> Some (VInt (if x < y then 1 else 0))
+  | Le, VInt x, VInt y -> Some (VInt (if x <= y then 1 else 0))
+  | Gt, VInt x, VInt y -> Some (VInt (if x > y then 1 else 0))
+  | Ge, VInt x, VInt y -> Some (VInt (if x >= y then 1 else 0))
+  | Eq, VInt x, VInt y -> Some (VInt (if x = y then 1 else 0))
+  | Ne, VInt x, VInt y -> Some (VInt (if x <> y then 1 else 0))
+  | Fadd, VFloat x, VFloat y -> Some (VFloat (x +. y))
+  | Fsub, VFloat x, VFloat y -> Some (VFloat (x -. y))
+  | Fmul, VFloat x, VFloat y -> Some (VFloat (x *. y))
+  | Fdiv, VFloat x, VFloat y -> Some (VFloat (x /. y))
+  | Flt, VFloat x, VFloat y -> Some (VInt (if x < y then 1 else 0))
+  | Fle, VFloat x, VFloat y -> Some (VInt (if x <= y then 1 else 0))
+  | Fgt, VFloat x, VFloat y -> Some (VInt (if x > y then 1 else 0))
+  | Fge, VFloat x, VFloat y -> Some (VInt (if x >= y then 1 else 0))
+  | Feq, VFloat x, VFloat y -> Some (VInt (if x = y then 1 else 0))
+  | Fne, VFloat x, VFloat y -> Some (VInt (if x <> y then 1 else 0))
+  | _ -> None
+
+(* --- constant folding -------------------------------------------------- *)
+
+(* Flow-insensitive constant detection: a vreg is constant if it has
+   exactly one definition in the whole function and that definition is
+   [mov d, literal].  (Parameters count as definitions.) *)
+let constants (f : Ir.func) =
+  let nv = Ir.nvregs f in
+  let def_count = Array.make nv 0 in
+  let def_value = Array.make nv None in
+  List.iter (fun p -> def_count.(p) <- def_count.(p) + 1) f.Ir.params;
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun instr ->
+          List.iter
+            (fun d ->
+              def_count.(d) <- def_count.(d) + 1;
+              match instr with
+              | Ir.Mov (d', ((Ir.VInt _ | Ir.VFloat _) as v)) when d' = d ->
+                  def_value.(d) <- Some v
+              | _ -> def_value.(d) <- None)
+            (Ir.defs instr))
+        b.Ir.instrs)
+    f.Ir.blocks;
+  Array.init nv (fun v ->
+      if def_count.(v) = 1 then def_value.(v) else None)
+
+let constant_fold (f : Ir.func) =
+  let changed = ref false in
+  let consts = constants f in
+  let subst v =
+    match v with
+    | Ir.VReg r -> (
+        match consts.(r) with
+        | Some c ->
+            changed := true;
+            c
+        | None -> v)
+    | _ -> v
+  in
+  let fold_instr instr =
+    let instr =
+      match instr with
+      | Ir.Bin (op, d, a, b) -> Ir.Bin (op, d, subst a, subst b)
+      | Ir.Mov (d, a) -> Ir.Mov (d, subst a)
+      | Ir.I2f (d, a) -> Ir.I2f (d, subst a)
+      | Ir.F2i (d, a) -> Ir.F2i (d, subst a)
+      | Ir.Load (d, g, i) -> Ir.Load (d, g, subst i)
+      | Ir.Store (g, i, v) -> Ir.Store (g, subst i, subst v)
+      | Ir.Store_var (g, v) -> Ir.Store_var (g, subst v)
+      | Ir.Call (d, n, args) -> Ir.Call (d, n, List.map subst args)
+      | Ir.Print (t, v) -> Ir.Print (t, subst v)
+      | (Ir.Load_var _) as i -> i
+    in
+    match instr with
+    | Ir.Bin (op, d, a, b) -> (
+        match fold_binop op a b with
+        | Some c ->
+            changed := true;
+            Ir.Mov (d, c)
+        | None -> instr)
+    | Ir.I2f (d, Ir.VInt i) ->
+        changed := true;
+        Ir.Mov (d, Ir.VFloat (float_of_int i))
+    | Ir.F2i (d, Ir.VFloat x) ->
+        changed := true;
+        Ir.Mov (d, Ir.VInt (int_of_float x))
+    | i -> i
+  in
+  Array.iter
+    (fun b ->
+      b.Ir.instrs <- List.map fold_instr b.Ir.instrs;
+      b.Ir.term <-
+        (match b.Ir.term with
+        | Ir.Br (v, x, y) -> (
+            match subst v with
+            | Ir.VInt 0 ->
+                changed := true;
+                Ir.Jmp y
+            | Ir.VInt _ ->
+                changed := true;
+                Ir.Jmp x
+            | v' -> Ir.Br (v', x, y))
+        | Ir.Ret (Some v) -> Ir.Ret (Some (subst v))
+        | t -> t))
+    f.Ir.blocks;
+  !changed
+
+(* --- copy propagation (within a block) --------------------------------- *)
+
+let copy_propagate (f : Ir.func) =
+  let changed = ref false in
+  Array.iter
+    (fun b ->
+      (* copies.(d) = Some s while "d = s" holds *)
+      let copies = Hashtbl.create 8 in
+      let kill v =
+        Hashtbl.remove copies v;
+        (* and any copy reading v *)
+        Hashtbl.iter
+          (fun d s -> if s = v then Hashtbl.remove copies d)
+          (Hashtbl.copy copies)
+      in
+      let subst value =
+        match value with
+        | Ir.VReg r -> (
+            match Hashtbl.find_opt copies r with
+            | Some s ->
+                changed := true;
+                Ir.VReg s
+            | None -> value)
+        | _ -> value
+      in
+      let step instr =
+        (* rewrite uses *)
+        let instr =
+          match instr with
+          | Ir.Bin (op, d, a, c) -> Ir.Bin (op, d, subst a, subst c)
+          | Ir.Mov (d, a) -> Ir.Mov (d, subst a)
+          | Ir.I2f (d, a) -> Ir.I2f (d, subst a)
+          | Ir.F2i (d, a) -> Ir.F2i (d, subst a)
+          | Ir.Load (d, g, i) -> Ir.Load (d, g, subst i)
+          | Ir.Store (g, i, v) -> Ir.Store (g, subst i, subst v)
+          | Ir.Store_var (g, v) -> Ir.Store_var (g, subst v)
+          | Ir.Call (d, n, args) -> Ir.Call (d, n, List.map subst args)
+          | Ir.Print (t, v) -> Ir.Print (t, subst v)
+          | Ir.Load_var _ -> instr
+        in
+        (* update the copy environment *)
+        List.iter kill (Ir.defs instr);
+        (match instr with
+        | Ir.Mov (d, Ir.VReg s) when d <> s -> Hashtbl.replace copies d s
+        | _ -> ());
+        instr
+      in
+      b.Ir.instrs <- List.map step b.Ir.instrs;
+      b.Ir.term <-
+        (match b.Ir.term with
+        | Ir.Br (v, x, y) -> Ir.Br (subst v, x, y)
+        | Ir.Ret (Some v) -> Ir.Ret (Some (subst v))
+        | t -> t))
+    f.Ir.blocks;
+  !changed
+
+(* --- dead code elimination --------------------------------------------- *)
+
+let has_side_effect = function
+  | Ir.Store _ | Ir.Store_var _ | Ir.Call _ | Ir.Print _ -> true
+  (* array loads can trap on a bad index: keep them *)
+  | Ir.Load _ -> true
+  | Ir.Bin ((Ir.Div | Ir.Mod), _, _, _) -> true (* may trap *)
+  | _ -> false
+
+let dead_code (f : Ir.func) =
+  let nv = Ir.nvregs f in
+  let used = Array.make nv false in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun i -> List.iter (fun v -> used.(v) <- true) (Ir.uses_instr i))
+        b.Ir.instrs;
+      List.iter (fun v -> used.(v) <- true) (Ir.uses_term b.Ir.term))
+    f.Ir.blocks;
+  let changed = ref false in
+  Array.iter
+    (fun b ->
+      let keep instr =
+        has_side_effect instr
+        || (match Ir.defs instr with
+           | [ d ] -> used.(d)
+           | _ -> true)
+      in
+      let before = List.length b.Ir.instrs in
+      b.Ir.instrs <- List.filter keep b.Ir.instrs;
+      if List.length b.Ir.instrs <> before then changed := true)
+    f.Ir.blocks;
+  !changed
+
+let run_func f =
+  let budget = ref 10 in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    decr budget;
+    let c1 = constant_fold f in
+    let c2 = copy_propagate f in
+    let c3 = dead_code f in
+    continue_ := c1 || c2 || c3
+  done
+
+let run p =
+  List.iter run_func p.Ir.funcs;
+  p

@@ -1,0 +1,29 @@
+(** IR optimization passes.
+
+    The paper compiles its C programs with [clang -O3]; this module is the
+    corresponding cleanup for our pipeline, run before register
+    allocation.  Three classic passes, iterated to a fixpoint:
+
+    - {b constant folding}: binary operations, casts and copies of
+      literals are evaluated at compile time (with C semantics; folding
+      is skipped when it would trap, e.g. division by a zero literal);
+    - {b copy propagation}: within a block, uses of a vreg defined by
+      [mov d, s] read [s] directly while the copy is transparent;
+    - {b dead code elimination}: instructions without side effects whose
+      results are never used are dropped.
+
+    All passes preserve the observable semantics (the differential fuzz
+    tests in the suite check interpreter outputs before vs after). *)
+
+val constant_fold : Ir.func -> bool
+(** Returns whether anything changed.  Mutates the function in place. *)
+
+val copy_propagate : Ir.func -> bool
+
+val dead_code : Ir.func -> bool
+
+val run_func : Ir.func -> unit
+(** Iterate all passes to a fixpoint (bounded). *)
+
+val run : Ir.program -> Ir.program
+(** Optimize every function; returns the same (mutated) program. *)

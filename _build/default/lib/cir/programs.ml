@@ -1,0 +1,736 @@
+(* The 24 benchmark sources.  All are deterministic: randomness comes from
+   the Stanford-style LCG in [rand_header]. *)
+
+let rand_header =
+  {|
+int rnd_seed = 74755;
+int rnd() {
+  rnd_seed = (rnd_seed * 1309 + 13849) % 65536;
+  return rnd_seed;
+}
+|}
+
+let bubblesort =
+  rand_header
+  ^ {|
+int sortlist[120];
+int main() {
+  int n = 120;
+  int i;
+  for (i = 0; i < n; i = i + 1) { sortlist[i] = rnd(); }
+  int top = n - 1;
+  while (top > 0) {
+    int j = 0;
+    while (j < top) {
+      if (sortlist[j] > sortlist[j+1]) {
+        int t = sortlist[j];
+        sortlist[j] = sortlist[j+1];
+        sortlist[j+1] = t;
+      }
+      j = j + 1;
+    }
+    top = top - 1;
+  }
+  int bad = 0;
+  for (i = 0; i < n - 1; i = i + 1) {
+    if (sortlist[i] > sortlist[i+1]) { bad = bad + 1; }
+  }
+  print(bad);
+  print(sortlist[0]);
+  print(sortlist[n-1]);
+  return 0;
+}
+|}
+
+let intmm =
+  rand_header
+  ^ {|
+int ma[144];
+int mb[144];
+int mc[144];
+int main() {
+  int n = 12;
+  int i; int j; int k;
+  for (i = 0; i < n*n; i = i + 1) { ma[i] = rnd() % 10; mb[i] = rnd() % 10; }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      int s = 0;
+      for (k = 0; k < n; k = k + 1) { s = s + ma[i*n+k] * mb[k*n+j]; }
+      mc[i*n+j] = s;
+    }
+  }
+  int sum = 0;
+  for (i = 0; i < n*n; i = i + 1) { sum = sum + mc[i]; }
+  print(sum);
+  print(mc[0]);
+  print(mc[n*n-1]);
+  return 0;
+}
+|}
+
+let realmm =
+  rand_header
+  ^ {|
+float ra[144];
+float rb[144];
+float rc[144];
+int main() {
+  int n = 12;
+  int i; int j; int k;
+  for (i = 0; i < n*n; i = i + 1) {
+    ra[i] = (float)(rnd() % 100) / 10.0;
+    rb[i] = (float)(rnd() % 100) / 10.0;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      float s = 0.0;
+      for (k = 0; k < n; k = k + 1) { s = s + ra[i*n+k] * rb[k*n+j]; }
+      rc[i*n+j] = s;
+    }
+  }
+  float total = 0.0;
+  for (i = 0; i < n*n; i = i + 1) { total = total + rc[i]; }
+  print(total);
+  print(rc[0]);
+  return 0;
+}
+|}
+
+let floatmm =
+  rand_header
+  ^ {|
+float fa[100];
+float fb[100];
+float fc[100];
+int main() {
+  int n = 10;
+  int trial;
+  float grand = 0.0;
+  int i; int j; int k;
+  for (trial = 0; trial < 3; trial = trial + 1) {
+    for (i = 0; i < n*n; i = i + 1) {
+      fa[i] = (float)(rnd() % 50) / 7.0;
+      fb[i] = (float)(rnd() % 50) / 11.0;
+      fc[i] = 0.0;
+    }
+    for (k = 0; k < n; k = k + 1) {
+      for (i = 0; i < n; i = i + 1) {
+        float aik = fa[i*n+k];
+        for (j = 0; j < n; j = j + 1) {
+          fc[i*n+j] = fc[i*n+j] + aik * fb[k*n+j];
+        }
+      }
+    }
+    for (i = 0; i < n*n; i = i + 1) { grand = grand + fc[i]; }
+  }
+  print(grand);
+  return 0;
+}
+|}
+
+(* Oscar: the Stanford FFT benchmark; here a radix-2-style butterfly pass
+   over float arrays with a polynomial sine approximation. *)
+let oscar =
+  {|
+float re[64];
+float im[64];
+float sine(float x) {
+  /* Taylor around 0, adequate for the range used */
+  float x2 = x * x;
+  return x * (1.0 - x2 / 6.0 + x2 * x2 / 120.0 - x2 * x2 * x2 / 5040.0);
+}
+float cosine(float x) {
+  float x2 = x * x;
+  return 1.0 - x2 / 2.0 + x2 * x2 / 24.0 - x2 * x2 * x2 / 720.0;
+}
+int main() {
+  int n = 64;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    re[i] = sine(0.1 * (float)i);
+    im[i] = 0.0;
+  }
+  int len = 2;
+  while (len <= n) {
+    float ang = 6.2831853 / (float)len;
+    float wr = cosine(ang);
+    float wi = 0.0 - sine(ang);
+    int start = 0;
+    while (start < n) {
+      float cr = 1.0;
+      float ci = 0.0;
+      int j;
+      for (j = 0; j < len / 2; j = j + 1) {
+        int a = start + j;
+        int b = a + len / 2;
+        float tr = cr * re[b] - ci * im[b];
+        float ti = cr * im[b] + ci * re[b];
+        re[b] = re[a] - tr;
+        im[b] = im[a] - ti;
+        re[a] = re[a] + tr;
+        im[a] = im[a] + ti;
+        float ncr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = ncr;
+      }
+      start = start + len;
+    }
+    len = len * 2;
+  }
+  float energy = 0.0;
+  for (i = 0; i < n; i = i + 1) { energy = energy + re[i]*re[i] + im[i]*im[i]; }
+  print(energy);
+  print(re[1]);
+  print(im[1]);
+  return 0;
+}
+|}
+
+let perm =
+  {|
+int permarray[12];
+int pctr = 0;
+void swap(int a, int b) {
+  int t = permarray[a];
+  permarray[a] = permarray[b];
+  permarray[b] = t;
+}
+void permute(int n) {
+  pctr = pctr + 1;
+  if (n != 0) {
+    permute(n - 1);
+    int k;
+    for (k = n - 1; k >= 0; k = k - 1) {
+      swap(n - 1, k);
+      permute(n - 1);
+      swap(n - 1, k);
+    }
+  }
+}
+int main() {
+  int i;
+  for (i = 0; i < 7; i = i + 1) { permarray[i] = i; }
+  permute(7);
+  print(pctr);
+  return 0;
+}
+|}
+
+(* Puzzle: a branch-heavy subset-sum search standing in for Forest
+   Baskett's puzzle. *)
+let puzzle =
+  rand_header
+  ^ {|
+int pieces[16];
+int found = 0;
+void search(int idx, int remaining) {
+  if (remaining == 0) { found = found + 1; return; }
+  if (idx >= 16) { return; }
+  if (remaining < 0) { return; }
+  search(idx + 1, remaining - pieces[idx]);
+  search(idx + 1, remaining);
+}
+int main() {
+  int i;
+  int total = 0;
+  for (i = 0; i < 16; i = i + 1) {
+    pieces[i] = 1 + rnd() % 30;
+    total = total + pieces[i];
+  }
+  search(0, total / 2);
+  print(found);
+  return 0;
+}
+|}
+
+let queens =
+  {|
+int qrow[8];
+int solutions = 0;
+int safe(int r, int c) {
+  int i;
+  for (i = 0; i < c; i = i + 1) {
+    int d = c - i;
+    if (qrow[i] == r) { return 0; }
+    if (qrow[i] == r - d) { return 0; }
+    if (qrow[i] == r + d) { return 0; }
+  }
+  return 1;
+}
+void place(int c, int n) {
+  if (c == n) { solutions = solutions + 1; return; }
+  int r;
+  for (r = 0; r < n; r = r + 1) {
+    if (safe(r, c)) {
+      qrow[c] = r;
+      place(c + 1, n);
+    }
+  }
+}
+int main() {
+  place(0, 7);
+  print(solutions);
+  return 0;
+}
+|}
+
+let quicksort =
+  rand_header
+  ^ {|
+int qdata[150];
+void qsort(int lo, int hi) {
+  if (lo >= hi) { return; }
+  int pivot = qdata[(lo + hi) / 2];
+  int i = lo;
+  int j = hi;
+  while (i <= j) {
+    while (qdata[i] < pivot) { i = i + 1; }
+    while (qdata[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      int t = qdata[i];
+      qdata[i] = qdata[j];
+      qdata[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  qsort(lo, j);
+  qsort(i, hi);
+}
+int main() {
+  int n = 150;
+  int i;
+  for (i = 0; i < n; i = i + 1) { qdata[i] = rnd(); }
+  qsort(0, n - 1);
+  int bad = 0;
+  for (i = 0; i < n - 1; i = i + 1) {
+    if (qdata[i] > qdata[i+1]) { bad = bad + 1; }
+  }
+  print(bad);
+  print(qdata[0]);
+  print(qdata[n-1]);
+  return 0;
+}
+|}
+
+let towers =
+  {|
+int moves = 0;
+void hanoi(int n, int from, int to, int via) {
+  if (n == 0) { return; }
+  hanoi(n - 1, from, via, to);
+  moves = moves + 1;
+  hanoi(n - 1, via, to, from);
+}
+int main() {
+  hanoi(12, 1, 3, 2);
+  print(moves);
+  return 0;
+}
+|}
+
+(* Treesort: heap sort over an implicit binary tree in an array. *)
+let treesort =
+  rand_header
+  ^ {|
+int heap[128];
+int hsize = 0;
+void sift_down(int start, int end) {
+  int root = start;
+  while (root * 2 + 1 <= end) {
+    int child = root * 2 + 1;
+    if (child + 1 <= end) {
+      if (heap[child] < heap[child+1]) { child = child + 1; }
+    }
+    if (heap[root] < heap[child]) {
+      int t = heap[root];
+      heap[root] = heap[child];
+      heap[child] = t;
+      root = child;
+    } else {
+      return;
+    }
+  }
+}
+int main() {
+  int n = 128;
+  int i;
+  for (i = 0; i < n; i = i + 1) { heap[i] = rnd(); }
+  for (i = n / 2 - 1; i >= 0; i = i - 1) { sift_down(i, n - 1); }
+  int end = n - 1;
+  while (end > 0) {
+    int t = heap[0];
+    heap[0] = heap[end];
+    heap[end] = t;
+    end = end - 1;
+    sift_down(0, end);
+  }
+  int bad = 0;
+  for (i = 0; i < n - 1; i = i + 1) {
+    if (heap[i] > heap[i+1]) { bad = bad + 1; }
+  }
+  print(bad);
+  print(heap[0]);
+  print(heap[n-1]);
+  return 0;
+}
+|}
+
+let ackermann =
+  {|
+int ack(int m, int n) {
+  if (m == 0) { return n + 1; }
+  if (n == 0) { return ack(m - 1, 1); }
+  return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+  print(ack(2, 6));
+  print(ack(3, 3));
+  return 0;
+}
+|}
+
+let fib =
+  {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  print(fib(18));
+  return 0;
+}
+|}
+
+let sieve =
+  {|
+int flags[400];
+int main() {
+  int n = 400;
+  int i;
+  for (i = 0; i < n; i = i + 1) { flags[i] = 1; }
+  int count = 0;
+  for (i = 2; i < n; i = i + 1) {
+    if (flags[i]) {
+      count = count + 1;
+      int j = i + i;
+      while (j < n) {
+        flags[j] = 0;
+        j = j + i;
+      }
+    }
+  }
+  print(count);
+  return 0;
+}
+|}
+
+let gcd =
+  rand_header
+  ^ {|
+int gcd(int a, int b) {
+  while (b != 0) {
+    int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+int main() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 200; i = i + 1) {
+    int a = 1 + rnd();
+    int b = 1 + rnd();
+    acc = acc + gcd(a, b);
+  }
+  print(acc);
+  return 0;
+}
+|}
+
+let collatz =
+  {|
+int main() {
+  int best = 0;
+  int best_n = 0;
+  int n;
+  for (n = 1; n < 400; n = n + 1) {
+    int len = 0;
+    int x = n;
+    while (x != 1) {
+      if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+      len = len + 1;
+    }
+    if (len > best) { best = len; best_n = n; }
+  }
+  print(best);
+  print(best_n);
+  return 0;
+}
+|}
+
+let dotprod =
+  rand_header
+  ^ {|
+float va[200];
+float vb[200];
+int main() {
+  int n = 200;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    va[i] = (float)(rnd() % 1000) / 100.0;
+    vb[i] = (float)(rnd() % 1000) / 100.0;
+  }
+  float dot = 0.0;
+  float na = 0.0;
+  float nb = 0.0;
+  int trial;
+  for (trial = 0; trial < 10; trial = trial + 1) {
+    dot = 0.0;
+    na = 0.0;
+    nb = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+      dot = dot + va[i] * vb[i];
+      na = na + va[i] * va[i];
+      nb = nb + vb[i] * vb[i];
+    }
+  }
+  print(dot);
+  print(na);
+  print(nb);
+  return 0;
+}
+|}
+
+let mandel =
+  {|
+int main() {
+  int inside = 0;
+  int py;
+  for (py = 0; py < 24; py = py + 1) {
+    int px;
+    for (px = 0; px < 24; px = px + 1) {
+      float cx = -2.0 + 2.5 * (float)px / 24.0;
+      float cy = -1.2 + 2.4 * (float)py / 24.0;
+      float zx = 0.0;
+      float zy = 0.0;
+      int it = 0;
+      int alive = 1;
+      while (alive && it < 50) {
+        float nzx = zx * zx - zy * zy + cx;
+        zy = 2.0 * zx * zy + cy;
+        zx = nzx;
+        if (zx * zx + zy * zy > 4.0) { alive = 0; }
+        it = it + 1;
+      }
+      if (alive) { inside = inside + 1; }
+    }
+  }
+  print(inside);
+  return 0;
+}
+|}
+
+let nbody =
+  {|
+float px[5]; float py[5];
+float vx[5]; float vy[5];
+float ms[5];
+int main() {
+  int n = 5;
+  int i; int j;
+  for (i = 0; i < n; i = i + 1) {
+    px[i] = (float)(i * 7 % 5) - 2.0;
+    py[i] = (float)(i * 3 % 5) - 2.0;
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+    ms[i] = 1.0 + (float)i / 5.0;
+  }
+  float dt = 0.01;
+  int step;
+  for (step = 0; step < 120; step = step + 1) {
+    for (i = 0; i < n; i = i + 1) {
+      float ax = 0.0;
+      float ay = 0.0;
+      for (j = 0; j < n; j = j + 1) {
+        if (j != i) {
+          float dx = px[j] - px[i];
+          float dy = py[j] - py[i];
+          float d2 = dx * dx + dy * dy + 0.1;
+          float inv = 1.0 / (d2 * d2);
+          ax = ax + ms[j] * dx * inv;
+          ay = ay + ms[j] * dy * inv;
+        }
+      }
+      vx[i] = vx[i] + ax * dt;
+      vy[i] = vy[i] + ay * dt;
+    }
+    for (i = 0; i < n; i = i + 1) {
+      px[i] = px[i] + vx[i] * dt;
+      py[i] = py[i] + vy[i] * dt;
+    }
+  }
+  float e = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    e = e + ms[i] * (vx[i]*vx[i] + vy[i]*vy[i]);
+  }
+  print(e);
+  print(px[0]);
+  print(py[4]);
+  return 0;
+}
+|}
+
+let poly =
+  {|
+float coef[16];
+int main() {
+  int deg = 16;
+  int i;
+  for (i = 0; i < deg; i = i + 1) {
+    coef[i] = 1.0 / (float)(i + 1);
+  }
+  float acc = 0.0;
+  float x;
+  for (x = -1.0; x < 1.0; x = x + 0.01) {
+    float y = 0.0;
+    for (i = deg - 1; i >= 0; i = i - 1) {
+      y = y * x + coef[i];
+    }
+    acc = acc + y;
+  }
+  print(acc);
+  return 0;
+}
+|}
+
+let hash =
+  rand_header
+  ^ {|
+int table[97];
+int main() {
+  int i;
+  for (i = 0; i < 97; i = i + 1) { table[i] = 0; }
+  int collisions = 0;
+  for (i = 0; i < 500; i = i + 1) {
+    int key = rnd();
+    int h = (key * 31 + 17) % 97;
+    if (h < 0) { h = h + 97; }
+    if (table[h] != 0) { collisions = collisions + 1; }
+    table[h] = key;
+  }
+  print(collisions);
+  return 0;
+}
+|}
+
+let stats =
+  rand_header
+  ^ {|
+float samples[256];
+int main() {
+  int n = 256;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    samples[i] = (float)(rnd() % 10000) / 100.0;
+  }
+  float mean = 0.0;
+  for (i = 0; i < n; i = i + 1) { mean = mean + samples[i]; }
+  mean = mean / (float)n;
+  float var = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    float d = samples[i] - mean;
+    var = var + d * d;
+  }
+  var = var / (float)n;
+  print(mean);
+  print(var);
+  return 0;
+}
+|}
+
+let binsearch =
+  rand_header
+  ^ {|
+int sorted[256];
+int bsearch(int key, int n) {
+  int lo = 0;
+  int hi = n - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (sorted[mid] == key) { return mid; }
+    if (sorted[mid] < key) { lo = mid + 1; } else { hi = mid - 1; }
+  }
+  return -1;
+}
+int main() {
+  int n = 256;
+  int i;
+  for (i = 0; i < n; i = i + 1) { sorted[i] = i * 7 + 3; }
+  int hits = 0;
+  for (i = 0; i < 400; i = i + 1) {
+    if (bsearch(rnd() % 2000, n) >= 0) { hits = hits + 1; }
+  }
+  print(hits);
+  return 0;
+}
+|}
+
+let knapsack =
+  rand_header
+  ^ {|
+int value[20];
+int weight[20];
+int best[301];
+int main() {
+  int n = 20;
+  int cap = 300;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    value[i] = 1 + rnd() % 60;
+    weight[i] = 1 + rnd() % 40;
+  }
+  int w;
+  for (w = 0; w <= cap; w = w + 1) { best[w] = 0; }
+  for (i = 0; i < n; i = i + 1) {
+    for (w = cap; w >= weight[i]; w = w - 1) {
+      int cand = best[w - weight[i]] + value[i];
+      if (cand > best[w]) { best[w] = cand; }
+    }
+  }
+  print(best[cap]);
+  return 0;
+}
+|}
+
+let all =
+  [
+    ("Bubblesort", bubblesort);
+    ("IntMM", intmm);
+    ("RealMM", realmm);
+    ("FloatMM", floatmm);
+    ("Oscar", oscar);
+    ("Perm", perm);
+    ("Puzzle", puzzle);
+    ("Queens", queens);
+    ("Quicksort", quicksort);
+    ("Towers", towers);
+    ("Treesort", treesort);
+    ("Ackermann", ackermann);
+    ("Fib", fib);
+    ("Sieve", sieve);
+    ("Gcd", gcd);
+    ("Collatz", collatz);
+    ("Dotprod", dotprod);
+    ("Mandel", mandel);
+    ("Nbody", nbody);
+    ("Poly", poly);
+    ("Hash", hash);
+    ("Stats", stats);
+    ("Binsearch", binsearch);
+    ("Knapsack", knapsack);
+  ]
+
+let find name = List.assoc name all
+let names = List.map fst all

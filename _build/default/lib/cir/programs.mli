@@ -1,0 +1,13 @@
+(** The 24 MiniC benchmark programs standing in for the paper's
+    llvm-test-suite C programs (§V-C).  Names and workloads mirror the
+    Stanford benchmark family (Bubblesort, IntMM, Oscar, Queens, Towers,
+    …) plus classic kernels; each prints deterministic checksums so the
+    allocator end-to-end tests can compare outputs exactly. *)
+
+val all : (string * string) list
+(** [(name, MiniC source)] — exactly 24 entries. *)
+
+val find : string -> string
+(** @raise Not_found on unknown names. *)
+
+val names : string list

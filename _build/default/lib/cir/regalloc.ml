@@ -1,0 +1,175 @@
+type loc = Reg of int | Spill
+type allocation = loc array
+
+let mod_dsts (f : Ir.func) =
+  Array.fold_left
+    (fun acc b ->
+      List.fold_left
+        (fun acc instr ->
+          match instr with
+          | Ir.Bin (Ir.Mod, d, _, _) -> Liveness.Iset.add d acc
+          | _ -> acc)
+        acc b.Ir.instrs)
+    Liveness.Iset.empty f.Ir.blocks
+
+let allowed (live : Liveness.t) v =
+  let f = live.Liveness.func in
+  let base = Target.class_of_type (Ir.vreg_type f v) in
+  let base =
+    if Liveness.Iset.mem v (mod_dsts f) then
+      List.filter (fun r -> List.mem r Target.mod_dst_class) base
+    else base
+  in
+  if Liveness.Iset.mem v live.Liveness.across_call then
+    List.filter (fun r -> List.mem r Target.callee_saved) base
+  else base
+
+let validate (live : Liveness.t) (alloc : allocation) =
+  let result = ref (Ok ()) in
+  let fail fmt =
+    Printf.ksprintf (fun s -> if !result = Ok () then result := Error s) fmt
+  in
+  Array.iteri
+    (fun v loc ->
+      match loc with
+      | Spill -> ()
+      | Reg r ->
+          if not (List.mem r (allowed live v)) then
+            fail "%%%d in P%d violates its register constraints" v r)
+    alloc;
+  List.iter
+    (fun (u, v) ->
+      match (alloc.(u), alloc.(v)) with
+      | Reg a, Reg b when a = b ->
+          fail "interfering %%%d and %%%d share P%d" u v a
+      | _ -> ())
+    live.Liveness.interference;
+  !result
+
+let spill_count alloc =
+  Array.fold_left (fun acc l -> if l = Spill then acc + 1 else acc) 0 alloc
+
+let used_callee_saved alloc =
+  Array.fold_left
+    (fun acc l ->
+      match l with
+      | Reg r when List.mem r Target.callee_saved && not (List.mem r acc) ->
+          r :: acc
+      | _ -> acc)
+    [] alloc
+  |> List.sort Int.compare
+
+let fast (f : Ir.func) = Array.make (Ir.nvregs f) Spill
+
+(* vregs that actually occur, sorted by interval start *)
+let occurring (live : Liveness.t) =
+  let nv = Ir.nvregs live.Liveness.func in
+  List.init nv Fun.id
+  |> List.filter (fun v -> fst live.Liveness.intervals.(v) >= 0)
+
+let overlap (a1, a2) (b1, b2) = a1 <= b2 && b1 <= a2
+
+let basic (live : Liveness.t) =
+  let nv = Ir.nvregs live.Liveness.func in
+  let alloc = Array.make nv Spill in
+  let ivs = live.Liveness.intervals in
+  let order =
+    occurring live
+    |> List.sort (fun a b -> compare (fst ivs.(a), a) (fst ivs.(b), b))
+  in
+  (* active: vregs currently holding a register *)
+  let active = ref [] in
+  List.iter
+    (fun v ->
+      let start = fst ivs.(v) in
+      active := List.filter (fun u -> snd ivs.(u) >= start) !active;
+      let candidates = allowed live v in
+      let free =
+        List.filter
+          (fun r ->
+            not
+              (List.exists
+                 (fun u -> alloc.(u) = Reg r && overlap ivs.(u) ivs.(v))
+                 !active))
+          candidates
+      in
+      match free with
+      | r :: _ ->
+          alloc.(v) <- Reg r;
+          active := v :: !active
+      | [] -> (
+          (* spill the furthest-ending active interval holding a register
+             this vreg could use, if it ends later than this one *)
+          let stealable =
+            List.filter
+              (fun u ->
+                match alloc.(u) with
+                | Reg r -> List.mem r candidates
+                | Spill -> false)
+              !active
+          in
+          match
+            List.sort (fun a b -> compare (snd ivs.(b)) (snd ivs.(a))) stealable
+          with
+          | u :: _ when snd ivs.(u) > snd ivs.(v) ->
+              alloc.(v) <- alloc.(u);
+              alloc.(u) <- Spill;
+              active := v :: List.filter (fun x -> x <> u) !active
+          | _ -> alloc.(v) <- Spill))
+    order;
+  alloc
+
+let greedy (live : Liveness.t) =
+  let nv = Ir.nvregs live.Liveness.func in
+  let alloc = Array.make nv Spill in
+  let ivs = live.Liveness.intervals in
+  let w = live.Liveness.weights in
+  (* priority queue by weight, processed greedily with eviction *)
+  let queue =
+    ref
+      (occurring live
+      |> List.sort (fun a b -> compare (w.(b), a) (w.(a), b)))
+  in
+  let assigned = ref [] in
+  let conflicts v r =
+    List.filter
+      (fun u -> alloc.(u) = Reg r && overlap ivs.(u) ivs.(v))
+      !assigned
+  in
+  let rec pump () =
+    match !queue with
+    | [] -> ()
+    | v :: rest ->
+        queue := rest;
+        let candidates = allowed live v in
+        (match
+           List.find_opt (fun r -> conflicts v r = []) candidates
+         with
+        | Some r ->
+            alloc.(v) <- Reg r;
+            assigned := v :: !assigned
+        | None -> (
+            (* eviction: find the register whose conflicting intervals are
+               cheapest; evict them if strictly cheaper than v *)
+            let scored =
+              List.map
+                (fun r ->
+                  let cs = conflicts v r in
+                  (List.fold_left (fun acc u -> acc +. w.(u)) 0.0 cs, r, cs))
+                candidates
+            in
+            match List.sort compare scored with
+            | (cost, r, cs) :: _ when cost < w.(v) ->
+                List.iter
+                  (fun u ->
+                    alloc.(u) <- Spill;
+                    assigned := List.filter (fun x -> x <> u) !assigned;
+                    queue := u :: !queue)
+                  cs;
+                alloc.(v) <- Reg r;
+                assigned := v :: !assigned
+            | _ -> alloc.(v) <- Spill));
+        pump ()
+  in
+  pump ();
+  alloc

@@ -1,0 +1,32 @@
+(** Register allocation interface and the three LLVM-style baseline
+    allocators of the paper's §V-C:
+
+    - {!fast}: the FAST baseline — everything lives in memory, values are
+      shuttled through scratch registers per instruction;
+    - {!basic}: BASIC — the Poletto–Sarkar linear scan over live
+      intervals, with register classes and furthest-end spilling;
+    - {!greedy}: GREEDY — priority-ordered (by spill weight) assignment
+      with eviction of cheaper intervals, a simplified rendition of
+      LLVM's greedy allocator. *)
+
+type loc = Reg of int | Spill
+
+type allocation = loc array
+(** Indexed by vreg. *)
+
+val allowed : Liveness.t -> int -> int list
+(** The physical registers vreg [v] may occupy: its type class,
+    intersected with the mod-destination class when it is the destination
+    of a [mod], and with the callee-saved set when it lives across a
+    call.  May be empty (the vreg must spill). *)
+
+val validate : Liveness.t -> allocation -> (unit, string) result
+(** Checks class/constraint membership and that interfering vregs never
+    share a register. *)
+
+val spill_count : allocation -> int
+val used_callee_saved : allocation -> int list
+
+val fast : Ir.func -> allocation
+val basic : Liveness.t -> allocation
+val greedy : Liveness.t -> allocation

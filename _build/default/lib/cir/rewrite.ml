@@ -1,0 +1,142 @@
+open Mach
+
+let rewrite_func (f : Ir.func) (alloc : Regalloc.allocation) : Mach.mfunc =
+  (* slot assignment for spilled vregs *)
+  let nv = Ir.nvregs f in
+  let slot = Array.make nv (-1) in
+  let nslots = ref 0 in
+  for v = 0 to nv - 1 do
+    if alloc.(v) = Regalloc.Spill then begin
+      slot.(v) <- !nslots;
+      incr nslots
+    end
+  done;
+  let loc v =
+    match alloc.(v) with
+    | Regalloc.Reg r -> `Reg r
+    | Regalloc.Spill -> `Slot slot.(v)
+  in
+  (* Rewrite one instruction into a list of machine instructions.
+     [scratch_idx] cycles S0/S1 for spilled operands. *)
+  let rewrite_instr instr =
+    let pre = ref [] in
+    let scratch = ref Target.scratch0 in
+    let next_scratch () =
+      let s = !scratch in
+      scratch := Target.scratch1;
+      s
+    in
+    let operand (v : Ir.value) =
+      match v with
+      | Ir.VInt i -> MInt i
+      | Ir.VFloat x -> MFloat x
+      | Ir.VReg r -> (
+          match loc r with
+          | `Reg p -> MReg p
+          | `Slot s ->
+              let sc = next_scratch () in
+              pre := MSpill_load (sc, s) :: !pre;
+              MReg sc)
+    in
+    (* call arguments address slots directly *)
+    let call_operand (v : Ir.value) =
+      match v with
+      | Ir.VInt i -> MInt i
+      | Ir.VFloat x -> MFloat x
+      | Ir.VReg r -> (
+          match loc r with `Reg p -> MReg p | `Slot s -> MSlot s)
+    in
+    let def d k =
+      match loc d with
+      | `Reg p -> [ k p ]
+      | `Slot s -> [ k Target.scratch0; MSpill_store (Target.scratch0, s) ]
+    in
+    let core =
+      match instr with
+      | Ir.Bin (op, d, a, b) ->
+          let ma = operand a in
+          let mb = operand b in
+          def d (fun p -> MBin (op, p, ma, mb))
+      | Ir.Mov (d, a) ->
+          let ma = operand a in
+          def d (fun p -> MMov (p, ma))
+      | Ir.I2f (d, a) ->
+          let ma = operand a in
+          def d (fun p -> MI2f (p, ma))
+      | Ir.F2i (d, a) ->
+          let ma = operand a in
+          def d (fun p -> MF2i (p, ma))
+      | Ir.Load (d, g, i) ->
+          let mi = operand i in
+          def d (fun p -> MLoad (p, g, mi))
+      | Ir.Store (g, i, v) ->
+          let mi = operand i in
+          let mv = operand v in
+          [ MStore (g, mi, mv) ]
+      | Ir.Load_var (d, g) -> def d (fun p -> MLoad_var (p, g))
+      | Ir.Store_var (g, v) ->
+          let mv = operand v in
+          [ MStore_var (g, mv) ]
+      | Ir.Call (d, name, args) -> (
+          let margs = List.map call_operand args in
+          match d with
+          | None -> [ MCall (None, name, margs) ]
+          | Some d -> def d (fun p -> MCall (Some p, name, margs)))
+      | Ir.Print (t, v) ->
+          let mv = operand v in
+          [ MPrint (t, mv) ]
+    in
+    List.rev !pre @ core
+  in
+  let rewrite_term (t : Ir.terminator) =
+    match t with
+    | Ir.Ret None -> ([], MRet None)
+    | Ir.Ret (Some v) -> (
+        match v with
+        | Ir.VInt i -> ([], MRet (Some (MInt i)))
+        | Ir.VFloat x -> ([], MRet (Some (MFloat x)))
+        | Ir.VReg r -> (
+            match loc r with
+            | `Reg p -> ([], MRet (Some (MReg p)))
+            | `Slot s ->
+                ( [ MSpill_load (Target.scratch0, s) ],
+                  MRet (Some (MReg Target.scratch0)) )))
+    | Ir.Jmp l -> ([], MJmp l)
+    | Ir.Br (v, a, b) -> (
+        match v with
+        | Ir.VInt i -> ([], MBr (MInt i, a, b))
+        | Ir.VFloat x -> ([], MBr (MFloat x, a, b))
+        | Ir.VReg r -> (
+            match loc r with
+            | `Reg p -> ([], MBr (MReg p, a, b))
+            | `Slot s ->
+                ( [ MSpill_load (Target.scratch0, s) ],
+                  MBr (MReg Target.scratch0, a, b) )))
+  in
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        let instrs = List.concat_map rewrite_instr b.Ir.instrs in
+        let pre_term, term = rewrite_term b.Ir.term in
+        { id = b.Ir.id; instrs = instrs @ pre_term; term })
+      f.Ir.blocks
+  in
+  {
+    name = f.Ir.name;
+    params_loc =
+      List.map
+        (fun v ->
+          match alloc.(v) with
+          | Regalloc.Reg r -> Mach.PReg r
+          | Regalloc.Spill -> Mach.PSlot slot.(v))
+        f.Ir.params;
+    nslots = !nslots;
+    blocks;
+    callee_saved_used = Regalloc.used_callee_saved alloc;
+  }
+
+let rewrite (p : Ir.program) alloc_of =
+  {
+    Mach.globals = p.Ir.globals;
+    funcs = List.map (fun f -> rewrite_func f (alloc_of f.Ir.name)) p.Ir.funcs;
+  }

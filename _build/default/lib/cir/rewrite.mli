@@ -1,0 +1,15 @@
+(** Spill-code insertion: turn an IR function plus an allocation into VCPU
+    machine code.
+
+    Spilled vregs get a stack slot; their reads are preceded by a
+    [MSpill_load] into a scratch register (S0 for the first spilled
+    operand of an instruction, S1 for the second) and their definitions
+    are followed by a [MSpill_store] from S0.  Call arguments may read
+    slots directly ([MSlot]), reflecting a push-from-memory addressing
+    mode. *)
+
+val rewrite_func : Ir.func -> Regalloc.allocation -> Mach.mfunc
+
+val rewrite :
+  Ir.program -> (string -> Regalloc.allocation) -> Mach.mprogram
+(** [rewrite p alloc_of] rewrites every function with its allocation. *)

@@ -1,0 +1,28 @@
+let num_regs = 8
+let scratch0 = 8
+let scratch1 = 9
+let total_regs = 10
+let caller_saved = [ 0; 1; 2; 3 ]
+let callee_saved = [ 4; 5; 6; 7 ]
+let int_class = [ 0; 1; 2; 3; 4; 5 ]
+let float_class = [ 2; 3; 4; 5; 6; 7 ]
+let mod_dst_class = [ 0; 1 ]
+
+let class_of_type = function
+  | Ir.Tint -> int_class
+  | Ir.Tfloat -> float_class
+
+let callee_saved_cost = 0.5
+let coalesce_factor = 0.3
+let cycles_alu = 1
+let cycles_mul = 3
+let cycles_div = 10
+let cycles_mem = 4
+let cycles_branch = 1
+let cycles_call = 2
+let cycles_save_restore = 2
+
+let cycles_of_binop = function
+  | Ir.Mul | Ir.Fmul -> cycles_mul
+  | Ir.Div | Ir.Mod | Ir.Fdiv -> cycles_div
+  | _ -> cycles_alu

@@ -1,0 +1,51 @@
+(** The VCPU target description.
+
+    A small register machine with enough irregularity to make PBQP
+    meaningful (DESIGN.md: it stands in for x86 in the paper's §V-C):
+
+    - 8 allocatable registers P0–P7 plus two reserved scratch registers
+      S0/S1 used only by spill code;
+    - class constraints: integer values may live in P0–P5, floats in
+      P2–P7 (the overlap creates cross-pressure);
+    - the destination of an integer [mod] must be P0 or P1 (an
+      encoding restriction, x86-style);
+    - P0–P3 are caller-saved (clobbered by calls), P4–P7 callee-saved
+      (using one costs save/restore cycles). *)
+
+val num_regs : int
+(** 8 — allocatable registers. *)
+
+val scratch0 : int
+val scratch1 : int
+val total_regs : int
+(** 10, including scratch. *)
+
+val caller_saved : int list
+val callee_saved : int list
+val int_class : int list
+val float_class : int list
+val mod_dst_class : int list
+
+val class_of_type : Ir.typ -> int list
+
+val callee_saved_cost : float
+(** Soft per-vreg cost of occupying a callee-saved register. *)
+
+val coalesce_factor : float
+(** Fraction of the move weight credited when a move's ends share a
+    register. *)
+
+(** Cycle costs for the simulator. *)
+
+val cycles_alu : int
+val cycles_mul : int
+val cycles_div : int
+val cycles_mem : int
+(** Array and global accesses, and spill loads/stores. *)
+
+val cycles_branch : int
+val cycles_call : int
+val cycles_save_restore : int
+(** Per callee-saved register the callee's allocation touches. *)
+
+val cycles_of_binop : Ir.binop -> int

@@ -1,0 +1,1 @@
+lib/core/backtrack.ml: Array Cost Float Fun Game Hashtbl List Mcts Pbqp Solution State

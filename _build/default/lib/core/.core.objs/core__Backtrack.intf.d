@@ -1,0 +1,1 @@
+lib/core/backtrack.mli: Cost Game Mcts Nn Pbqp Solution State

@@ -1,0 +1,1 @@
+lib/core/episode.ml: Array Game List Mcts Nn Pbqp Random State

@@ -1,0 +1,1 @@
+lib/core/episode.mli: Cost Game Mcts Nn Pbqp Random Solution State

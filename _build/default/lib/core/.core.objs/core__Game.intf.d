@@ -1,0 +1,1 @@
+lib/core/game.mli: Cost Mcts Nn Pbqp State

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Array Buffer Fun In_channel List Nn Pbqp Printf Random String

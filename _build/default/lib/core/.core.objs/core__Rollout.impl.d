@@ -1,0 +1,1 @@
+lib/core/rollout.ml: Cost Game Pbqp State Vec

@@ -1,0 +1,1 @@
+lib/core/rollout.mli: Game Pbqp State

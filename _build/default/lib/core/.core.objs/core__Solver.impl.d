@@ -1,0 +1,1 @@
+lib/core/solver.ml: Backtrack Game Mcts Order Pbqp Rollout Solvers State

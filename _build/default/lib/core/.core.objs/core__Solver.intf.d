@@ -1,0 +1,1 @@
+lib/core/solver.mli: Cost Graph Mcts Nn Order Pbqp Random Solution

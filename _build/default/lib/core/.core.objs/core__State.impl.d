@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Cost Format Graph Int List Mat Option Pbqp Solution Vec

@@ -1,0 +1,1 @@
+lib/core/state.mli: Cost Format Graph Pbqp Solution Vec

@@ -1,0 +1,1 @@
+lib/core/train.ml: Cost Domain Episode Game Generate List Mcts Nn Pbqp Random Replay Solvers State Sys

@@ -1,0 +1,1 @@
+lib/core/train.mli: Mcts Nn Pbqp Random

@@ -1,0 +1,38 @@
+(** The backtracking coloring driver (paper §IV-E).
+
+    Plain Deep-RL coloring is a one-way walk; on the 0/∞ ATE instances it
+    can reach a dead end even with MCTS look-ahead.  This driver cancels
+    the most recent coloring when that happens, re-plans the parent state
+    with additional MCTS simulations (the dead end "was probably due to a
+    lack of thinking time"), and tries the next-best untried color —
+    chronological backtracking over the whole game, with the accumulated
+    game tree (and its node counter) shared across retries.
+
+    [replan = false] is the §V-B ablation: on a dead end just take the
+    next-highest-probability color from the original ranking without
+    extending the tree. *)
+
+open Pbqp
+
+type config = {
+  mcts : Mcts.config;
+  enabled : bool;  (** [false] = the paper's variant (a): fail on dead end *)
+  replan : bool;
+  max_backtracks : int;
+  rollout : (State.t -> float) option;
+      (** optional leaf roll-out blending (see {!Rollout}) *)
+}
+
+val default_config : config
+(** backtracking on, replanning on, [max_backtracks = 100_000]. *)
+
+type result = {
+  solution : Solution.t option;
+  cost : Cost.t;
+  nodes : int;  (** total states created in the game tree, incl. re-plans *)
+  backtracks : int;
+  budget_exhausted : bool;
+}
+
+val solve :
+  net:Nn.Pvnet.t -> mode:Game.mode -> config -> State.t -> result

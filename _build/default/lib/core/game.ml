@@ -1,0 +1,40 @@
+open Pbqp
+
+type mode = Feasibility | Minimize of { reference : Cost.t; shaping : float }
+
+let reward mode cost =
+  match mode with
+  | Feasibility -> if Cost.is_finite cost then 1.0 else -1.0
+  | Minimize { reference; shaping } -> (
+      match (Cost.is_finite cost, Cost.is_finite reference) with
+      | false, _ -> -1.0
+      | true, false -> 1.0
+      | true, true ->
+          let d = Cost.to_float reference -. Cost.to_float cost in
+          if shaping > 0.0 then Float.tanh (d /. shaping)
+          else if d > 1e-9 then 1.0
+          else if d < -1e-9 then -1.0
+          else 0.0)
+
+let final_cost st = if State.is_complete st then State.base_cost st else Cost.inf
+
+let make ?rollout ~net ~mode ~m () =
+  {
+    Mcts.num_actions = m;
+    is_terminal = State.is_terminal;
+    terminal_value = (fun st -> reward mode (final_cost st));
+    legal = State.legal;
+    apply = State.apply;
+    evaluate =
+      (fun st ->
+        match State.next_vertex st with
+        | Some next ->
+            let priors, v = Nn.Pvnet.predict net (State.graph st) ~next in
+            let v =
+              match rollout with
+              | Some f -> 0.5 *. (v +. f st)
+              | None -> v
+            in
+            (priors, v)
+        | None -> (Array.make m 0.0, reward mode (final_cost st)));
+  }

@@ -1,0 +1,34 @@
+(** The PBQP game: rewards and the MCTS bridge (paper §III).
+
+    Terminal rewards (§III-B): the single-player game is scored by
+    comparison.  {!Feasibility} is the ATE setting, where every cost is
+    0 or ∞ — a finite finish wins (+1), a dead end or infinite cost
+    loses (−1).  {!Minimize} compares the final cost sum against a
+    reference (during training, the best player's cost on the same
+    graph): smaller wins (+1), equal ties (0), larger loses (−1); a
+    positive [shaping] replaces the step by [tanh ((ref − cost)/shaping)]
+    so search can rank near-ties (0 keeps the paper's exact ±1/0). *)
+
+open Pbqp
+
+type mode =
+  | Feasibility
+  | Minimize of { reference : Cost.t; shaping : float }
+
+val reward : mode -> Cost.t -> float
+(** Terminal reward for a final cost ([inf] = failed/dead end). *)
+
+val make :
+  ?rollout:(State.t -> float) ->
+  net:Nn.Pvnet.t ->
+  mode:mode ->
+  m:int ->
+  unit ->
+  State.t Mcts.game
+(** The game record MCTS searches: legality and transitions from
+    {!State}, leaf evaluation from the network.  When [rollout] is given,
+    leaf values are the mean of the network's estimate and the roll-out
+    value (see {!Rollout}) — an opt-in extension beyond the paper. *)
+
+val final_cost : State.t -> Cost.t
+(** [base_cost] if complete, [inf] otherwise. *)

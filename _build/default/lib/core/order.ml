@@ -1,0 +1,39 @@
+type kind = By_id | Random | Increasing_liberty | Decreasing_liberty
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let compute ?rng kind g =
+  let verts = Array.of_list (Pbqp.Graph.vertices g) in
+  (match kind with
+  | By_id -> ()
+  | Random -> (
+      match rng with
+      | Some rng -> shuffle rng verts
+      | None -> invalid_arg "Order.compute: Random order needs an rng")
+  | Increasing_liberty ->
+      Array.sort
+        (fun a b ->
+          match Int.compare (Pbqp.Graph.liberty g a) (Pbqp.Graph.liberty g b) with
+          | 0 -> Int.compare a b
+          | c -> c)
+        verts
+  | Decreasing_liberty ->
+      Array.sort
+        (fun a b ->
+          match Int.compare (Pbqp.Graph.liberty g b) (Pbqp.Graph.liberty g a) with
+          | 0 -> Int.compare a b
+          | c -> c)
+        verts);
+  verts
+
+let to_string = function
+  | By_id -> "by-id"
+  | Random -> "random"
+  | Increasing_liberty -> "increasing-liberty"
+  | Decreasing_liberty -> "decreasing-liberty"

@@ -1,0 +1,20 @@
+(** Coloring orders (paper §IV-E).
+
+    The Deep-RL player colors vertices in a fixed order.  The paper
+    proposes {e decreasing} liberty — easy vertices first, so the hard
+    low-liberty ones are colored late, when the accumulated game tree
+    makes MCTS most accurate — and evaluates it against random and
+    increasing-liberty orders (Fig. 6 variants (b), (c), (d)). *)
+
+type kind =
+  | By_id  (** increasing vertex number (the paper's §III-A default) *)
+  | Random
+  | Increasing_liberty  (** hard vertices first, as in Kim et al. *)
+  | Decreasing_liberty  (** easy vertices first — the paper's proposal *)
+
+val compute : ?rng:Random.State.t -> kind -> Pbqp.Graph.t -> int array
+(** Liberties are taken on the initial graph; ties break on vertex id.
+    [rng] is required for {!Random}.
+    @raise Invalid_argument if [Random] is requested without [rng]. *)
+
+val to_string : kind -> string

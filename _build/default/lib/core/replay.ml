@@ -1,0 +1,102 @@
+type t = {
+  buf : Nn.Pvnet.sample option array;
+  mutable head : int;  (* next write position *)
+  mutable size : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Replay.create: capacity <= 0";
+  { buf = Array.make capacity None; head = 0; size = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.size
+
+let add t s =
+  t.buf.(t.head) <- Some s;
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.size <- min (t.size + 1) (Array.length t.buf)
+
+let add_list t ss = List.iter (add t) ss
+
+let sample_batch ~rng t n =
+  if t.size = 0 then []
+  else
+    List.init n (fun _ ->
+        match t.buf.((t.head - 1 - Random.State.int rng t.size + (2 * Array.length t.buf)) mod Array.length t.buf) with
+        | Some s -> s
+        | None -> assert false)
+
+
+(* --- persistence ------------------------------------------------------ *)
+
+let iter_oldest_first t f =
+  for i = 0 to t.size - 1 do
+    let idx = (t.head - t.size + i + (2 * Array.length t.buf)) mod Array.length t.buf in
+    match t.buf.(idx) with Some s -> f s | None -> assert false
+  done
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "replay %d %d\n" (Array.length t.buf) t.size;
+      iter_oldest_first t (fun (s : Nn.Pvnet.sample) ->
+          Printf.fprintf oc "sample %d %.17g\n" s.Nn.Pvnet.next
+            s.Nn.Pvnet.value;
+          Printf.fprintf oc "policy%s\n"
+            (String.concat ""
+               (Array.to_list
+                  (Array.map (Printf.sprintf " %.17g") s.Nn.Pvnet.policy)));
+          output_string oc (Pbqp.Io.to_string s.Nn.Pvnet.graph);
+          output_string oc "endsample\n"))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let fail msg = invalid_arg ("Replay.load: " ^ msg) in
+      let line () =
+        match In_channel.input_line ic with
+        | Some l -> l
+        | None -> fail "truncated file"
+      in
+      let t =
+        match String.split_on_char ' ' (line ()) with
+        | [ "replay"; cap; _count ] -> create ~capacity:(int_of_string cap)
+        | _ -> fail "bad header"
+      in
+      (try
+         while true do
+           match In_channel.input_line ic with
+           | None -> raise Exit
+           | Some l when String.trim l = "" -> ()
+           | Some l -> (
+               match String.split_on_char ' ' l with
+               | [ "sample"; next; value ] ->
+                   let next = int_of_string next in
+                   let value = float_of_string value in
+                   let policy =
+                     match String.split_on_char ' ' (line ()) with
+                     | "policy" :: ps ->
+                         Array.of_list (List.map float_of_string ps)
+                     | _ -> fail "expected policy line"
+                   in
+                   let buf = Buffer.create 256 in
+                   let rec slurp () =
+                     let l = line () in
+                     if String.trim l = "endsample" then ()
+                     else begin
+                       Buffer.add_string buf l;
+                       Buffer.add_char buf '\n';
+                       slurp ()
+                     end
+                   in
+                   slurp ();
+                   let graph = Pbqp.Io.of_string (Buffer.contents buf) in
+                   add t { Nn.Pvnet.graph; next; policy; value }
+               | _ -> fail ("unexpected line: " ^ l))
+         done
+       with Exit -> ());
+      t)

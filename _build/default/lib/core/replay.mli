@@ -1,0 +1,31 @@
+(** Bounded FIFO replay buffer of training tuples (paper §V-A: fresh
+    episode data is enqueued into a fixed-size queue of previous data "to
+    avoid a radical update of the DNN"). *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val add : t -> Nn.Pvnet.sample -> unit
+(** Evicts the oldest sample when full. *)
+
+val add_list : t -> Nn.Pvnet.sample list -> unit
+val length : t -> int
+val capacity : t -> int
+
+val sample_batch :
+  rng:Random.State.t -> t -> int -> Nn.Pvnet.sample list
+(** Uniform sample with replacement; at most [length t] distinct tuples.
+    Empty list if the buffer is empty. *)
+
+(** {1 Persistence}
+
+    Checkpointing for long (paper-scale) training runs: the buffer's
+    tuples — including their reduced-graph states — round-trip through a
+    text file. *)
+
+val save : t -> string -> unit
+
+val load : string -> t
+(** @raise Invalid_argument on malformed files. *)

@@ -1,0 +1,31 @@
+open Pbqp
+
+let rec complete st =
+  if State.is_complete st then Some st
+  else if State.is_dead_end st then None
+  else
+    match State.next_cost_vector st with
+    | None -> None
+    | Some vec ->
+        let m = State.m st in
+        let best = ref (-1) and best_cost = ref Cost.inf in
+        for c = 0 to m - 1 do
+          let x = Vec.get vec c in
+          if Cost.compare x !best_cost < 0 then begin
+            best := c;
+            best_cost := x
+          end
+        done;
+        if !best < 0 then None else complete (State.apply st !best)
+
+let greedy_cost state =
+  match complete state with
+  | Some final -> State.base_cost final
+  | None -> Cost.inf
+
+let greedy_solution state =
+  match complete state with
+  | Some final -> Some (State.assignment final, State.base_cost final)
+  | None -> None
+
+let value ~mode state = Game.reward mode (greedy_cost state)

@@ -1,0 +1,20 @@
+(** Greedy roll-out evaluation (an extension beyond the paper).
+
+    AlphaZero — and the paper — evaluate MCTS leaves with the value
+    network alone.  At our laptop-scale training budget the value head is
+    a weak ranker mid-game, so minimization-mode inference can optionally
+    blend it with the reward of a {e greedy completion} of the leaf state
+    (always picking the locally cheapest legal color), in the spirit of
+    AlphaGo's fast roll-out policy.  Deterministic, cheap
+    (O(remaining · degree · m)), and disabled by default. *)
+
+val greedy_cost : State.t -> Pbqp.Cost.t
+(** Complete the state greedily; [inf] on a dead end. *)
+
+val greedy_solution : State.t -> (Pbqp.Solution.t * Pbqp.Cost.t) option
+(** The greedy completion itself (colors for every vertex the state still
+    had to color, plus whatever was already assigned); [None] on a dead
+    end. *)
+
+val value : mode:Game.mode -> State.t -> float
+(** The reward of the greedy completion under [mode]. *)

@@ -1,0 +1,85 @@
+open Pbqp
+
+type t = {
+  graph : Graph.t;
+  order : int array;
+  pos : int;
+  base_cost : Cost.t;
+  assignment : Solution.t;
+}
+
+let of_graph ?order g =
+  let live = Graph.vertices g in
+  let order =
+    match order with
+    | None -> Array.of_list live
+    | Some o ->
+        if List.sort Int.compare (Array.to_list o) <> live then
+          invalid_arg "State.of_graph: order is not a permutation of the vertices";
+        Array.copy o
+  in
+  {
+    graph = Graph.copy g;
+    order;
+    pos = 0;
+    base_cost = Cost.zero;
+    assignment = Solution.make (Graph.capacity g);
+  }
+
+let m t = Graph.m t.graph
+let next_vertex t = if t.pos < Array.length t.order then Some t.order.(t.pos) else None
+
+let next_cost_vector t =
+  Option.map (fun u -> Graph.cost t.graph u) (next_vertex t)
+
+let legal t c =
+  match next_cost_vector t with
+  | Some vec -> c >= 0 && c < m t && Cost.is_finite (Vec.get vec c)
+  | None -> false
+
+let is_complete t = t.pos >= Array.length t.order
+
+let is_dead_end t =
+  (not (is_complete t))
+  && (let dead = ref false in
+      for i = t.pos to Array.length t.order - 1 do
+        if (not !dead) && Vec.is_all_inf (Graph.cost t.graph t.order.(i)) then
+          dead := true
+      done;
+      !dead)
+
+let is_terminal t = is_complete t || is_dead_end t
+let base_cost t = t.base_cost
+let assignment t = Solution.copy t.assignment
+let graph t = t.graph
+let colored_count t = t.pos
+let remaining t = Array.length t.order - t.pos
+
+let apply t c =
+  match next_vertex t with
+  | None -> invalid_arg "State.apply: game is complete"
+  | Some u ->
+      if not (legal t c) then invalid_arg "State.apply: illegal color";
+      let g = Graph.copy_shared t.graph in
+      let step = Vec.get (Graph.cost g u) c in
+      List.iter
+        (fun v ->
+          let muv = Option.get (Graph.edge_ref g u v) in
+          Graph.add_to_cost g v (Mat.row muv c))
+        (Graph.neighbors g u);
+      Graph.remove_vertex g u;
+      let assignment = Solution.copy t.assignment in
+      Solution.set assignment u c;
+      {
+        graph = g;
+        order = t.order;
+        pos = t.pos + 1;
+        base_cost = Cost.add t.base_cost step;
+        assignment;
+      }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>state: %d/%d colored, base cost %a%s@,%a@]"
+    t.pos (Array.length t.order) Cost.pp t.base_cost
+    (if is_dead_end t then " (dead end)" else "")
+    Graph.pp t.graph

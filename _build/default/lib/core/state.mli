@@ -1,0 +1,63 @@
+(** PBQP game states in reduced-graph form (paper §III-C, §IV-B).
+
+    A state is the yet-uncolored remainder of the instance: colored
+    vertices have been {e detached}, their selected matrix rows folded
+    into the neighbors' cost vectors, and their own selected costs
+    accumulated into [base_cost].  By the equivalence of Fig. 3, the cost
+    of the final assignment on the original graph equals the accumulated
+    [base_cost] when the game completes.
+
+    States are persistent (transitions copy the graph), as the MCTS tree
+    requires. *)
+
+open Pbqp
+
+type t
+
+val of_graph : ?order:int array -> Graph.t -> t
+(** Initial state.  [order] is the fixed coloring order (a permutation of
+    the vertex ids, see {!Order}); defaults to increasing id.  The graph is
+    copied.  @raise Invalid_argument if [order] is not a permutation of
+    the live vertices. *)
+
+val m : t -> int
+
+val next_vertex : t -> int option
+(** The vertex the next action colors; [None] when all are colored. *)
+
+val next_cost_vector : t -> Vec.t option
+(** Current (reduced) cost vector of the next vertex. *)
+
+val legal : t -> int -> bool
+(** Color [c] is legal iff the next vertex's entry for [c] is finite. *)
+
+val is_complete : t -> bool
+
+val is_dead_end : t -> bool
+(** Some vertex still to color has an all-∞ cost vector.  Checking every
+    remaining vertex (not just the next) detects failures as early as the
+    information exists, like the graph manager of §IV-B. *)
+
+val is_terminal : t -> bool
+(** Complete or dead end. *)
+
+val apply : t -> int -> t
+(** The transition 𝒯 of §IV-B: color the next vertex, fold its selected
+    row into each live neighbor, detach it.
+    @raise Invalid_argument if complete or the color is illegal. *)
+
+val base_cost : t -> Cost.t
+(** Accumulated cost of the colored prefix (the final Equation-1 cost when
+    complete). *)
+
+val assignment : t -> Solution.t
+(** Colors chosen so far (over original vertex ids). *)
+
+val graph : t -> Graph.t
+(** The reduced graph itself (do not mutate). *)
+
+val colored_count : t -> int
+
+val remaining : t -> int
+
+val pp : Format.formatter -> t -> unit

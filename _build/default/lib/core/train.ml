@@ -1,0 +1,247 @@
+open Pbqp
+
+type config = {
+  iterations : int;
+  episodes_per_iteration : int;
+  graph : Generate.config;
+  n_mean : float;
+  n_stddev : float;
+  n_min : int;
+  mcts : Mcts.config;
+  net : Nn.Pvnet.config;
+  adam : Nn.Adam.config;
+  batch_size : int;
+  batches_per_iteration : int;
+  replay_capacity : int;
+  arena_games : int;
+  arena_wins_needed : int;
+  temperature_moves : int;
+  shaping : float;
+  planted : bool;
+  reset_on_reject : bool;
+  instance_generator : (rng:Random.State.t -> Pbqp.Graph.t) option;
+  domains : int;
+  checkpoint : string option;
+}
+
+let default_config ~m =
+  {
+    iterations = 4;
+    episodes_per_iteration = 12;
+    graph =
+      { Generate.default with m; p_edge = 0.25; p_inf = 0.01; cost_max = 10. };
+    n_mean = 14.0;
+    n_stddev = 3.0;
+    n_min = 4;
+    mcts = { Mcts.default_config with k = 24 };
+    net =
+      { (Nn.Pvnet.default_config ~m) with trunk_width = 32; trunk_blocks = 2 };
+    adam = Nn.Adam.default_config;
+    batch_size = 32;
+    batches_per_iteration = 12;
+    replay_capacity = 20_000;
+    arena_games = 10;
+    arena_wins_needed = 5;
+    temperature_moves = 6;
+    shaping = 5.0;
+    planted = false;
+    reset_on_reject = false;
+    instance_generator = None;
+    domains = 1;
+    checkpoint = None;
+  }
+
+type progress = {
+  iteration : int;
+  mean_loss : float;
+  arena_wins : int;
+  arena_ties : int;
+  kept : bool;
+  replay_size : int;
+  episodes_failed : int;
+}
+
+let random_graph ~rng config =
+  match config.instance_generator with
+  | Some f -> f ~rng
+  | None ->
+      let n =
+        Generate.sample_n ~rng ~mean:config.n_mean ~stddev:config.n_stddev
+          ~min:config.n_min
+      in
+      let gcfg = { config.graph with Generate.n } in
+      if config.planted then fst (Generate.planted ~rng gcfg)
+      else Generate.erdos_renyi ~rng gcfg
+
+(* Search guidance: compare against the Scholz cost of this graph, shaped
+   so that near-misses still rank (see .mli). *)
+let search_mode config g =
+  if config.graph.Generate.zero_inf then Game.Feasibility
+  else
+    let _, ref_cost, _ = Solvers.Scholz.solve_with_cost g in
+    let reference = if Cost.is_finite ref_cost then ref_cost else Cost.inf in
+    Game.Minimize { reference; shaping = config.shaping }
+
+let play_once ?(collect = false) ~rng ~net ~temperature_moves config g =
+  let mode = search_mode config g in
+  let state = State.of_graph g in
+  (* AlphaZero-style: the training run explores with Dirichlet root noise;
+     inference runs (temperature 0) play clean *)
+  let root_noise = if temperature_moves > 0 then Some (0.25, 0.5) else None in
+  Episode.play ~collect ~rng ~net ~mode
+    { Episode.mcts = config.mcts; temperature_moves; root_noise }
+    state
+
+let compare_costs current best =
+  if Cost.compare current best < 0 then 1.0
+  else if Cost.compare current best > 0 then -1.0
+  else 0.0
+
+let checkpoint_paths prefix =
+  (prefix ^ ".best.ckpt", prefix ^ ".current.ckpt", prefix ^ ".replay.txt")
+
+let run ?(on_iteration = fun _ -> ()) ~rng config =
+  (* resume from a checkpoint prefix when all three files exist *)
+  let resume =
+    match config.checkpoint with
+    | Some prefix ->
+        let b, c, r = checkpoint_paths prefix in
+        if Sys.file_exists b && Sys.file_exists c && Sys.file_exists r then
+          Some (Nn.Pvnet.load b, Nn.Pvnet.load c, Replay.load r)
+        else None
+    | None -> None
+  in
+  let best, current, replay =
+    match resume with
+    | Some (b, c, r) -> (b, c, r)
+    | None ->
+        let best = Nn.Pvnet.create ~rng config.net in
+        (best, Nn.Pvnet.clone best,
+         Replay.create ~capacity:config.replay_capacity)
+  in
+  let opt = Nn.Adam.create config.adam in
+  let save_checkpoint () =
+    match config.checkpoint with
+    | None -> ()
+    | Some prefix ->
+        let b, c, r = checkpoint_paths prefix in
+        Nn.Pvnet.save best b;
+        Nn.Pvnet.save current c;
+        Replay.save replay r
+  in
+  (* One self-play episode: returns the stamped training tuples and
+     whether the (collecting) player failed to finish.  Safe to run in a
+     worker domain given private nets and rng. *)
+  let one_episode ~rng ~best ~current =
+    let g = random_graph ~rng config in
+    let best_outcome, _ =
+      play_once ~rng ~net:best ~temperature_moves:0 config g
+    in
+    let cur_outcome, samples =
+      play_once ~collect:true ~rng ~net:current
+        ~temperature_moves:config.temperature_moves config g
+    in
+    (* In the no-spill (0/∞) setting the game is feasibility: finishing is
+       the win condition itself, so the label is absolute.  In the general
+       setting the label is the paper's comparison against the best
+       player. *)
+    let z =
+      if config.graph.Generate.zero_inf then
+        Game.reward Game.Feasibility cur_outcome.Episode.cost
+      else compare_costs cur_outcome.Episode.cost best_outcome.Episode.cost
+    in
+    (Episode.set_values z samples, cur_outcome.Episode.solution = None)
+  in
+  for iteration = 1 to config.iterations do
+    let episodes_failed = ref 0 in
+    (* --- self-play data generation --- *)
+    (if config.domains <= 1 then
+       for _ = 1 to config.episodes_per_iteration do
+         let samples, failed = one_episode ~rng ~best ~current in
+         if failed then incr episodes_failed;
+         Replay.add_list replay samples
+       done
+     else begin
+       (* Parallel self-play: each worker gets private clones of both nets
+          (the GCN message cache inside a net is not thread-safe) and a
+          private rng seeded from the main stream.  Training stays on the
+          main domain. *)
+       let nd = min config.domains config.episodes_per_iteration in
+       let base = config.episodes_per_iteration / nd in
+       let extra = config.episodes_per_iteration mod nd in
+       let workers =
+         List.init nd (fun i ->
+             let count = base + (if i < extra then 1 else 0) in
+             let seed = Random.State.int rng 0x3FFFFFFF in
+             let best = Nn.Pvnet.clone best in
+             let current = Nn.Pvnet.clone current in
+             Domain.spawn (fun () ->
+                 let rng = Random.State.make [| seed; i |] in
+                 List.init count (fun _ -> one_episode ~rng ~best ~current)))
+       in
+       List.iter
+         (fun d ->
+           List.iter
+             (fun (samples, failed) ->
+               if failed then incr episodes_failed;
+               Replay.add_list replay samples)
+             (Domain.join d))
+         workers
+     end);
+    (* --- gradient training --- *)
+    let losses = ref [] in
+    for _ = 1 to config.batches_per_iteration do
+      let batch = Replay.sample_batch ~rng replay config.batch_size in
+      if batch <> [] then
+        losses := Nn.Pvnet.train_batch current opt batch :: !losses
+    done;
+    let mean_loss =
+      match !losses with
+      | [] -> 0.0
+      | ls -> List.fold_left ( +. ) 0.0 ls /. float_of_int (List.length ls)
+    in
+    (* --- arena gate --- *)
+    let wins = ref 0 and ties = ref 0 in
+    for _ = 1 to config.arena_games do
+      let g = random_graph ~rng config in
+      let b, _ = play_once ~rng ~net:best ~temperature_moves:0 config g in
+      let c, _ = play_once ~rng ~net:current ~temperature_moves:0 config g in
+      match compare_costs c.Episode.cost b.Episode.cost with
+      | 1.0 -> incr wins
+      | 0.0 -> incr ties
+      | _ -> ()
+    done;
+    (* Promote the candidate when it wins the majority of the games that
+       were decisive at all, requiring at least one decisive win.  (A
+       fixed ">5 of 10" threshold as in the paper needs large arenas to
+       ever engage; with ties counted out, small arenas gate sensibly.) *)
+    let losses = config.arena_games - !wins - !ties in
+    let kept = !wins > losses in
+    if kept then Nn.Pvnet.sync ~src:current ~dst:best
+    else if config.reset_on_reject then Nn.Pvnet.sync ~src:best ~dst:current;
+    on_iteration
+      {
+        iteration;
+        mean_loss;
+        arena_wins = !wins;
+        arena_ties = !ties;
+        kept;
+        replay_size = Replay.length replay;
+        episodes_failed = !episodes_failed;
+      };
+    save_checkpoint ()
+  done;
+  (* Final gate: the candidate carries all accumulated training; return it
+     unless the incumbent actually beats it head-to-head (with an all-tie
+     arena the candidate's extra training is the better bet). *)
+  let wins = ref 0 and losses = ref 0 in
+  for _ = 1 to config.arena_games do
+    let g = random_graph ~rng config in
+    let b, _ = play_once ~rng ~net:best ~temperature_moves:0 config g in
+    let c, _ = play_once ~rng ~net:current ~temperature_moves:0 config g in
+    match compare_costs c.Episode.cost b.Episode.cost with
+    | 1.0 -> incr wins
+    | -1.0 -> incr losses
+    | _ -> ()
+  done;
+  if !losses > !wins then best else current

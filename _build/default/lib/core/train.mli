@@ -1,0 +1,82 @@
+(** The self-play training loop (paper §IV-A, §V-A).
+
+    One {e iteration} = [episodes_per_iteration] self-plays on fresh
+    random Erdős–Rényi PBQP graphs, each contributing one tuple per move
+    to the replay queue, followed by gradient training of the current net
+    and an arena gate: the candidate plays the incumbent best net on
+    [arena_games] fresh graphs and replaces it only with more than
+    [arena_wins_needed] wins (paper: >5 of 10); otherwise the candidate is
+    reset to the incumbent.
+
+    Rewards: each episode's graph is first colored by the best net; the
+    training tuples of the current net's coloring are stamped with
+    +1/0/−1 by cost comparison (§III-B).  Search guidance {e inside}
+    both colorings uses a [Minimize] mode whose reference is the
+    Scholz–Eckstein cost of the graph — a fixed, cheap yardstick that
+    makes terminal values meaningful from iteration zero (an engineering
+    choice documented in DESIGN.md; the training labels themselves follow
+    the paper exactly). *)
+
+type config = {
+  iterations : int;
+  episodes_per_iteration : int;
+  graph : Pbqp.Generate.config;  (** template; [n] is resampled per episode *)
+  n_mean : float;
+  n_stddev : float;
+  n_min : int;
+  mcts : Mcts.config;  (** [mcts.k] is the paper's k_train *)
+  net : Nn.Pvnet.config;
+  adam : Nn.Adam.config;
+  batch_size : int;
+  batches_per_iteration : int;
+  replay_capacity : int;
+  arena_games : int;
+  arena_wins_needed : int;
+  temperature_moves : int;
+  shaping : float;  (** reward shaping scale for search guidance *)
+  planted : bool;
+      (** generate guaranteed-solvable planted instances instead of plain
+          Erdős–Rényi — used when training nets for the no-spill ATE
+          setting, where unsolvable instances teach nothing *)
+  reset_on_reject : bool;
+      (** paper-faithful gating: discard the candidate's weights whenever
+          the arena rejects it.  Off by default: with small arenas the
+          reset destroys all learning, so the candidate keeps training and
+          only the data-generation (best) net is gated. *)
+  instance_generator : (rng:Random.State.t -> Pbqp.Graph.t) option;
+      (** when set, overrides the built-in Erdős–Rényi/planted sampling —
+          e.g. to train the ATE net on PBQP graphs of small synthetic ATE
+          programs (the target distribution). *)
+  domains : int;
+      (** self-play worker domains (OCaml 5 parallelism).  Each worker
+          plays with private network clones and a private rng; gradient
+          training stays on the main domain.  1 (the default) is fully
+          deterministic; >1 reorders replay insertion. *)
+  checkpoint : string option;
+      (** checkpoint file prefix: after every iteration both networks and
+          the replay buffer are saved to [<prefix>.best.ckpt],
+          [<prefix>.current.ckpt] and [<prefix>.replay.txt]; {!run}
+          resumes from them when all three exist.  (Optimizer moments are
+          not persisted; Adam re-warms on resume.) *)
+}
+
+val default_config : m:int -> config
+(** Laptop-scale defaults (see DESIGN.md §6); raise the knobs toward the
+    paper's 200 × 100 schedule with the [bin/train] CLI. *)
+
+type progress = {
+  iteration : int;
+  mean_loss : float;
+  arena_wins : int;
+  arena_ties : int;
+  kept : bool;  (** candidate accepted as the new best *)
+  replay_size : int;
+  episodes_failed : int;  (** self-plays that dead-ended *)
+}
+
+val run :
+  ?on_iteration:(progress -> unit) ->
+  rng:Random.State.t ->
+  config ->
+  Nn.Pvnet.t
+(** Returns the final best network. *)

@@ -1,0 +1,1 @@
+lib/nn/ad.ml: Array Float Hashtbl List Option Tensor Var

@@ -1,0 +1,1 @@
+lib/nn/ad.mli: Tensor Var

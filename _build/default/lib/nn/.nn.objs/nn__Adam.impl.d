@@ -1,0 +1,1 @@
+lib/nn/adam.ml: Array Hashtbl List Tensor Var

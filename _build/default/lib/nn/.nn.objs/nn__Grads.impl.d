@@ -1,0 +1,1 @@
+lib/nn/grads.ml: Ad Hashtbl List Tensor Var

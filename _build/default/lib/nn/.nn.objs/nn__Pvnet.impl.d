@@ -1,0 +1,1 @@
+lib/nn/pvnet.ml: Ad Adam Array Cost Fun Grads Graph Hashtbl In_channel Layer List Mat Option Pbqp Printf Random String Tensor Var Vec

@@ -1,0 +1,1 @@
+lib/nn/pvnet.mli: Ad Adam Pbqp Random Var

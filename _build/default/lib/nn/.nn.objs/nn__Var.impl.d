@@ -1,0 +1,1 @@
+lib/nn/var.ml: Array Format String Tensor

@@ -1,0 +1,1 @@
+lib/nn/var.mli: Format Tensor

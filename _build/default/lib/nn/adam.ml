@@ -1,0 +1,80 @@
+(* Adam optimizer (Kingma & Ba) with decoupled weight decay.
+
+   The paper's loss carries an L2 regularization term c·|θ|²; applying it
+   as decoupled decay in the update (AdamW) is the standard equivalent
+   that avoids pushing the regularizer through autodiff. *)
+
+type config = {
+  lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  weight_decay : float;
+  grad_clip : float;
+      (* global-norm clipping threshold; non-positive disables it *)
+}
+
+let default_config =
+  { lr = 1e-3; beta1 = 0.9; beta2 = 0.999; eps = 1e-8; weight_decay = 1e-4;
+    grad_clip = 5.0 }
+
+type state = { m : Tensor.t; v : Tensor.t }
+type t = { config : config; table : (int, state) Hashtbl.t; mutable step : int }
+
+let create config = { config; table = Hashtbl.create 32; step = 0 }
+
+let state_for t (var : Var.t) =
+  match Hashtbl.find_opt t.table var.Var.id with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          m = Tensor.zeros (Tensor.shape var.Var.value);
+          v = Tensor.zeros (Tensor.shape var.Var.value);
+        }
+      in
+      Hashtbl.replace t.table var.Var.id s;
+      s
+
+let step t grads =
+  t.step <- t.step + 1;
+  let c = t.config in
+  (* global-norm gradient clipping, computed across the whole batch *)
+  let grads =
+    if c.grad_clip > 0.0 then begin
+      let norm =
+        sqrt
+          (List.fold_left
+             (fun acc (_, g) -> acc +. Tensor.l2norm_sq g)
+             0.0 grads)
+      in
+      if norm > c.grad_clip then
+        let s = c.grad_clip /. norm in
+        List.map (fun (v, g) -> (v, Tensor.scale s g)) grads
+      else grads
+    end
+    else grads
+  in
+  let bc1 = 1.0 -. (c.beta1 ** float_of_int t.step) in
+  let bc2 = 1.0 -. (c.beta2 ** float_of_int t.step) in
+  List.iter
+    (fun ((var : Var.t), g) ->
+      if not (Tensor.same_shape var.Var.value g) then
+        invalid_arg "Adam.step: gradient shape mismatch";
+      let s = state_for t var in
+      let w = Tensor.data var.Var.value in
+      let gd = Tensor.data g in
+      let md = Tensor.data s.m in
+      let vd = Tensor.data s.v in
+      for i = 0 to Array.length w - 1 do
+        md.(i) <- (c.beta1 *. md.(i)) +. ((1.0 -. c.beta1) *. gd.(i));
+        vd.(i) <- (c.beta2 *. vd.(i)) +. ((1.0 -. c.beta2) *. gd.(i) *. gd.(i));
+        let mhat = md.(i) /. bc1 in
+        let vhat = vd.(i) /. bc2 in
+        w.(i) <-
+          w.(i)
+          -. (c.lr *. ((mhat /. (sqrt vhat +. c.eps)) +. (c.weight_decay *. w.(i))))
+      done)
+    grads
+
+let steps_taken t = t.step

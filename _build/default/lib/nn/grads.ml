@@ -1,0 +1,33 @@
+(* Gradient accumulation across a mini-batch: samples are processed one at
+   a time (graphs have varying sizes, so there is no tensor batching) and
+   their per-sample gradients summed here. *)
+
+type t = {
+  table : (int, Var.t * Tensor.t) Hashtbl.t;
+  mutable samples : int;
+}
+
+let create () = { table = Hashtbl.create 32; samples = 0 }
+
+let add t var g =
+  match Hashtbl.find_opt t.table var.Var.id with
+  | Some (_, acc) -> Tensor.add_into acc g
+  | None -> Hashtbl.replace t.table var.Var.id (var, Tensor.copy g)
+
+(* Collect every parameter gradient the context accumulated. *)
+let add_from_ctx t ctx vars =
+  List.iter
+    (fun v ->
+      match Ad.var_grad ctx v with Some g -> add t v g | None -> ())
+    vars;
+  t.samples <- t.samples + 1
+
+let to_list ?(average = true) t =
+  let s =
+    if average && t.samples > 0 then 1.0 /. float_of_int t.samples else 1.0
+  in
+  Hashtbl.fold
+    (fun _ (var, g) acc -> (var, Tensor.scale s g) :: acc)
+    t.table []
+
+let sample_count t = t.samples

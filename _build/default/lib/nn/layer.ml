@@ -1,0 +1,52 @@
+(* Standard layers built from Vars and Ad primitives. *)
+
+module Linear = struct
+  type t = { w : Var.t; b : Var.t }
+
+  let create ~rng ~name ~in_dim ~out_dim =
+    {
+      w =
+        Var.create ~name:(name ^ ".w")
+          (Tensor.xavier ~rng ~fan_in:in_dim ~fan_out:out_dim
+             [| out_dim; in_dim |]);
+      b = Var.create ~name:(name ^ ".b") (Tensor.zeros [| out_dim |]);
+    }
+
+  let forward ctx t x = Ad.add (Ad.mv (Ad.of_var ctx t.w) x) (Ad.of_var ctx t.b)
+  let params t = [ t.w; t.b ]
+end
+
+module Layernorm = struct
+  type t = { gain : Var.t; bias : Var.t }
+
+  let create ~name ~dim =
+    {
+      gain = Var.create ~name:(name ^ ".gain") (Tensor.full [| dim |] 1.0);
+      bias = Var.create ~name:(name ^ ".bias") (Tensor.zeros [| dim |]);
+    }
+
+  let forward ctx t x =
+    Ad.layernorm ~gain:(Ad.of_var ctx t.gain) ~bias:(Ad.of_var ctx t.bias) x
+
+  let params t = [ t.gain; t.bias ]
+end
+
+(* Pre-norm residual MLP block: x + W2 relu(W1 (layernorm x)). *)
+module Residual = struct
+  type t = { ln : Layernorm.t; fc1 : Linear.t; fc2 : Linear.t }
+
+  let create ~rng ~name ~dim =
+    {
+      ln = Layernorm.create ~name:(name ^ ".ln") ~dim;
+      fc1 = Linear.create ~rng ~name:(name ^ ".fc1") ~in_dim:dim ~out_dim:dim;
+      fc2 = Linear.create ~rng ~name:(name ^ ".fc2") ~in_dim:dim ~out_dim:dim;
+    }
+
+  let forward ctx t x =
+    let h = Layernorm.forward ctx t.ln x in
+    let h = Ad.relu (Linear.forward ctx t.fc1 h) in
+    let h = Linear.forward ctx t.fc2 h in
+    Ad.add x h
+
+  let params t = Layernorm.params t.ln @ Linear.params t.fc1 @ Linear.params t.fc2
+end

@@ -1,0 +1,326 @@
+open Pbqp
+
+type config = {
+  m : int;
+  gcn_layers : int;
+  trunk_width : int;
+  trunk_blocks : int;
+  cost_scale : float;
+}
+
+let default_config ~m =
+  { m; gcn_layers = 2; trunk_width = 32; trunk_blocks = 2; cost_scale = 10.0 }
+
+type gcn_layer = { w_self : Layer.Linear.t; w_msg : Layer.Linear.t }
+
+type t = {
+  config : config;
+  msg_cache : (int, Tensor.t) Hashtbl.t;
+      (* message matrices memoized by Mat.id — matrices are immutable and
+         shared across MCTS states, so this stays hot through a search *)
+  gcn : gcn_layer array;
+  trunk_in : Layer.Linear.t;
+  trunk : Layer.Residual.t array;
+  trunk_ln : Layer.Layernorm.t;
+  policy_head : Layer.Linear.t;
+  value_head : Layer.Linear.t;
+}
+
+let create ~rng config =
+  if config.m <= 0 then invalid_arg "Pvnet.create: m <= 0";
+  if config.gcn_layers < 1 then invalid_arg "Pvnet.create: gcn_layers < 1";
+  let m = config.m in
+  {
+    config;
+    msg_cache = Hashtbl.create 1024;
+    gcn =
+      Array.init config.gcn_layers (fun l ->
+          let name k = Printf.sprintf "gcn%d.%s" l k in
+          {
+            w_self =
+              Layer.Linear.create ~rng ~name:(name "self") ~in_dim:m ~out_dim:m;
+            w_msg =
+              Layer.Linear.create ~rng ~name:(name "msg") ~in_dim:m ~out_dim:m;
+          });
+    trunk_in =
+      Layer.Linear.create ~rng ~name:"trunk.in" ~in_dim:(3 * m)
+        ~out_dim:config.trunk_width;
+    trunk =
+      Array.init config.trunk_blocks (fun i ->
+          Layer.Residual.create ~rng
+            ~name:(Printf.sprintf "trunk.res%d" i)
+            ~dim:config.trunk_width);
+    trunk_ln = Layer.Layernorm.create ~name:"trunk.ln" ~dim:config.trunk_width;
+    policy_head =
+      Layer.Linear.create ~rng ~name:"policy" ~in_dim:config.trunk_width
+        ~out_dim:m;
+    value_head =
+      Layer.Linear.create ~rng ~name:"value" ~in_dim:config.trunk_width
+        ~out_dim:1;
+  }
+
+let config t = t.config
+
+let params t =
+  List.concat
+    [
+      Array.to_list t.gcn
+      |> List.concat_map (fun l ->
+             Layer.Linear.params l.w_self @ Layer.Linear.params l.w_msg);
+      Layer.Linear.params t.trunk_in;
+      Array.to_list t.trunk |> List.concat_map Layer.Residual.params;
+      Layer.Layernorm.params t.trunk_ln;
+      Layer.Linear.params t.policy_head;
+      Layer.Linear.params t.value_head;
+    ]
+
+let param_count t = List.fold_left (fun acc v -> acc + Var.numel v) 0 (params t)
+
+let sync ~src ~dst =
+  if src.config <> dst.config then invalid_arg "Pvnet.sync: config mismatch";
+  List.iter2
+    (fun (a : Var.t) (b : Var.t) ->
+      if a.Var.name <> b.Var.name then invalid_arg "Pvnet.sync: param mismatch";
+      Array.blit (Tensor.data a.Var.value) 0 (Tensor.data b.Var.value) 0
+        (Tensor.numel a.Var.value))
+    (params src) (params dst)
+
+let clone t =
+  let t' = create ~rng:(Random.State.make [| 0 |]) t.config in
+  sync ~src:t ~dst:t';
+  t'
+
+(* --- Feature encoding ------------------------------------------------ *)
+
+(* Soft availability weight: 1 at cost 0, decaying rationally so that the
+   wide dynamic range of spill weights (1 .. 10^3) stays distinguishable,
+   and 0 for inadmissible (∞) entries. *)
+let phi_cost scale c =
+  if Cost.is_inf c then 0.0 else 1.0 /. (1.0 +. (Cost.to_float c /. scale))
+
+let vertex_features t vec =
+  Tensor.init1 t.config.m (fun i -> phi_cost t.config.cost_scale (Vec.get vec i))
+
+(* Message matrix from u into v: [Graph.edge g v u] is already oriented
+   with v's colors as rows and u's as columns, so [mv] maps u-space
+   features into v-space.  Entries become soft compatibilities, scaled by
+   1/m so message magnitudes stay bounded. *)
+let message_matrix t mat =
+  match Hashtbl.find_opt t.msg_cache (Mat.id mat) with
+  | Some cached -> cached
+  | None ->
+      let m = t.config.m in
+      let tensor =
+        Tensor.init2 m m (fun i j ->
+            phi_cost t.config.cost_scale (Mat.get mat i j) /. float_of_int m)
+      in
+      if Hashtbl.length t.msg_cache > 100_000 then Hashtbl.reset t.msg_cache;
+      Hashtbl.replace t.msg_cache (Mat.id mat) tensor;
+      tensor
+
+(* --- Forward --------------------------------------------------------- *)
+
+let forward t ctx g ~next =
+  if Graph.m g <> t.config.m then invalid_arg "Pvnet.forward: m mismatch";
+  if not (Graph.is_alive g next) then
+    invalid_arg "Pvnet.forward: next vertex not alive";
+  let verts = Graph.vertices g in
+  let h = Hashtbl.create (List.length verts) in
+  List.iter
+    (fun u -> Hashtbl.replace h u (Ad.const (vertex_features t (Graph.cost g u))))
+    verts;
+  Array.iter
+    (fun layer ->
+      let h' = Hashtbl.create (Hashtbl.length h) in
+      List.iter
+        (fun v ->
+          let self = Layer.Linear.forward ctx layer.w_self (Hashtbl.find h v) in
+          let neighbors = Graph.neighbors g v in
+          let combined =
+            match neighbors with
+            | [] -> self
+            | ns ->
+                let msgs =
+                  List.map
+                    (fun u ->
+                      let mvu = Option.get (Graph.edge_ref g v u) in
+                      Ad.mv (Ad.const (message_matrix t mvu)) (Hashtbl.find h u))
+                    ns
+                in
+                Ad.add self
+                  (Layer.Linear.forward ctx layer.w_msg (Ad.mean_list msgs))
+          in
+          Hashtbl.replace h' v (Ad.relu combined))
+        verts;
+      Hashtbl.reset h;
+      List.iter (fun v -> Hashtbl.replace h v (Hashtbl.find h' v)) verts)
+    t.gcn;
+  let embeddings = List.map (fun v -> Hashtbl.find h v) verts in
+  let global = Ad.mean_list embeddings in
+  let read =
+    Ad.concat1
+      [
+        Hashtbl.find h next;
+        global;
+        Ad.const (vertex_features t (Graph.cost g next));
+      ]
+  in
+  let x = Ad.relu (Layer.Linear.forward ctx t.trunk_in read) in
+  let x = Array.fold_left (fun x blk -> Layer.Residual.forward ctx blk x) x t.trunk in
+  let x = Layer.Layernorm.forward ctx t.trunk_ln x in
+  let logits = Layer.Linear.forward ctx t.policy_head x in
+  let value = Ad.tanh_ (Layer.Linear.forward ctx t.value_head x) in
+  (logits, value)
+
+(* --- Inference ------------------------------------------------------- *)
+
+let predict t g ~next =
+  let ctx = Ad.ctx () in
+  let logits, value = forward t ctx g ~next in
+  let cost_vec = Graph.cost g next in
+  let masked =
+    Tensor.init1 t.config.m (fun i ->
+        if Cost.is_inf (Vec.get cost_vec i) then neg_infinity
+        else Tensor.get1 (Ad.value logits) i)
+  in
+  let priors =
+    if Vec.is_all_inf cost_vec then Array.make t.config.m 0.0
+    else Tensor.to_array1 (Ad.softmax masked)
+  in
+  (priors, Tensor.get1 (Ad.value value) 0)
+
+(* --- Training -------------------------------------------------------- *)
+
+type sample = {
+  graph : Pbqp.Graph.t;
+  next : int;
+  policy : float array;
+  value : float;
+}
+
+let loss t ctx sample =
+  if Array.length sample.policy <> t.config.m then
+    invalid_arg "Pvnet.loss: policy length mismatch";
+  let logits, value = forward t ctx sample.graph ~next:sample.next in
+  let cost_vec = Graph.cost sample.graph sample.next in
+  (* Mask inadmissible colors with a large negative constant so the
+     softmax assigns them no probability; the policy target is zero there,
+     so no gradient flows to the mask. *)
+  let mask =
+    Ad.const
+      (Tensor.init1 t.config.m (fun i ->
+           if Cost.is_inf (Vec.get cost_vec i) then -1e9 else 0.0))
+  in
+  let xent =
+    Ad.softmax_xent (Ad.add logits mask) (Tensor.of_array1 sample.policy)
+  in
+  let d = Ad.sub value (Ad.scalar sample.value) in
+  Ad.add xent (Ad.mul d d)
+
+let train_batch t opt samples =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+      let grads = Grads.create () in
+      let total = ref 0.0 in
+      let vars = params t in
+      List.iter
+        (fun s ->
+          let ctx = Ad.ctx () in
+          let l = loss t ctx s in
+          Ad.backward l;
+          total := !total +. Tensor.get1 (Ad.value l) 0;
+          Grads.add_from_ctx grads ctx vars)
+        samples;
+      Adam.step opt (Grads.to_list grads);
+      !total /. float_of_int (List.length samples)
+
+(* --- Persistence ------------------------------------------------------ *)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let c = t.config in
+      Printf.fprintf oc "pvnet %d %d %d %d %.17g\n" c.m c.gcn_layers
+        c.trunk_width c.trunk_blocks c.cost_scale;
+      List.iter
+        (fun (v : Var.t) ->
+          let shape = Tensor.shape v.Var.value in
+          Printf.fprintf oc "param %s %s\n" v.Var.name
+            (String.concat "x" (Array.to_list (Array.map string_of_int shape)));
+          let d = Tensor.data v.Var.value in
+          Array.iteri
+            (fun i x ->
+              if i > 0 then output_char oc ' ';
+              Printf.fprintf oc "%.17g" x)
+            d;
+          output_char oc '\n')
+        (params t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line () =
+        match In_channel.input_line ic with
+        | Some l -> l
+        | None -> invalid_arg "Pvnet.load: truncated file"
+      in
+      let header = String.split_on_char ' ' (line ()) in
+      let t =
+        match header with
+        | [ "pvnet"; m; gl; tw; tb; cs ] ->
+            let config =
+              {
+                m = int_of_string m;
+                gcn_layers = int_of_string gl;
+                trunk_width = int_of_string tw;
+                trunk_blocks = int_of_string tb;
+                cost_scale = float_of_string cs;
+              }
+            in
+            create ~rng:(Random.State.make [| 0 |]) config
+        | _ -> invalid_arg "Pvnet.load: bad header"
+      in
+      let by_name = Hashtbl.create 32 in
+      List.iter (fun (v : Var.t) -> Hashtbl.replace by_name v.Var.name v) (params t);
+      (try
+         while true do
+           match In_channel.input_line ic with
+           | None -> raise Exit
+           | Some l when String.trim l = "" -> ()
+           | Some l -> (
+               match String.split_on_char ' ' l with
+               | [ "param"; name; shape_s ] -> (
+                   let values = line () in
+                   match Hashtbl.find_opt by_name name with
+                   | None ->
+                       invalid_arg
+                         (Printf.sprintf "Pvnet.load: unknown param %s" name)
+                   | Some var ->
+                       let shape =
+                         String.split_on_char 'x' shape_s
+                         |> List.map int_of_string |> Array.of_list
+                       in
+                       if shape <> Tensor.shape var.Var.value then
+                         invalid_arg
+                           (Printf.sprintf "Pvnet.load: shape mismatch for %s"
+                              name);
+                       let d = Tensor.data var.Var.value in
+                       let toks =
+                         String.split_on_char ' ' values
+                         |> List.filter (fun s -> s <> "")
+                       in
+                       if List.length toks <> Array.length d then
+                         invalid_arg
+                           (Printf.sprintf "Pvnet.load: value count for %s" name);
+                       List.iteri
+                         (fun i s -> d.(i) <- float_of_string s)
+                         toks)
+               | _ -> invalid_arg "Pvnet.load: malformed line")
+         done
+       with Exit -> ());
+      t)

@@ -1,0 +1,76 @@
+(** The policy/value network for PBQP states (paper §III-D, §IV-D).
+
+    Architecture, following the paper: GCN layers whose messages are
+    modulated by the edge cost matrices (Fig. 4), a residual MLP trunk
+    (the paper's "ResNet"), and two heads — P-Net (softmax over the [m]
+    colors of the next vertex) and V-Net (tanh scalar in [-1, 1]).
+
+    Cost encoding: an entry [c] of a cost vector or matrix enters the
+    network as [1 / (1 + c / cost_scale)] (so ∞ → 0): a soft
+    availability / compatibility weight whose rational decay keeps the
+    wide dynamic range of spill weights distinguishable.  Hidden GCN features live in ℝ^m exactly as in
+    the paper, so the [m × m] edge matrices apply to messages directly.
+    The readout for heads is [h_next ‖ mean_v h_v ‖ φ(C_next)] — the
+    paper's μ concatenation is not fixed-size across graphs, so we use the
+    next-vertex embedding plus a global mean pool (see DESIGN.md).
+
+    Deviation from the paper: normalization layers are LayerNorm, not
+    BatchNorm (training is per-sample; see DESIGN.md). *)
+
+type config = {
+  m : int;  (** number of colors; the network is specific to it *)
+  gcn_layers : int;
+  trunk_width : int;
+  trunk_blocks : int;
+  cost_scale : float;  (** the [s] in [1/(1 + c/s)] *)
+}
+
+val default_config : m:int -> config
+(** 2 GCN layers, width 32, 2 residual blocks, cost_scale 10. *)
+
+type t
+
+val create : rng:Random.State.t -> config -> t
+val config : t -> config
+val params : t -> Var.t list
+val param_count : t -> int
+
+val sync : src:t -> dst:t -> unit
+(** Copy all parameter values from [src] into [dst].
+    @raise Invalid_argument if the two nets have different configs. *)
+
+val clone : t -> t
+(** A deep copy with independent parameters. *)
+
+(** {1 Inference} *)
+
+val predict : t -> Pbqp.Graph.t -> next:int -> float array * float
+(** [(priors, value)] for coloring vertex [next] of a reduced-graph state.
+    Priors are a distribution over the [m] colors with zero mass on
+    colors whose vertex cost is ∞ (all-zero if the vertex is a dead end).
+    @raise Invalid_argument if the graph's [m] differs from the net's or
+    [next] is not a live vertex. *)
+
+(** {1 Training} *)
+
+type sample = {
+  graph : Pbqp.Graph.t;  (** reduced state (a private snapshot) *)
+  next : int;  (** the vertex the action colors *)
+  policy : float array;  (** MCTS visit distribution π (length m) *)
+  value : float;  (** final reward z ∈ {-1, 0, +1} *)
+}
+
+val loss : t -> Ad.ctx -> sample -> Ad.t
+(** Scalar node: cross-entropy(policy, P-Net) + (value − V-Net)².  The L2
+    term of the paper's loss is applied as decoupled weight decay in
+    {!Adam}. *)
+
+val train_batch : t -> Adam.t -> sample list -> float
+(** One optimizer step on the mean gradient of the batch; returns the mean
+    loss. *)
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+val load : string -> t
+(** @raise Invalid_argument on malformed or mismatched checkpoint files. *)

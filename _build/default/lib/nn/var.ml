@@ -1,0 +1,16 @@
+type t = { id : int; name : string; value : Tensor.t }
+
+let counter = ref 0
+
+let create ~name value =
+  incr counter;
+  { id = !counter; name; value }
+
+let numel v = Tensor.numel v.value
+
+let pp ppf v =
+  Format.fprintf ppf "%s#%d%a" v.name v.id
+    (fun ppf t ->
+      Format.fprintf ppf "[%s]"
+        (String.concat "x" (Array.to_list (Array.map string_of_int (Tensor.shape t)))))
+    v.value

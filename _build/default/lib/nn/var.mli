@@ -1,0 +1,15 @@
+(** Trainable parameters.
+
+    A [Var.t] owns a tensor that persists across forward passes (a weight
+    matrix, a bias vector).  Each forward pass wraps it in a fresh autodiff
+    leaf via {!Ad.of_var}; the optimizer updates [value]'s buffer in
+    place. *)
+
+type t = private { id : int; name : string; value : Tensor.t }
+
+val create : name:string -> Tensor.t -> t
+(** Fresh id; takes ownership of the tensor. *)
+
+val numel : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pbqp/cost.ml: Float Format Printf String

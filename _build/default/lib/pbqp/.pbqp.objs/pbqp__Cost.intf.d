@@ -1,0 +1,1 @@
+lib/pbqp/cost.mli: Format

@@ -1,0 +1,1 @@
+lib/pbqp/dot.ml: Buffer Cost Graph List Mat Out_channel Printf

@@ -1,0 +1,1 @@
+lib/pbqp/dot.mli: Graph

@@ -1,0 +1,1 @@
+lib/pbqp/generate.ml: Array Cost Float Graph Mat Random Solution Stdlib Vec

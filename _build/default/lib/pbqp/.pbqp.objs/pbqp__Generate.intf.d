@@ -1,0 +1,1 @@
+lib/pbqp/generate.mli: Graph Random Solution

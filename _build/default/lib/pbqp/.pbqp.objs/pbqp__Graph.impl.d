@@ -1,0 +1,1 @@
+lib/pbqp/graph.ml: Array Bool Format Fun Hashtbl Int List Mat Option Printf Vec

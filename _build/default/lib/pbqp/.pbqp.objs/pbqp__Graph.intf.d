@@ -1,0 +1,1 @@
+lib/pbqp/graph.mli: Format Mat Vec

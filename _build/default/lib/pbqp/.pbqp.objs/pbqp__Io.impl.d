@@ -1,0 +1,1 @@
+lib/pbqp/io.ml: Array Cost Float Format Fun Graph In_channel List Mat Printf String Vec

@@ -1,0 +1,1 @@
+lib/pbqp/io.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/pbqp/mat.ml: Array Cost Float Format Vec

@@ -1,0 +1,1 @@
+lib/pbqp/mat.mli: Cost Format Vec

@@ -1,0 +1,1 @@
+lib/pbqp/normalize.ml: Cost Graph List Mat Vec

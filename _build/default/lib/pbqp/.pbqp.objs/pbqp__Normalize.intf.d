@@ -1,0 +1,1 @@
+lib/pbqp/normalize.mli: Graph

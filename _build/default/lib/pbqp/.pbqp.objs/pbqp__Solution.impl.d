@@ -1,0 +1,1 @@
+lib/pbqp/solution.ml: Array Cost Format Graph List Mat Vec

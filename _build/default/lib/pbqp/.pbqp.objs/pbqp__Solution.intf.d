@@ -1,0 +1,1 @@
+lib/pbqp/solution.mli: Cost Format Graph

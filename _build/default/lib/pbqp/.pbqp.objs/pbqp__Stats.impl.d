@@ -1,0 +1,1 @@
+lib/pbqp/stats.ml: Array Cost Format Graph List Mat Vec

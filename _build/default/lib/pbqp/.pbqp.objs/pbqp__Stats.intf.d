@@ -1,0 +1,1 @@
+lib/pbqp/stats.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/pbqp/vec.ml: Array Cost Float Format

@@ -1,0 +1,1 @@
+lib/pbqp/vec.mli: Cost Format

@@ -1,0 +1,34 @@
+type t = float
+
+let zero = 0.0
+let inf = infinity
+let is_inf c = c = infinity
+let is_finite c = c <> infinity
+let add a b = a +. b
+let min a b = if a <= b then a else b
+let compare (a : t) (b : t) = Float.compare a b
+let equal (a : t) (b : t) = a = b
+
+let approx_equal ?(eps = 1e-9) a b =
+  if is_inf a || is_inf b then a = b else Float.abs (a -. b) <= eps
+
+let of_float f =
+  if Float.is_nan f then invalid_arg "Cost.of_float: NaN" else f
+
+let to_float c = c
+
+let pp ppf c =
+  if is_inf c then Format.pp_print_string ppf "inf"
+  else if Float.is_integer c && Float.abs c < 1e15 then
+    Format.fprintf ppf "%.0f" c
+  else Format.fprintf ppf "%g" c
+
+let to_string c = Format.asprintf "%a" pp c
+
+let of_string s =
+  match String.trim s with
+  | "inf" | "Inf" | "INF" | "infinity" -> inf
+  | s -> (
+      match float_of_string_opt s with
+      | Some f when not (Float.is_nan f) -> f
+      | _ -> invalid_arg (Printf.sprintf "Cost.of_string: %S" s))

@@ -1,0 +1,49 @@
+(** Extended-real costs for PBQP.
+
+    A cost is either a finite non-negative (by convention) float or
+    {!infinity}, which encodes an inadmissible selection.  All PBQP
+    computations only ever {e add} costs and take {e minima}, so IEEE float
+    semantics give exactly the extended-real algebra we need
+    ([inf + x = inf], [min inf x = x]); the ill-defined [inf - inf] never
+    arises. *)
+
+type t = float
+
+val zero : t
+
+val inf : t
+(** The inadmissible cost. *)
+
+val is_inf : t -> bool
+
+val is_finite : t -> bool
+
+val add : t -> t -> t
+(** [add a b] is the extended-real sum. *)
+
+val min : t -> t -> t
+
+val compare : t -> t -> int
+(** Total order with [inf] greatest. *)
+
+val equal : t -> t -> bool
+(** Exact equality ([inf] equals [inf]). *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Equality up to [eps] (default [1e-9]) for finite values; [inf] only
+    equals [inf]. *)
+
+val of_float : float -> t
+(** Identity, with a check that the input is not NaN.
+    @raise Invalid_argument on NaN. *)
+
+val to_float : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Prints [inf] for infinity and a compact decimal otherwise. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parses the output of {!to_string} ("inf" or a float literal).
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,31 @@
+let to_string ?(name = "pbqp") g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string b "  node [shape=circle, fontsize=10];\n";
+  List.iter
+    (fun u ->
+      let lib = Graph.liberty g u in
+      Buffer.add_string b
+        (Printf.sprintf "  v%d [label=\"%d\\nlib %d\"%s];\n" u u lib
+           (if lib <= 4 then ", style=filled, fillcolor=lightgray" else "")))
+    (Graph.vertices g);
+  Graph.fold_edges
+    (fun u v muv () ->
+      let infs = ref 0 in
+      let minfin = ref Cost.inf in
+      Mat.iteri
+        (fun _ _ c ->
+          if Cost.is_inf c then incr infs else minfin := Cost.min !minfin c)
+        muv;
+      Buffer.add_string b
+        (Printf.sprintf "  v%d -- v%d [label=\"%d inf%s\", fontsize=8];\n" u v
+           !infs
+           (if Cost.is_finite !minfin && not (Cost.equal !minfin Cost.zero)
+            then Printf.sprintf ", min %s" (Cost.to_string !minfin)
+            else "")))
+    g ();
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let to_file path g =
+  Out_channel.with_open_text path (fun oc -> output_string oc (to_string g))

@@ -1,0 +1,9 @@
+(** Graphviz export of PBQP graphs, for debugging and papers.
+
+    Vertices are labeled with id / liberty; edges carry a compact summary
+    of their matrix (number of ∞ entries, minimum finite entry).  Vertices
+    with liberty ≤ 4 — the "hard" ones — are drawn filled. *)
+
+val to_string : ?name:string -> Graph.t -> string
+
+val to_file : string -> Graph.t -> unit

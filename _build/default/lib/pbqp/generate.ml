@@ -1,0 +1,113 @@
+type config = {
+  n : int;
+  m : int;
+  p_edge : float;
+  p_inf : float;
+  cost_max : float;
+  zero_inf : bool;
+  min_liberty : int;
+}
+
+let default =
+  {
+    n = 100;
+    m = 13;
+    p_edge = 0.08;
+    p_inf = 0.01;
+    cost_max = 10.;
+    zero_inf = false;
+    min_liberty = 1;
+  }
+
+let validate c =
+  if c.n < 0 then invalid_arg "Generate: n < 0";
+  if c.m <= 0 then invalid_arg "Generate: m <= 0";
+  if c.p_edge < 0. || c.p_edge > 1. then invalid_arg "Generate: p_edge not in [0,1]";
+  if c.p_inf < 0. || c.p_inf > 1. then invalid_arg "Generate: p_inf not in [0,1]";
+  if c.cost_max < 0. then invalid_arg "Generate: cost_max < 0";
+  if c.min_liberty < 0 || c.min_liberty > c.m then
+    invalid_arg "Generate: min_liberty out of range"
+
+let entry ~rng c =
+  if Random.State.float rng 1.0 < c.p_inf then Cost.inf
+  else if c.zero_inf then Cost.zero
+  else Random.State.float rng c.cost_max
+
+(* Re-draw finite entries at random infinite positions until the vector has
+   the required liberty. *)
+let enforce_liberty ~rng c vec =
+  let finite_value () =
+    if c.zero_inf then Cost.zero else Random.State.float rng c.cost_max
+  in
+  while Vec.liberty vec < c.min_liberty do
+    let i = Random.State.int rng c.m in
+    if Cost.is_inf (Vec.get vec i) then Vec.set vec i (finite_value ())
+  done
+
+let erdos_renyi ~rng c =
+  validate c;
+  let g = Graph.create ~m:c.m ~n:c.n in
+  for u = 0 to c.n - 1 do
+    let vec = Vec.init c.m (fun _ -> entry ~rng c) in
+    enforce_liberty ~rng c vec;
+    Graph.set_cost g u vec
+  done;
+  for u = 0 to c.n - 1 do
+    for v = u + 1 to c.n - 1 do
+      if Random.State.float rng 1.0 < c.p_edge then begin
+        let muv = Mat.init ~rows:c.m ~cols:c.m (fun _ _ -> entry ~rng c) in
+        if not (Mat.is_zero muv) then Graph.add_edge g u v muv
+      end
+    done
+  done;
+  g
+
+let planted ~rng c =
+  validate c;
+  let g = Graph.create ~m:c.m ~n:c.n in
+  let secret = Array.init c.n (fun _ -> Random.State.int rng c.m) in
+  let finite_value () =
+    if c.zero_inf then Cost.zero else Random.State.float rng c.cost_max
+  in
+  for u = 0 to c.n - 1 do
+    let vec =
+      Vec.init c.m (fun i ->
+          if i = secret.(u) then finite_value ()
+          else if Random.State.float rng 1.0 < c.p_inf then Cost.inf
+          else finite_value ())
+    in
+    Graph.set_cost g u vec
+  done;
+  for u = 0 to c.n - 1 do
+    for v = u + 1 to c.n - 1 do
+      if Random.State.float rng 1.0 < c.p_edge then begin
+        let muv =
+          Mat.init ~rows:c.m ~cols:c.m (fun i j ->
+              if i = secret.(u) && j = secret.(v) then finite_value ()
+              else if Random.State.float rng 1.0 < c.p_inf then Cost.inf
+              else finite_value ())
+        in
+        if not (Mat.is_zero muv) then Graph.add_edge g u v muv
+      end
+    done
+  done;
+  (g, Solution.of_array secret)
+
+let sample_n ~rng ~mean ~stddev ~min =
+  let u1 = Stdlib.max 1e-12 (Random.State.float rng 1.0) in
+  let u2 = Random.State.float rng 1.0 in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  Stdlib.max min (int_of_float (Float.round (mean +. (stddev *. z))))
+
+let fig2 () =
+  let g = Graph.create ~m:2 ~n:3 in
+  Graph.set_cost g 0 (Vec.of_array [| 5.; 2. |]);
+  Graph.set_cost g 1 (Vec.of_array [| 5.; 0. |]);
+  Graph.set_cost g 2 (Vec.of_array [| 0.; 7. |]);
+  (* Unconstrained combinations get a large finite cost so that the
+     selections discussed in the paper dominate. *)
+  let x = 10. in
+  Graph.add_edge g 0 1 (Mat.of_arrays [| [| 1.; x |]; [| x; 8. |] |]);
+  Graph.add_edge g 1 2 (Mat.of_arrays [| [| 0.; x |]; [| 9.; x |] |]);
+  Graph.add_edge g 0 2 (Mat.of_arrays [| [| 0.; x |]; [| 5.; x |] |]);
+  g

@@ -1,0 +1,45 @@
+(** Random PBQP instance generation.
+
+    The paper trains on Erdős–Rényi random PBQP graphs (§V-A): [n] vertices,
+    each pair connected with probability [p_edge]; random cost vectors and
+    matrices where each entry is infinite with probability [p_inf]
+    (paper default 1%).  ATE-style instances restrict finite costs to zero,
+    so a solution's cost is either 0 or ∞ (§II-B). *)
+
+type config = {
+  n : int;  (** number of vertices *)
+  m : int;  (** number of colors *)
+  p_edge : float;  (** edge probability (Erdős–Rényi) *)
+  p_inf : float;  (** probability that a cost entry is infinite *)
+  cost_max : float;  (** finite entries are uniform in [0, cost_max] *)
+  zero_inf : bool;  (** ATE mode: finite entries are all 0 *)
+  min_liberty : int;
+      (** every generated cost vector keeps at least this many finite
+          entries (prevents trivially unsolvable vertices) *)
+}
+
+val default : config
+(** [n = 100; m = 13; p_edge = 0.08; p_inf = 0.01; cost_max = 10.;
+    zero_inf = false; min_liberty = 1] *)
+
+val erdos_renyi : rng:Random.State.t -> config -> Graph.t
+(** One random instance.  @raise Invalid_argument on nonsensical configs
+    (negative probabilities, [min_liberty > m], …). *)
+
+val sample_n : rng:Random.State.t -> mean:float -> stddev:float -> min:int -> int
+(** Gaussian vertex-count sampling (Box–Muller), clamped below at [min] —
+    the paper draws episode sizes from a normal distribution around 100. *)
+
+val planted : rng:Random.State.t -> config -> Graph.t * Solution.t
+(** A guaranteed-solvable instance: a secret assignment is drawn first and
+    infinities are only placed where they do not invalidate it (vertex
+    entries other than the planted color become [inf] with probability
+    [p_inf]; matrix entries other than the planted pair likewise).  In
+    [zero_inf] mode this produces exactly the hard ATE family of §II-B:
+    every cost is 0 or ∞ yet a zero-cost solution exists.  Returns the
+    planted solution as a witness (other solutions may also exist). *)
+
+val fig2 : unit -> Graph.t
+(** The worked example of the paper's Figure 2: 3 vertices, 2 colors;
+    selection (1,1,0) costs 24, selection (0,0,0) costs 11, and 11 is the
+    optimum. *)

@@ -1,0 +1,100 @@
+(** PBQP graphs.
+
+    A PBQP problem instance [G(V, E, C^V, C^E)] over [m] colors: every
+    vertex carries an [m]-entry cost vector, every edge an [m × m] cost
+    matrix.  The structure is mutable — graph reductions and RL transitions
+    delete vertices and fold costs in place — and {!copy} gives the
+    persistent snapshots that search trees need.
+
+    Vertices are identified by dense integer ids [0 .. capacity-1]; deleted
+    vertices stay allocated but dead.  Each undirected edge is stored in
+    both orientations (the matrix at [v]'s side is the transpose of the one
+    at [u]'s side), kept coherent by this module.  An edge whose matrix is
+    all-zero carries no constraint and is removed eagerly, so [degree]
+    counts only meaningful edges — matching the paper's convention that
+    [u, v] are disconnected iff [C_uv = O]. *)
+
+type t
+
+val create : m:int -> n:int -> t
+(** [create ~m ~n] is a graph with [n] live vertices, zero cost vectors and
+    no edges. @raise Invalid_argument if [m <= 0] or [n < 0]. *)
+
+val m : t -> int
+(** Number of colors. *)
+
+val capacity : t -> int
+(** Size of the id space (original vertex count). *)
+
+val n_alive : t -> int
+
+val is_alive : t -> int -> bool
+
+val vertices : t -> int list
+(** Live vertex ids, increasing. *)
+
+val cost : t -> int -> Vec.t
+(** The live cost vector itself (not a copy) — mutate with care.
+    @raise Invalid_argument if the vertex is dead or out of range. *)
+
+val set_cost : t -> int -> Vec.t -> unit
+(** Replaces the vector (takes a copy). *)
+
+val add_to_cost : t -> int -> Vec.t -> unit
+(** Accumulates into the vertex's cost vector. *)
+
+val edge : t -> int -> int -> Mat.t option
+(** [edge g u v] is the cost matrix oriented with [u]'s colors as rows, or
+    [None] if there is no (non-zero) edge.  The returned matrix is a copy. *)
+
+val edge_ref : t -> int -> int -> Mat.t option
+(** Like {!edge} but returns the graph's own matrix without copying — for
+    read-only hot paths (solvers, the GCN encoder).  Callers must not
+    mutate it. *)
+
+val add_edge : t -> int -> int -> Mat.t -> unit
+(** [add_edge g u v muv] accumulates [muv] (oriented [u]-rows) into the
+    edge, creating it if absent; if the resulting matrix is all-zero the
+    edge is removed.  @raise Invalid_argument on self-edges, dead endpoints
+    or shape mismatch. *)
+
+val remove_edge : t -> int -> int -> unit
+
+val neighbors : t -> int -> int list
+(** Live neighbors, increasing. *)
+
+val degree : t -> int -> int
+
+val remove_vertex : t -> int -> unit
+(** Kills the vertex and detaches all its edges. *)
+
+val liberty : t -> int -> int
+(** Number of admissible colors of a vertex (finite cost-vector entries). *)
+
+val copy : t -> t
+(** Deep copy (fresh vectors and matrices). *)
+
+val copy_shared : t -> t
+(** Copy with fresh cost vectors and adjacency tables but {e shared}
+    matrix objects.  Sound because no graph operation mutates a matrix in
+    place ([add_edge] replaces with a freshly-built sum); the RL state
+    transition uses this so that MCTS states share matrices and
+    per-matrix caches stay hot. *)
+
+val fold_edges : (int -> int -> Mat.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over each live undirected edge exactly once, with [u < v] and the
+    matrix oriented [u]-rows (the internal matrix, not a copy). *)
+
+val edge_count : t -> int
+
+val equal : t -> t -> bool
+(** Structural equality on live vertices, costs and edges (exact). *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val check : t -> unit
+(** Validates internal invariants (orientation coherence, symmetry, no
+    dead-edge references); raises [Failure] describing the first violation.
+    Used by tests. *)
+
+val pp : Format.formatter -> t -> unit

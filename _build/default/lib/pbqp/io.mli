@@ -1,0 +1,24 @@
+(** Text serialization for PBQP graphs.
+
+    Line-oriented format, whitespace-separated, ['#'] comments:
+    {v
+    pbqp <n> <m>
+    v <id> <c_0> ... <c_{m-1}>
+    e <u> <v> <a_00> <a_01> ... <a_{m-1,m-1}>   # row-major, u-major
+    v}
+    Infinite entries print as [inf].  Vertices with zero cost vectors and
+    absent edges may be omitted. *)
+
+val to_string : Graph.t -> string
+(** Reduced graphs serialize too: dead vertex ids are recorded on a
+    [dead ...] line and re-killed on parse. *)
+
+val print : Format.formatter -> Graph.t -> unit
+
+val of_string : string -> Graph.t
+(** @raise Invalid_argument with a line-numbered message on malformed
+    input. *)
+
+val to_file : string -> Graph.t -> unit
+
+val of_file : string -> Graph.t

@@ -1,0 +1,56 @@
+(* Move row/column minima of edge matrices into vertex vectors.  Works on
+   matrix copies and re-adds them through [Graph.add_edge]'s accumulate /
+   drop-if-zero logic, so internal invariants stay intact. *)
+
+let reduce_matrix ~row_delta ~col_delta mat =
+  let rows = Mat.rows mat and cols = Mat.cols mat in
+  let out = Mat.copy mat in
+  for i = 0 to rows - 1 do
+    let d = ref Cost.inf in
+    for j = 0 to cols - 1 do
+      d := Cost.min !d (Mat.get out i j)
+    done;
+    row_delta i !d;
+    for j = 0 to cols - 1 do
+      if Cost.is_inf !d then Mat.set out i j Cost.zero
+      else Mat.set out i j (Cost.add (Mat.get out i j) (-.(!d)))
+    done
+  done;
+  for j = 0 to cols - 1 do
+    let d = ref Cost.inf in
+    for i = 0 to rows - 1 do
+      d := Cost.min !d (Mat.get out i j)
+    done;
+    col_delta j !d;
+    for i = 0 to rows - 1 do
+      if Cost.is_inf !d then Mat.set out i j Cost.zero
+      else Mat.set out i j (Cost.add (Mat.get out i j) (-.(!d)))
+    done
+  done;
+  out
+
+let normalize g =
+  let m = Graph.m g in
+  let edges = Graph.fold_edges (fun u v muv acc -> (u, v, Mat.copy muv) :: acc) g [] in
+  let removed = ref 0 in
+  List.iter
+    (fun (u, v, muv) ->
+      let du = Vec.zero m and dv = Vec.zero m in
+      let reduced =
+        reduce_matrix
+          ~row_delta:(fun i d -> Vec.set du i d)
+          ~col_delta:(fun j d -> Vec.set dv j d)
+          muv
+      in
+      Graph.add_to_cost g u du;
+      Graph.add_to_cost g v dv;
+      Graph.remove_edge g u v;
+      if Mat.is_zero reduced then incr removed
+      else Graph.add_edge g u v reduced)
+    edges;
+  !removed
+
+let normalized_copy g =
+  let h = Graph.copy g in
+  let removed = normalize h in
+  (h, removed)

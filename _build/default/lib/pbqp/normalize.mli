@@ -1,0 +1,18 @@
+(** Exact instance normalization.
+
+    The standard PBQP preprocessing: for each edge matrix, the minimum of
+    every row is moved into the corresponding entry of the row vertex's
+    cost vector (then likewise for columns).  This transformation
+    preserves Equation 1 {e for every selection} — not just the optimum —
+    and frequently zeroes matrices out entirely, disconnecting edges and
+    exposing more R0/R1/R2 reductions to downstream solvers.
+
+    An all-∞ row means that color is inadmissible for the row vertex; the
+    ∞ is moved into the cost vector and the row cleared (∞ − ∞ never
+    arises). *)
+
+val normalize : Graph.t -> int
+(** Normalizes in place; returns the number of edges removed (those whose
+    matrices became all-zero). *)
+
+val normalized_copy : Graph.t -> Graph.t * int

@@ -1,0 +1,69 @@
+type t = {
+  n : int;
+  m : int;
+  edges : int;
+  density : float;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  liberty_histogram : int array;
+  low_liberty_share : float;
+  zero_inf : bool;
+  inf_entry_share : float;
+}
+
+let compute g =
+  let verts = Graph.vertices g in
+  let n = List.length verts in
+  let m = Graph.m g in
+  let edges = Graph.edge_count g in
+  let degrees = List.map (Graph.degree g) verts in
+  let liberty_histogram = Array.make (m + 1) 0 in
+  let low = ref 0 in
+  List.iter
+    (fun u ->
+      let l = Graph.liberty g u in
+      liberty_histogram.(l) <- liberty_histogram.(l) + 1;
+      if l <= 4 then incr low)
+    verts;
+  let zero_inf = ref true in
+  let inf_entries = ref 0 in
+  let total_entries = ref 0 in
+  let account c =
+    incr total_entries;
+    if Cost.is_inf c then incr inf_entries
+    else if not (Cost.equal c Cost.zero) then zero_inf := false
+  in
+  List.iter (fun u -> Vec.iteri (fun _ c -> account c) (Graph.cost g u)) verts;
+  Graph.fold_edges (fun _ _ muv () -> Mat.iteri (fun _ _ c -> account c) muv) g ();
+  {
+    n;
+    m;
+    edges;
+    density =
+      (if n < 2 then 0.0
+       else float_of_int edges /. (float_of_int (n * (n - 1)) /. 2.0));
+    min_degree = List.fold_left min max_int (max_int :: degrees);
+    max_degree = List.fold_left max 0 (0 :: degrees);
+    mean_degree =
+      (if n = 0 then 0.0
+       else float_of_int (List.fold_left ( + ) 0 degrees) /. float_of_int n);
+    liberty_histogram;
+    low_liberty_share = (if n = 0 then 0.0 else float_of_int !low /. float_of_int n);
+    zero_inf = !zero_inf;
+    inf_entry_share =
+      (if !total_entries = 0 then 0.0
+       else float_of_int !inf_entries /. float_of_int !total_entries);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>n = %d, m = %d, %d edges (density %.3f)@,\
+     degree min/mean/max = %d / %.1f / %d@,\
+     liberty <= 4: %.0f%%; costs %s, %.1f%% infinite entries@]"
+    t.n t.m t.edges t.density
+    (if t.min_degree = max_int then 0 else t.min_degree)
+    t.mean_degree t.max_degree
+    (100. *. t.low_liberty_share)
+    (if t.zero_inf then "0/inf" else "general")
+    (100. *. t.inf_entry_share)

@@ -1,0 +1,21 @@
+(** Instance statistics: the structural profile of a PBQP graph — useful
+    for characterizing benchmark families (the paper reports its ATE
+    graphs as 28–241 vertices with ~40% of vertices at liberty ≤ 4). *)
+
+type t = {
+  n : int;
+  m : int;
+  edges : int;
+  density : float;  (** edges / (n choose 2) *)
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  liberty_histogram : int array;  (** index [l] = vertices with liberty l *)
+  low_liberty_share : float;  (** fraction with liberty ≤ 4 *)
+  zero_inf : bool;  (** every cost is 0 or ∞ *)
+  inf_entry_share : float;  (** fraction of all cost entries that are ∞ *)
+}
+
+val compute : Graph.t -> t
+
+val pp : Format.formatter -> t -> unit

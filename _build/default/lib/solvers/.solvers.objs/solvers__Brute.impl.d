@@ -1,0 +1,1 @@
+lib/solvers/brute.ml: Array Cost Graph List Mat Option Pbqp Solution Vec

@@ -1,0 +1,1 @@
+lib/solvers/brute.mli: Pbqp

@@ -1,0 +1,1 @@
+lib/solvers/liberty.ml: Array Cost Graph Hashtbl Int List Mat Option Pbqp Scholz Solution Vec

@@ -1,0 +1,1 @@
+lib/solvers/liberty.mli: Pbqp

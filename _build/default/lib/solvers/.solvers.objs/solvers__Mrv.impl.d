@@ -1,0 +1,1 @@
+lib/solvers/mrv.ml: Array Cost Graph List Mat Option Pbqp Solution Vec

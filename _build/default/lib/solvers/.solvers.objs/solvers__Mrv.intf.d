@@ -1,0 +1,1 @@
+lib/solvers/mrv.mli: Pbqp

@@ -1,0 +1,1 @@
+lib/solvers/scholz.ml: Cost Graph List Mat Option Pbqp Solution Vec

@@ -1,0 +1,1 @@
+lib/solvers/scholz.mli: Pbqp

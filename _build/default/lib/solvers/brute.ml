@@ -1,0 +1,64 @@
+open Pbqp
+
+type stats = { states : int }
+
+let solve ?(max_states = max_int) g =
+  let n = Graph.capacity g in
+  let m = Graph.m g in
+  let order = Array.of_list (Graph.vertices g) in
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i u -> pos.(u) <- i) order;
+  let assign = Array.make n Solution.unassigned in
+  let best = ref None in
+  let best_cost = ref Cost.inf in
+  let states = ref 0 in
+  let exception Budget in
+  (* Cost of assigning color [c] to [u] against already-assigned
+     neighbors. *)
+  let step_cost u c =
+    let base = Vec.get (Graph.cost g u) c in
+    List.fold_left
+      (fun acc v ->
+        if Cost.is_inf acc then acc
+        else
+          let cv = assign.(v) in
+          if cv = Solution.unassigned then acc
+          else
+            match Graph.edge_ref g u v with
+            | Some muv -> Cost.add acc (Mat.get muv c cv)
+            | None -> acc)
+      base (Graph.neighbors g u)
+  in
+  let rec go i acc =
+    if i = Array.length order then begin
+      if Cost.compare acc !best_cost < 0 then begin
+        best_cost := acc;
+        best := Some (Solution.of_array assign)
+      end
+    end
+    else
+      let u = order.(i) in
+      for c = 0 to m - 1 do
+        incr states;
+        if !states > max_states then raise Budget;
+        let dc = step_cost u c in
+        let acc' = Cost.add acc dc in
+        if Cost.compare acc' !best_cost < 0 then begin
+          assign.(u) <- c;
+          go (i + 1) acc';
+          assign.(u) <- Solution.unassigned
+        end
+      done
+  in
+  (try go 0 Cost.zero with Budget -> ());
+  let result =
+    match !best with
+    | Some sol when Cost.is_finite !best_cost -> Some (sol, !best_cost)
+    | _ -> None
+  in
+  (result, { states = !states })
+
+let optimal_cost g =
+  match fst (solve g) with Some (_, c) -> c | None -> Cost.inf
+
+let solvable g = Option.is_some (fst (solve g))

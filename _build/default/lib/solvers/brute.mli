@@ -1,0 +1,23 @@
+(** Exact PBQP solving by branch-and-bound enumeration.
+
+    Ground truth for tests and small instances: explores all color
+    assignments in vertex order, pruning branches whose partial cost
+    already meets the best known bound.  Worst case [m^n] — only use on
+    small graphs. *)
+
+type stats = { states : int  (** assignments attempted *) }
+
+val solve :
+  ?max_states:int ->
+  Pbqp.Graph.t ->
+  (Pbqp.Solution.t * Pbqp.Cost.t) option * stats
+(** [solve g] is [Some (sol, cost)] for an optimal finite-cost solution, or
+    [None] when no finite-cost assignment exists.  Stops early (returning
+    the best found so far, possibly [None]) after [max_states] attempted
+    assignments. *)
+
+val optimal_cost : Pbqp.Graph.t -> Pbqp.Cost.t
+(** The optimum ([inf] if unsolvable). *)
+
+val solvable : Pbqp.Graph.t -> bool
+(** Whether any finite-cost solution exists. *)

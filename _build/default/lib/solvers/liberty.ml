@@ -1,0 +1,145 @@
+open Pbqp
+
+type pruning = Forward | Backward
+
+type stats = { states : int; backtracks : int; budget_exhausted : bool }
+
+exception Budget
+exception Found of Solution.t
+
+let solve ?(max_liberty = 4) ?(max_states = max_int) ?(pruning = Forward) g0 =
+  let g = Graph.copy g0 in
+  let n = Graph.capacity g in
+  let m = Graph.m g in
+  let assigned = Array.make n Solution.unassigned in
+  let states = ref 0 in
+  let backtracks = ref 0 in
+  let hard =
+    Graph.vertices g
+    |> List.filter (fun u -> Graph.liberty g u <= max_liberty)
+    |> List.sort (fun a b ->
+           match Int.compare (Graph.liberty g a) (Graph.liberty g b) with
+           | 0 -> Int.compare a b
+           | c -> c)
+    |> Array.of_list
+  in
+  (* Colors of [u] ordered by current cost, cheapest first. *)
+  let candidate_colors u =
+    Vec.finite_indices (Graph.cost g u)
+    |> List.map (fun c -> (Vec.get (Graph.cost g u) c, c))
+    |> List.sort compare
+    |> List.map snd
+  in
+  (* Forward mode: assign color [c] to hard vertex [u] by folding row [c]
+     of each incident matrix into unassigned neighbors' vectors.  Returns
+     the undo trail (saved vectors) and whether a dead end appeared. *)
+  let propagate u c =
+    let trail = ref [] in
+    let dead = ref false in
+    List.iter
+      (fun v ->
+        if assigned.(v) = Solution.unassigned then begin
+          let muv = Option.get (Graph.edge_ref g u v) in
+          trail := (v, Vec.copy (Graph.cost g v)) :: !trail;
+          Graph.add_to_cost g v (Mat.row muv c);
+          if Vec.is_all_inf (Graph.cost g v) then dead := true
+        end)
+      (Graph.neighbors g u);
+    (!trail, !dead)
+  in
+  let undo trail = List.iter (fun (v, vec) -> Graph.set_cost g v vec) trail in
+  (* Backward mode: [u = c] is consistent iff it is finite against every
+     already-assigned neighbor.  No propagation, no undo. *)
+  let consistent u c =
+    List.for_all
+      (fun v ->
+        assigned.(v) = Solution.unassigned
+        || Cost.is_finite
+             (Mat.get (Option.get (Graph.edge_ref g u v)) c assigned.(v)))
+      (Graph.neighbors g u)
+  in
+  (* Residual graph over unassigned vertices, with an id mapping back.  In
+     Backward mode the working vectors were never updated, so fold the
+     assigned neighbors' selected columns in here. *)
+  let residual_cost u =
+    let base = Vec.copy (Graph.cost g u) in
+    if pruning = Backward then
+      List.iter
+        (fun v ->
+          if assigned.(v) <> Solution.unassigned then
+            let muv = Option.get (Graph.edge_ref g u v) in
+            Vec.add_into base (Vec.init m (fun i -> Mat.get muv i assigned.(v))))
+        (Graph.neighbors g u);
+    base
+  in
+  let finish_easy () =
+    let remaining =
+      Graph.vertices g |> List.filter (fun u -> assigned.(u) = Solution.unassigned)
+    in
+    let k = List.length remaining in
+    (* coloring the easy residual explores one state per vertex *)
+    states := !states + k;
+    if !states > max_states then raise Budget;
+    if k = 0 then begin
+      let sol = Solution.of_array assigned in
+      if Cost.is_finite (Solution.cost g0 sol) then raise (Found sol)
+    end
+    else begin
+      let back = Array.of_list remaining in
+      let fwd = Hashtbl.create k in
+      Array.iteri (fun i u -> Hashtbl.add fwd u i) back;
+      let residual = Graph.create ~m ~n:k in
+      Array.iteri (fun i u -> Graph.set_cost residual i (residual_cost u)) back;
+      Graph.fold_edges
+        (fun u v muv () ->
+          match (Hashtbl.find_opt fwd u, Hashtbl.find_opt fwd v) with
+          | Some i, Some j -> Graph.add_edge residual i j muv
+          | _ -> ())
+        g ();
+      let easy_sol, cost, _ = Scholz.solve_with_cost residual in
+      if Cost.is_finite cost then begin
+        let sol = Solution.of_array assigned in
+        Array.iteri (fun i u -> Solution.set sol u (Solution.get easy_sol i)) back;
+        if Cost.is_finite (Solution.cost g0 sol) then raise (Found sol)
+      end
+    end
+  in
+  let rec search i =
+    if i = Array.length hard then begin
+      finish_easy ();
+      incr backtracks
+    end
+    else begin
+      let u = hard.(i) in
+      List.iter
+        (fun c ->
+          incr states;
+          if !states > max_states then raise Budget;
+          match pruning with
+          | Forward ->
+              let trail, dead = propagate u c in
+              if not dead then begin
+                assigned.(u) <- c;
+                search (i + 1);
+                assigned.(u) <- Solution.unassigned
+              end;
+              undo trail
+          | Backward ->
+              if consistent u c then begin
+                assigned.(u) <- c;
+                search (i + 1);
+                assigned.(u) <- Solution.unassigned
+              end)
+        (candidate_colors u);
+      incr backtracks
+    end
+  in
+  let result, exhausted =
+    match search 0 with
+    | () -> (None, false)
+    | exception Found sol -> (Some sol, false)
+    | exception Budget -> (None, true)
+  in
+  ( result,
+    { states = !states; backtracks = !backtracks; budget_exhausted = exhausted }
+  )

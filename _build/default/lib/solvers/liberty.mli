@@ -1,0 +1,46 @@
+(** Liberty-based enumeration, the PBQP solver of Kim et al. (TACO 2020)
+    for ATE register allocation.
+
+    A vertex's {e liberty} is its number of admissible colors.  Vertices
+    with liberty ≤ [max_liberty] (default 4) are "hard": the solver
+    enumerates their colorings exhaustively with chronological
+    backtracking, in increasing order of initial liberty, propagating
+    selected edge costs into neighbor cost vectors and pruning dead ends
+    (a vertex left with no admissible color).  Once all hard vertices are
+    colored, the remaining "easy" residual graph is finished with the
+    Scholz–Eckstein heuristic; if that fails, the search backtracks into
+    the hard enumeration.
+
+    This is the enumeration baseline whose explored-state count the
+    Deep-RL solver is compared against (§V-B, Fig. 6 discussion): it is
+    complete over the hard vertices but its state count can explode
+    exponentially. *)
+
+type pruning =
+  | Forward
+      (** propagate each assignment into neighbor cost vectors and fail as
+          soon as any unassigned vertex loses its last color (forward
+          checking) — a strong modern implementation *)
+  | Backward
+      (** only check the attempted color against already-assigned
+          neighbors — the classic enumerate-with-chronological-backtracking
+          behavior, matching the state-count regime the paper reports for
+          the liberty-based solver (tens of millions of states) *)
+
+type stats = {
+  states : int;  (** color assignments attempted (the paper's metric) *)
+  backtracks : int;
+  budget_exhausted : bool;
+      (** true if the search stopped on [max_states] rather than on an
+          answer — a [None] result then means "unknown", not "infeasible" *)
+}
+
+val solve :
+  ?max_liberty:int ->
+  ?max_states:int ->
+  ?pruning:pruning ->
+  Pbqp.Graph.t ->
+  Pbqp.Solution.t option * stats
+(** First finite-cost solution found (feasibility-oriented, as in ATE
+    translation where any zero-cost solution is acceptable).  The input
+    graph is not modified.  [pruning] defaults to {!Forward}. *)

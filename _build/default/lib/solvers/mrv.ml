@@ -1,0 +1,75 @@
+open Pbqp
+
+type stats = { states : int; backtracks : int; budget_exhausted : bool }
+
+exception Budget
+exception Found of Solution.t
+
+let solve ?(max_states = max_int) g0 =
+  let g = Graph.copy g0 in
+  let n = Graph.capacity g in
+  let assigned = Array.make n Solution.unassigned in
+  let states = ref 0 in
+  let backtracks = ref 0 in
+  let unassigned_verts () =
+    List.filter (fun u -> assigned.(u) = Solution.unassigned) (Graph.vertices g)
+  in
+  (* fold the chosen color into unassigned neighbors, with an undo trail *)
+  let propagate u c =
+    let trail = ref [] in
+    let dead = ref false in
+    List.iter
+      (fun v ->
+        if assigned.(v) = Solution.unassigned then begin
+          let muv = Option.get (Graph.edge_ref g u v) in
+          trail := (v, Vec.copy (Graph.cost g v)) :: !trail;
+          Graph.add_to_cost g v (Mat.row muv c);
+          if Vec.is_all_inf (Graph.cost g v) then dead := true
+        end)
+      (Graph.neighbors g u);
+    (!trail, !dead)
+  in
+  let undo trail = List.iter (fun (v, vec) -> Graph.set_cost g v vec) trail in
+  let rec search remaining =
+    match remaining with
+    | 0 ->
+        let sol = Solution.of_array assigned in
+        if Cost.is_finite (Solution.cost g0 sol) then raise (Found sol)
+    | _ -> (
+        (* fail-first: branch on the vertex with the fewest colors left,
+           breaking ties toward higher degree *)
+        let pick =
+          List.fold_left
+            (fun best u ->
+              let key = (Graph.liberty g u, -Graph.degree g u, u) in
+              match best with
+              | Some (bkey, _) when bkey <= key -> best
+              | _ -> Some (key, u))
+            None (unassigned_verts ())
+        in
+        match pick with
+        | None -> ()
+        | Some (_, u) ->
+            List.iter
+              (fun c ->
+                incr states;
+                if !states > max_states then raise Budget;
+                let trail, dead = propagate u c in
+                if not dead then begin
+                  assigned.(u) <- c;
+                  search (remaining - 1);
+                  assigned.(u) <- Solution.unassigned
+                end;
+                undo trail)
+              (Vec.finite_indices (Graph.cost g u));
+            incr backtracks)
+  in
+  let result, exhausted =
+    match search (List.length (Graph.vertices g)) with
+    | () -> (None, false)
+    | exception Found sol -> (Some sol, false)
+    | exception Budget -> (None, true)
+  in
+  ( result,
+    { states = !states; backtracks = !backtracks; budget_exhausted = exhausted }
+  )

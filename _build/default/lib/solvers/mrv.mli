@@ -1,0 +1,18 @@
+(** Dynamic-order exhaustive search: minimum-remaining-values (MRV)
+    branching with forward checking.
+
+    Where {!Liberty} fixes the vertex order up front (the TACO 2020
+    baseline the paper compares against), this solver re-selects the most
+    constrained vertex — fewest admissible colors under the current
+    partial assignment — at {e every} step, the classic CSP fail-first
+    heuristic.  It is not part of the paper; it is included as the
+    strongest classical baseline we could build, to put the Deep-RL
+    state counts in context (EXPERIMENTS.md reports it alongside E3). *)
+
+type stats = { states : int; backtracks : int; budget_exhausted : bool }
+
+val solve :
+  ?max_states:int -> Pbqp.Graph.t -> Pbqp.Solution.t option * stats
+(** First finite-cost solution (feasibility-oriented).  The input graph is
+    not modified.  A [None] with [budget_exhausted = false] is a proof of
+    infeasibility. *)

@@ -1,0 +1,201 @@
+open Pbqp
+
+type record =
+  | R0 of { u : int; cu : Vec.t }
+  | R1 of { u : int; cu : Vec.t; v : int; muv : Mat.t }
+  | R2 of { u : int; cu : Vec.t; v : int; muv : Mat.t; w : int; muw : Mat.t }
+  | RN of { u : int; cu : Vec.t; edges : (int * Mat.t) list }
+
+type stats = { r0 : int; r1 : int; r2 : int; rn : int }
+
+let reduce_r1 g u v =
+  let cu = Graph.cost g u in
+  let muv = Option.get (Graph.edge_ref g u v) in
+  let m = Graph.m g in
+  let delta =
+    Vec.init m (fun j ->
+        let best = ref Cost.inf in
+        for i = 0 to m - 1 do
+          best := Cost.min !best (Cost.add (Vec.get cu i) (Mat.get muv i j))
+        done;
+        !best)
+  in
+  Graph.add_to_cost g v delta;
+  R1 { u; cu = Vec.copy cu; v; muv }
+
+let reduce_r2 g u v w =
+  let cu = Graph.cost g u in
+  let muv = Option.get (Graph.edge_ref g u v) in
+  let muw = Option.get (Graph.edge_ref g u w) in
+  let m = Graph.m g in
+  let delta =
+    Mat.init ~rows:m ~cols:m (fun j k ->
+        let best = ref Cost.inf in
+        for i = 0 to m - 1 do
+          best :=
+            Cost.min !best
+              (Cost.add (Vec.get cu i)
+                 (Cost.add (Mat.get muv i j) (Mat.get muw i k)))
+        done;
+        !best)
+  in
+  (* [delta] may be all-zero, in which case [add_edge] removes the edge —
+     exactly the "disconnected iff C = O" convention. *)
+  if not (Mat.is_zero delta) then Graph.add_edge g v w delta;
+  R2 { u; cu = Vec.copy cu; v; muv; w; muw }
+
+let reduce g =
+  let stack = ref [] in
+  let stats = ref { r0 = 0; r1 = 0; r2 = 0; rn = 0 } in
+  let pick () =
+    (* Lowest degree first; among the >2-degree rest, take the highest
+       degree (Scholz's RN choice).  Ties break on vertex id. *)
+    let best_low = ref None and best_high = ref None in
+    List.iter
+      (fun u ->
+        let d = Graph.degree g u in
+        (match !best_low with
+        | Some (_, d') when d' <= d -> ()
+        | _ -> if d <= 2 then best_low := Some (u, d));
+        match !best_high with
+        | Some (_, d') when d' >= d -> ()
+        | _ -> best_high := Some (u, d))
+      (Graph.vertices g);
+    match (!best_low, !best_high) with
+    | Some (u, d), _ -> Some (u, d)
+    | None, Some (u, d) -> Some (u, d)
+    | None, None -> None
+  in
+  let rec loop () =
+    match pick () with
+    | None -> ()
+    | Some (u, d) ->
+        let record =
+          match (d, Graph.neighbors g u) with
+          | 0, _ ->
+              stats := { !stats with r0 = !stats.r0 + 1 };
+              R0 { u; cu = Vec.copy (Graph.cost g u) }
+          | 1, [ v ] ->
+              stats := { !stats with r1 = !stats.r1 + 1 };
+              reduce_r1 g u v
+          | 2, [ v; w ] ->
+              stats := { !stats with r2 = !stats.r2 + 1 };
+              reduce_r2 g u v w
+          | _, ns ->
+              stats := { !stats with rn = !stats.rn + 1 };
+              let edges =
+                List.map (fun v -> (v, Option.get (Graph.edge_ref g u v))) ns
+              in
+              RN { u; cu = Vec.copy (Graph.cost g u); edges }
+        in
+        Graph.remove_vertex g u;
+        stack := record :: !stack;
+        loop ()
+  in
+  loop ();
+  (!stack, !stats)
+
+let back_propagate m stack sol =
+  let argmin_with extra cu =
+    let best = ref 0 and best_cost = ref Cost.inf in
+    for i = 0 to m - 1 do
+      let c = Cost.add (Vec.get cu i) (extra i) in
+      if Cost.compare c !best_cost < 0 then begin
+        best := i;
+        best_cost := c
+      end
+    done;
+    !best
+  in
+  (* The stack head is the last-removed vertex, which must be colored
+     first, so process the list front to back. *)
+  List.iter
+    (fun record ->
+      match record with
+      | R0 { u; cu } -> Solution.set sol u (argmin_with (fun _ -> Cost.zero) cu)
+      | R1 { u; cu; v; muv } ->
+          let cv = Solution.get sol v in
+          Solution.set sol u (argmin_with (fun i -> Mat.get muv i cv) cu)
+      | R2 { u; cu; v; muv; w; muw } ->
+          let cv = Solution.get sol v and cw = Solution.get sol w in
+          Solution.set sol u
+            (argmin_with
+               (fun i -> Cost.add (Mat.get muv i cv) (Mat.get muw i cw))
+               cu)
+      | RN { u; cu; edges } ->
+          Solution.set sol u
+            (argmin_with
+               (fun i ->
+                 List.fold_left
+                   (fun acc (v, muv) ->
+                     Cost.add acc (Mat.get muv i (Solution.get sol v)))
+                   Cost.zero edges)
+               cu))
+    stack
+
+(* --- partial exact reduction (R0/R1/R2 only) --- *)
+
+type reduction = { stack : record list; m : int }
+
+let reduce_exact g =
+  let work = Graph.copy g in
+  let stack = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun u ->
+        if Graph.is_alive work u then
+          let record =
+            match (Graph.degree work u, Graph.neighbors work u) with
+            | 0, _ -> Some (R0 { u; cu = Vec.copy (Graph.cost work u) })
+            | 1, [ v ] -> Some (reduce_r1 work u v)
+            | 2, [ v; w ] -> Some (reduce_r2 work u v w)
+            | _ -> None
+          in
+          match record with
+          | Some r ->
+              Graph.remove_vertex work u;
+              stack := r :: !stack;
+              progress := true
+          | None -> ())
+      (Graph.vertices work)
+  done;
+  (work, { stack = !stack; m = Graph.m g })
+
+let complete { stack; m } sol =
+  (* Process records front-to-back (reverse removal order), so each
+     record's neighbors are either residual vertices (the caller's job) or
+     vertices assigned by an earlier record; verify as we go. *)
+  List.iter
+    (fun r ->
+      let check v =
+        if Solution.get sol v = Solution.unassigned then
+          invalid_arg "Scholz.complete: residual vertex unassigned"
+      in
+      (match r with
+      | R0 _ -> ()
+      | R1 { v; _ } -> check v
+      | R2 { v; w; _ } ->
+          check v;
+          check w
+      | RN { edges; _ } -> List.iter (fun (v, _) -> check v) edges);
+      back_propagate m [ r ] sol)
+    stack
+
+let reduced_count { stack; _ } = List.length stack
+
+let solve g =
+  let work = Graph.copy g in
+  let stack, stats = reduce work in
+  let sol = Solution.make (Graph.capacity g) in
+  back_propagate (Graph.m g) stack sol;
+  (sol, stats)
+
+let solve_with_cost g =
+  let sol, stats = solve g in
+  (sol, Solution.cost g sol, stats)
+
+let succeeded g =
+  let _, cost, _ = solve_with_cost g in
+  Cost.is_finite cost

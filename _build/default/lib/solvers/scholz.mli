@@ -1,0 +1,51 @@
+(** The original PBQP solver of Scholz & Eckstein (LCTES 2002), as adopted
+    by LLVM's PBQP register allocator.
+
+    Reduction phase: repeatedly remove a vertex, preferring the lowest
+    degree.  Degree 0/1/2 vertices are removed by {e equivalence}
+    reductions (R0/R1/R2) that fold their costs into the remaining graph;
+    higher-degree vertices are removed by the {e heuristic} RN reduction,
+    which defers the choice without propagating costs — the source of
+    sub-optimality, and of outright failure on no-spill (0/∞) instances.
+    Back-propagation phase: color vertices in reverse removal order, each
+    greedily against its already-colored neighbors.
+
+    The solver always terminates with a complete assignment; on infeasible
+    or heuristically-missed instances the assignment's cost is [inf]. *)
+
+type stats = {
+  r0 : int;
+  r1 : int;
+  r2 : int;
+  rn : int;  (** how many vertices needed the heuristic reduction *)
+}
+
+val solve : Pbqp.Graph.t -> Pbqp.Solution.t * stats
+(** The input graph is not modified. *)
+
+val solve_with_cost : Pbqp.Graph.t -> Pbqp.Solution.t * Pbqp.Cost.t * stats
+(** Also evaluates Equation 1 on the input graph ([inf] = failure). *)
+
+val succeeded : Pbqp.Graph.t -> bool
+(** Whether the heuristic finds a finite-cost solution. *)
+
+(** {1 Partial exact reduction}
+
+    The R0/R1/R2 reductions are {e equivalence-preserving}: applying only
+    them leaves a residual graph (every remaining vertex has degree ≥ 3)
+    whose optimal solutions extend to optimal solutions of the original.
+    Other solvers — notably the Deep-RL solver — can attack just the
+    residual hard core and let {!complete} reconstruct the rest. *)
+
+type reduction
+
+val reduce_exact : Pbqp.Graph.t -> Pbqp.Graph.t * reduction
+(** [(residual, reduction)].  The input is not modified; the residual
+    shares the input's vertex-id space (reduced vertices are dead). *)
+
+val complete : reduction -> Pbqp.Solution.t -> unit
+(** Fill in the reduced vertices of a solution that already assigns every
+    residual vertex, by exact back-propagation.
+    @raise Invalid_argument if a residual vertex is unassigned. *)
+
+val reduced_count : reduction -> int

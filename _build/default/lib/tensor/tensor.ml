@@ -1,0 +1,214 @@
+type t = { shape : int array; data : float array }
+
+let check_shape shape =
+  match shape with
+  | [| n |] when n > 0 -> ()
+  | [| r; c |] when r > 0 && c > 0 -> ()
+  | _ -> invalid_arg "Tensor: shape must be [|n|] or [|r; c|] with positive dims"
+
+let numel_of shape = Array.fold_left ( * ) 1 shape
+
+let zeros shape =
+  check_shape shape;
+  { shape = Array.copy shape; data = Array.make (numel_of shape) 0.0 }
+
+let full shape x =
+  check_shape shape;
+  { shape = Array.copy shape; data = Array.make (numel_of shape) x }
+
+let init1 n f =
+  check_shape [| n |];
+  { shape = [| n |]; data = Array.init n f }
+
+let init2 r c f =
+  check_shape [| r; c |];
+  { shape = [| r; c |]; data = Array.init (r * c) (fun k -> f (k / c) (k mod c)) }
+
+let of_array1 a =
+  if Array.length a = 0 then invalid_arg "Tensor.of_array1: empty";
+  { shape = [| Array.length a |]; data = Array.copy a }
+
+let of_array2 a =
+  let r = Array.length a in
+  if r = 0 then invalid_arg "Tensor.of_array2: empty";
+  let c = Array.length a.(0) in
+  if c = 0 then invalid_arg "Tensor.of_array2: empty row";
+  Array.iter
+    (fun row -> if Array.length row <> c then invalid_arg "Tensor.of_array2: ragged")
+    a;
+  init2 r c (fun i j -> a.(i).(j))
+
+let scalar x = { shape = [| 1 |]; data = [| x |] }
+let shape t = Array.copy t.shape
+let rank t = Array.length t.shape
+let numel t = Array.length t.data
+
+let dim1 t =
+  match t.shape with [| n |] -> n | _ -> invalid_arg "Tensor.dim1: not rank 1"
+
+let dims2 t =
+  match t.shape with
+  | [| r; c |] -> (r, c)
+  | _ -> invalid_arg "Tensor.dims2: not rank 2"
+
+let same_shape a b = a.shape = b.shape
+let get1 t i = ignore (dim1 t); t.data.(i)
+let set1 t i x = ignore (dim1 t); t.data.(i) <- x
+
+let get2 t i j =
+  let _, c = dims2 t in
+  t.data.((i * c) + j)
+
+let set2 t i j x =
+  let _, c = dims2 t in
+  t.data.((i * c) + j) <- x
+
+let to_array1 t = ignore (dim1 t); Array.copy t.data
+let data t = t.data
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+let fill t x = Array.fill t.data 0 (Array.length t.data) x
+
+let lift2 name f a b =
+  if not (same_shape a b) then invalid_arg (Printf.sprintf "Tensor.%s: shape mismatch" name);
+  { shape = Array.copy a.shape;
+    data = Array.init (Array.length a.data) (fun k -> f a.data.(k) b.data.(k)) }
+
+let add a b = lift2 "add" ( +. ) a b
+let sub a b = lift2 "sub" ( -. ) a b
+let mul a b = lift2 "mul" ( *. ) a b
+let scale s t = { shape = Array.copy t.shape; data = Array.map (fun x -> s *. x) t.data }
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+let map2 f a b = lift2 "map2" f a b
+
+let add_into dst src =
+  if not (same_shape dst src) then invalid_arg "Tensor.add_into: shape mismatch";
+  Array.iteri (fun k x -> dst.data.(k) <- dst.data.(k) +. x) src.data
+
+let axpy a x y =
+  if not (same_shape x y) then invalid_arg "Tensor.axpy: shape mismatch";
+  Array.iteri (fun k xv -> y.data.(k) <- y.data.(k) +. (a *. xv)) x.data
+
+let matmul a b =
+  let ra, ca = dims2 a and rb, cb = dims2 b in
+  if ca <> rb then invalid_arg "Tensor.matmul: inner dims differ";
+  let out = zeros [| ra; cb |] in
+  for i = 0 to ra - 1 do
+    for k = 0 to ca - 1 do
+      let aik = a.data.((i * ca) + k) in
+      if aik <> 0.0 then
+        for j = 0 to cb - 1 do
+          out.data.((i * cb) + j) <-
+            out.data.((i * cb) + j) +. (aik *. b.data.((k * cb) + j))
+        done
+    done
+  done;
+  out
+
+let mv m v =
+  let r, c = dims2 m in
+  if dim1 v <> c then invalid_arg "Tensor.mv: dims differ";
+  init1 r (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to c - 1 do
+        acc := !acc +. (m.data.((i * c) + j) *. v.data.(j))
+      done;
+      !acc)
+
+let tmv m v =
+  let r, c = dims2 m in
+  if dim1 v <> r then invalid_arg "Tensor.tmv: dims differ";
+  let out = zeros [| c |] in
+  for i = 0 to r - 1 do
+    let vi = v.data.(i) in
+    if vi <> 0.0 then
+      for j = 0 to c - 1 do
+        out.data.(j) <- out.data.(j) +. (m.data.((i * c) + j) *. vi)
+      done
+  done;
+  out
+
+let outer u v =
+  let n = dim1 u and m = dim1 v in
+  init2 n m (fun i j -> u.data.(i) *. v.data.(j))
+
+let dot a b =
+  if not (same_shape a b) then invalid_arg "Tensor.dot: shape mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun k x -> acc := !acc +. (x *. b.data.(k))) a.data;
+  !acc
+
+let transpose m =
+  let r, c = dims2 m in
+  init2 c r (fun i j -> m.data.((j * c) + i))
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+let mean t = sum t /. float_of_int (numel t)
+let max_value t = Array.fold_left Float.max neg_infinity t.data
+
+let argmax1 t =
+  ignore (dim1 t);
+  let best = ref 0 in
+  for i = 1 to Array.length t.data - 1 do
+    if t.data.(i) > t.data.(!best) then best := i
+  done;
+  !best
+
+let l2norm_sq t = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data
+
+let uniform ~rng ~lo ~hi shape =
+  check_shape shape;
+  { shape = Array.copy shape;
+    data =
+      Array.init (numel_of shape) (fun _ ->
+          lo +. Random.State.float rng (hi -. lo)) }
+
+let gaussian ~rng ~mean ~stddev shape =
+  check_shape shape;
+  let sample () =
+    let u1 = Float.max 1e-12 (Random.State.float rng 1.0) in
+    let u2 = Random.State.float rng 1.0 in
+    mean +. (stddev *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+  in
+  { shape = Array.copy shape; data = Array.init (numel_of shape) (fun _ -> sample ()) }
+
+let xavier ~rng ~fan_in ~fan_out shape =
+  let bound = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+  uniform ~rng ~lo:(-.bound) ~hi:bound shape
+
+let concat1 ts =
+  let ts = List.map (fun t -> ignore (dim1 t); t) ts in
+  let n = List.fold_left (fun acc t -> acc + numel t) 0 ts in
+  if n = 0 then invalid_arg "Tensor.concat1: empty";
+  let out = zeros [| n |] in
+  let pos = ref 0 in
+  List.iter
+    (fun t ->
+      Array.blit t.data 0 out.data !pos (Array.length t.data);
+      pos := !pos + Array.length t.data)
+    ts;
+  out
+
+let approx_equal ?(eps = 1e-9) a b =
+  same_shape a b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let pp ppf t =
+  match t.shape with
+  | [| _ |] ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           (fun ppf x -> Format.fprintf ppf "%g" x))
+        (Array.to_list t.data)
+  | [| r; c |] ->
+      Format.fprintf ppf "@[<v>";
+      for i = 0 to r - 1 do
+        if i > 0 then Format.fprintf ppf "@,";
+        Format.fprintf ppf "[%a]"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+             (fun ppf x -> Format.fprintf ppf "%g" x))
+          (Array.to_list (Array.sub t.data (i * c) c))
+      done;
+      Format.fprintf ppf "@]"
+  | _ -> assert false

@@ -1,0 +1,111 @@
+(** Dense float tensors (rank 1 and 2), row-major.
+
+    The minimal numeric substrate for the neural-network stack: no BLAS, no
+    broadcasting — shapes must match exactly, and shape errors raise
+    [Invalid_argument] eagerly.  Data is mutable; functions return fresh
+    tensors unless suffixed [_into] or documented otherwise. *)
+
+type t
+
+(** {1 Construction} *)
+
+val zeros : int array -> t
+(** @raise Invalid_argument unless the shape is [[|n|]] or [[|r; c|]] with
+    positive dims. *)
+
+val full : int array -> float -> t
+
+val init1 : int -> (int -> float) -> t
+
+val init2 : int -> int -> (int -> int -> float) -> t
+
+val of_array1 : float array -> t
+(** Copies. *)
+
+val of_array2 : float array array -> t
+(** Row-major copy. @raise Invalid_argument on ragged input. *)
+
+val scalar : float -> t
+(** A 1-element rank-1 tensor. *)
+
+(** {1 Shape} *)
+
+val shape : t -> int array
+val rank : t -> int
+val numel : t -> int
+val dim1 : t -> int
+(** Length of a rank-1 tensor. @raise Invalid_argument on rank 2. *)
+
+val dims2 : t -> int * int
+(** (rows, cols) of a rank-2 tensor. @raise Invalid_argument on rank 1. *)
+
+val same_shape : t -> t -> bool
+
+(** {1 Access} *)
+
+val get1 : t -> int -> float
+val set1 : t -> int -> float -> unit
+val get2 : t -> int -> int -> float
+val set2 : t -> int -> int -> float -> unit
+val to_array1 : t -> float array
+val data : t -> float array
+(** The underlying buffer itself (no copy) — for in-place optimizer
+    updates. *)
+
+val copy : t -> t
+val fill : t -> float -> unit
+
+(** {1 Elementwise} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val add_into : t -> t -> unit
+(** [add_into dst src]: [dst += src]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y]: [y += a * x]. *)
+
+(** {1 Linear algebra} *)
+
+val matmul : t -> t -> t
+(** rank-2 × rank-2. *)
+
+val mv : t -> t -> t
+(** rank-2 × rank-1 → rank-1. *)
+
+val tmv : t -> t -> t
+(** [tmv m v] is [transpose m × v] without materializing the transpose. *)
+
+val outer : t -> t -> t
+(** [outer u v] is the rank-2 tensor [u vᵀ]. *)
+
+val dot : t -> t -> float
+val transpose : t -> t
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val mean : t -> float
+val max_value : t -> float
+val argmax1 : t -> int
+val l2norm_sq : t -> float
+
+(** {1 Random initialization} *)
+
+val uniform : rng:Random.State.t -> lo:float -> hi:float -> int array -> t
+val gaussian : rng:Random.State.t -> mean:float -> stddev:float -> int array -> t
+
+val xavier : rng:Random.State.t -> fan_in:int -> fan_out:int -> int array -> t
+(** Glorot-uniform initialization. *)
+
+(** {1 Misc} *)
+
+val concat1 : t list -> t
+(** Concatenation of rank-1 tensors. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

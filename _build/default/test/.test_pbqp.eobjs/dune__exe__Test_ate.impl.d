@@ -1,0 +1,1 @@
+test/test_ate.ml: Alcotest Array Ate Fun List Option Pbqp Printf QCheck Random Solvers String Testutil

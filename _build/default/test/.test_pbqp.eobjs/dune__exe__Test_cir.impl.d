@@ -1,0 +1,1 @@
+test/test_cir.ml: Alcotest Array Cir Float List Mcts Nn Pbqp Printf QCheck Testutil

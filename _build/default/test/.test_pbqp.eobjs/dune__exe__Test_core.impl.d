@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Cost Filename Fun Generate Graph Int List Mat Mcts Nn Pbqp Random Solution Sys Testutil Vec

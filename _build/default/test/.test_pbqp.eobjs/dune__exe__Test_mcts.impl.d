@@ -1,0 +1,1 @@
+test/test_mcts.ml: Alcotest Array List Mcts Random

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Cost Filename Float Fun Graph List Mat Nn Option Pbqp Printf Sys Tensor Testutil Vec

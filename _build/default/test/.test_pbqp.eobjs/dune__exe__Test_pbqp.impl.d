@@ -1,0 +1,1 @@
+test/test_pbqp.ml: Alcotest Array Cost Dot Float Fun Generate Graph Io List Mat Normalize Option Pbqp Printf Random Solution Stats String Testutil Vec

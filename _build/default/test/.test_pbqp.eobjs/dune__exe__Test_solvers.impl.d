@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Array Bool Brute Cost Generate Graph Liberty List Mat Mrv Option Pbqp Random Scholz Solution Solvers Testutil Vec

@@ -1,0 +1,569 @@
+(* Tests for the ATE substrate: machine model, parser, liveness, PBQP
+   construction (cross-validated against the independent checker), the
+   translation pipeline and the PRO generator. *)
+
+open Testutil
+
+let machine = Ate.Machine.default
+
+(* ------------------------------------------------------------------ *)
+(* Machine model *)
+
+let test_machine_banks () =
+  Alcotest.(check int) "13 registers" 13 machine.Ate.Machine.nregs;
+  Alcotest.(check int) "8 ways" 8 machine.Ate.Machine.ways;
+  let count b = List.length (Ate.Machine.bank_regs machine b) in
+  Alcotest.(check int) "bank sizes partition" 13
+    (count Ate.Machine.A + count Ate.Machine.B + count Ate.Machine.C);
+  Alcotest.(check bool) "r0 in A" true
+    (Ate.Machine.bank_of machine 0 = Ate.Machine.A);
+  Alcotest.(check bool) "r12 in C" true
+    (Ate.Machine.bank_of machine 12 = Ate.Machine.C);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Machine.bank_of: register 13 out of range") (fun () ->
+      ignore (Ate.Machine.bank_of machine 13))
+
+let test_machine_pairing () =
+  (* same bank always compatible *)
+  List.iter
+    (fun b ->
+      let regs = Ate.Machine.bank_regs machine b in
+      List.iter
+        (fun r1 ->
+          List.iter
+            (fun r2 ->
+              Alcotest.(check bool) "same bank" true
+                (Ate.Machine.pair_compatible machine r1 r2))
+            regs)
+        regs)
+    [ Ate.Machine.A; Ate.Machine.B; Ate.Machine.C ];
+  (* A x C never compatible *)
+  List.iter
+    (fun ra ->
+      List.iter
+        (fun rc ->
+          Alcotest.(check bool) "A x C incompatible" false
+            (Ate.Machine.pair_compatible machine ra rc))
+        (Ate.Machine.bank_regs machine Ate.Machine.C))
+    (Ate.Machine.bank_regs machine Ate.Machine.A);
+  (* symmetry *)
+  for r1 = 0 to 12 do
+    for r2 = 0 to 12 do
+      Alcotest.(check bool) "symmetric"
+        (Ate.Machine.pair_compatible machine r1 r2)
+        (Ate.Machine.pair_compatible machine r2 r1)
+    done
+  done
+
+let test_machine_models () =
+  Alcotest.(check int) "two models" 2 (List.length Ate.Machine.models);
+  let b = Ate.Machine.model "modelB" in
+  Alcotest.(check int) "modelB regs" 10 b.Ate.Machine.nregs;
+  Alcotest.(check int) "modelB ways" 4 b.Ate.Machine.ways;
+  (* banks still partition the smaller register file *)
+  let count bank = List.length (Ate.Machine.bank_regs b bank) in
+  Alcotest.(check int) "banks partition" 10
+    (count Ate.Machine.A + count Ate.Machine.B + count Ate.Machine.C);
+  Alcotest.check_raises "unknown model"
+    (Invalid_argument "Machine.model: unknown \"zork\" (known: modelA, modelB)")
+    (fun () -> ignore (Ate.Machine.model "zork"))
+
+let test_cross_ate_translation () =
+  (* the paper's translation story: a program written for one ATE is
+     re-allocated for a different model; the emit stream must survive *)
+  let p =
+    Ate.Parse.of_string
+      "mov v0, #3\nmov v1, #1\nmov v2, #85\nloop:\nmov v3, v2\nemit v3\n\
+       nop\nnop\nnop\nsub v0, v0, v1\njnz v0, loop\nhalt\n"
+  in
+  let target = Ate.Machine.model "modelB" in
+  let solve g =
+    fst (Solvers.Liberty.solve ~max_liberty:10 ~max_states:100_000 g)
+  in
+  match Ate.Translate.allocate target ~solve p with
+  | Error e -> Alcotest.fail ("cross-ATE allocation failed: " ^ e)
+  | Ok q ->
+      Alcotest.(check bool) "emit stream preserved across models" true
+        (Ate.Interp.same_behaviour p q);
+      (* every physical register is within the target's file *)
+      let info = Ate.Program.analyze_exn q in
+      Array.iter
+        (fun i ->
+          List.iter
+            (function
+              | Ate.Ast.Phys r ->
+                  Alcotest.(check bool) "register in range" true
+                    (r >= 0 && r < target.Ate.Machine.nregs)
+              | Ate.Ast.Virt _ -> Alcotest.fail "virtual register survived")
+            (Ate.Ast.defs i @ Ate.Ast.uses i))
+        info.Ate.Program.instrs
+
+let test_machine_classes () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "counter = bank A"
+        (Ate.Machine.bank_of machine r = Ate.Machine.A)
+        (Ate.Machine.class_allowed machine Ate.Machine.Counter r))
+    (List.init 13 Fun.id);
+  Alcotest.(check bool) "any allows all" true
+    (List.for_all
+       (Ate.Machine.class_allowed machine Ate.Machine.Any)
+       (List.init 13 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let sample_src =
+  {|
+; a small test program
+.name sample
+start:
+  mov v0, #8
+  mov v1, #1
+loop0:
+  add v2, v0, v1
+  shl v3, v2, 2
+  mov v4, v3
+  emit v4
+  sub v0, v0, v1
+  jnz v0, loop0
+  halt
+|}
+
+let test_parse_basic () =
+  let p = Ate.Parse.of_string sample_src in
+  Alcotest.(check string) "name" "sample" p.Ate.Ast.name;
+  let info = Ate.Program.analyze_exn p in
+  Alcotest.(check int) "instructions" 9 (Ate.Program.instr_count info);
+  Alcotest.(check int) "vregs" 5 (Ate.Program.vreg_count info)
+
+let test_parse_roundtrip () =
+  let p = Ate.Parse.of_string sample_src in
+  let p' = Ate.Parse.roundtrip p in
+  Alcotest.(check string) "printed and reparsed equal" (Ate.Ast.to_string p)
+    (Ate.Ast.to_string p')
+
+let test_parse_errors () =
+  let expect s =
+    match Ate.Parse.of_string s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for: " ^ s)
+  in
+  expect "bogus v0, v1\n";
+  expect "mov v0\n";
+  expect "add v0, v1\n";
+  expect "mov x9, #1\n";
+  expect "jnz v0, 123bad\n";
+  expect "shl v0, v1, x\n"
+
+let test_parse_roundtrip_generated =
+  qtest ~count:20 "generated programs roundtrip through the printer"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let p =
+        Ate.Progen.generate ~rng:(rng seed) ~target_vregs:25 ()
+      in
+      Ate.Ast.to_string (Ate.Parse.roundtrip p) = Ate.Ast.to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* Program analysis *)
+
+let test_analyze_undefined_label () =
+  let p = Ate.Parse.of_string "jnz v0, nowhere\nhalt\n" in
+  match Ate.Program.analyze p with
+  | Error e ->
+      Alcotest.(check bool) "mentions target" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected analysis error"
+
+let test_analyze_duplicate_label () =
+  let p = Ate.Parse.of_string "l:\nnop\nl:\nhalt\n" in
+  match Ate.Program.analyze p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected duplicate label error"
+
+let test_schedulability () =
+  (* two writes of v0 within one 8-instruction major cycle *)
+  let p = Ate.Parse.of_string "mov v0, #1\nmov v0, #2\nhalt\n" in
+  let info = Ate.Program.analyze_exn p in
+  (match Ate.Program.check_schedulable machine info with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected write-twice violation");
+  (* read then later write in the same cycle *)
+  let p2 = Ate.Parse.of_string "mov v1, v0\nmov v0, #2\nhalt\n" in
+  let info2 = Ate.Program.analyze_exn p2 in
+  (match Ate.Program.check_schedulable machine info2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected read-before-write violation");
+  (* spaced a full cycle apart: fine *)
+  let p3 =
+    Ate.Parse.of_string
+      "mov v0, #1\nnop\nnop\nnop\nnop\nnop\nnop\nnop\nmov v0, #2\nhalt\n"
+  in
+  let info3 = Ate.Program.analyze_exn p3 in
+  Alcotest.(check bool) "separated writes fine" true
+    (Ate.Program.check_schedulable machine info3 = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Liveness *)
+
+let test_liveness_loop () =
+  let p = Ate.Parse.of_string sample_src in
+  let info = Ate.Program.analyze_exn p in
+  let live = Ate.Liveness.compute info in
+  (* v1 (the decrement) is live throughout the loop: live at the jnz *)
+  let jnz_pos = Ate.Program.instr_count info - 2 in
+  Alcotest.(check bool) "decrement live across back edge" true
+    (Ate.Liveness.Iset.mem 1 (Ate.Liveness.live_at live (jnz_pos - 1)));
+  let pairs = Ate.Liveness.interference_pairs info live in
+  Alcotest.(check bool) "counter and decrement interfere" true
+    (List.mem (0, 1) pairs)
+
+let test_liveness_pressure () =
+  let p = Ate.Parse.of_string sample_src in
+  let info = Ate.Program.analyze_exn p in
+  let live = Ate.Liveness.compute info in
+  Alcotest.(check bool) "pressure positive and below nregs" true
+    (Ate.Liveness.max_pressure info live > 0
+    && Ate.Liveness.max_pressure info live <= 13)
+
+(* ------------------------------------------------------------------ *)
+(* PBQP construction vs the independent validator *)
+
+let build_pro k =
+  let p = Ate.Progen.pro k in
+  let info = Ate.Program.analyze_exn p in
+  (p, info, Ate.Pbqp_build.build machine info)
+
+let test_pbqp_zero_inf_structure () =
+  let _, _, built = build_pro 1 in
+  let g = built.Ate.Pbqp_build.graph in
+  Alcotest.(check int) "m = 13" 13 (Pbqp.Graph.m g);
+  List.iter
+    (fun u ->
+      Pbqp.Vec.iteri
+        (fun _ c ->
+          Alcotest.(check bool) "vertex costs 0/inf" true
+            (Pbqp.Cost.is_inf c || Pbqp.Cost.equal c Pbqp.Cost.zero))
+        (Pbqp.Graph.cost g u))
+    (Pbqp.Graph.vertices g);
+  Pbqp.Graph.fold_edges
+    (fun _ _ muv () ->
+      Pbqp.Mat.iteri
+        (fun _ _ c ->
+          Alcotest.(check bool) "matrix costs 0/inf" true
+            (Pbqp.Cost.is_inf c || Pbqp.Cost.equal c Pbqp.Cost.zero))
+        muv)
+    g ()
+
+(* Any zero-cost PBQP solution must pass the independent validator: the
+   encoding is sound. *)
+let prop_pbqp_solution_validates =
+  qtest ~count:15 "PBQP solutions pass the independent validator"
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let p = Ate.Progen.generate ~rng:(rng seed) ~target_vregs:18 () in
+      match Ate.Program.analyze p with
+      | Error _ -> true
+      | Ok info -> (
+          match
+            ( Ate.Program.require_virtual info,
+              Ate.Program.check_schedulable machine info )
+          with
+          | Ok (), Ok () -> (
+              let built = Ate.Pbqp_build.build machine info in
+              match
+                Solvers.Liberty.solve ~max_liberty:13 ~max_states:30_000
+                  built.Ate.Pbqp_build.graph
+              with
+              | Some sol, _ ->
+                  let assignment =
+                    Ate.Pbqp_build.assignment_of_solution built sol
+                  in
+                  Ate.Validate.check machine info ~assignment = Ok ()
+              | None, _ -> true)
+          | _ -> true))
+
+(* And the generator's own witness must be a zero-cost PBQP solution: the
+   encoding is complete w.r.t. the machine rules. *)
+let prop_witness_is_zero_cost =
+  qtest ~count:15 "generator witness is a zero-cost PBQP solution"
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let p, witness =
+        Ate.Progen.generate_with_witness ~rng:(rng seed) ~target_vregs:20 ()
+      in
+      match Ate.Program.analyze p with
+      | Error _ -> false
+      | Ok info ->
+          let built = Ate.Pbqp_build.build machine info in
+          let g = built.Ate.Pbqp_build.graph in
+          let sol =
+            Pbqp.Solution.of_array
+              (Array.map
+                 (fun v -> Option.value (witness v) ~default:(-1))
+                 built.Ate.Pbqp_build.vreg_of_vertex)
+          in
+          Pbqp.Cost.equal (Pbqp.Solution.cost g sol) Pbqp.Cost.zero)
+
+let test_validator_rejects_bad () =
+  let p = Ate.Parse.of_string "mov v0, #1\nmov v1, v0\nemit v1\nadd v2, v0, v1\nhalt\n" in
+  let info = Ate.Program.analyze_exn p in
+  (* v1 must be bank C (emit); r0 is bank A *)
+  let bad v = if v = 1 then Some 0 else Some (v + 4) in
+  match Ate.Validate.check machine info ~assignment:bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected class violation"
+
+(* ------------------------------------------------------------------ *)
+(* Translation *)
+
+let test_translate_apply () =
+  let p = Ate.Parse.of_string sample_src in
+  let q = Ate.Translate.apply p ~assignment:(fun v -> Some (v + 1)) in
+  Alcotest.(check bool) "no virtual registers left" true
+    (Ate.Program.require_virtual (Ate.Program.analyze_exn q) = Error "program contains physical registers")
+
+let test_translate_end_to_end () =
+  let p = Ate.Progen.pro 1 in
+  let solve g =
+    fst (Solvers.Liberty.solve ~max_liberty:13 ~max_states:200_000 g)
+  in
+  match Ate.Translate.allocate machine ~solve p with
+  | Ok q ->
+      (* the output program parses and has only physical registers *)
+      let q' = Ate.Parse.roundtrip q in
+      Alcotest.(check string) "roundtrips" (Ate.Ast.to_string q)
+        (Ate.Ast.to_string q')
+  | Error e -> Alcotest.fail ("translation failed: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter + translation end-to-end semantics *)
+
+let test_interp_basics () =
+  let p =
+    Ate.Parse.of_string
+      "mov v0, #3\nmov v1, #1\nloop:\nmov v2, v0\nemit v2\nsub v0, v0, v1\n\
+       jnz v0, loop\nhalt\n"
+  in
+  let o = Ate.Interp.run p in
+  Alcotest.(check (list (list int))) "emit stream" [ [ 3 ]; [ 2 ]; [ 1 ] ]
+    o.Ate.Interp.emits
+
+let test_interp_shl_masks () =
+  let p = Ate.Parse.of_string "mov v0, #40000\nshl v1, v0, 4\nemit v1\nhalt\n" in
+  let o = Ate.Interp.run p in
+  Alcotest.(check (list (list int))) "16-bit mask" [ [ 40000 lsl 4 land 0xFFFF ] ]
+    o.Ate.Interp.emits
+
+let test_interp_fuel () =
+  let p = Ate.Parse.of_string "loop:\njmp loop\n" in
+  match Ate.Interp.run ~fuel:100 p with
+  | exception Ate.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+(* the witness translation must emit exactly what the virtual program
+   emits — the allocation-level semantics check *)
+let prop_translation_preserves_emits =
+  qtest ~count:15 "witness translation preserves the emit stream"
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let p, witness =
+        Ate.Progen.generate_with_witness ~rng:(rng seed) ~target_vregs:22 ()
+      in
+      let q = Ate.Translate.apply p ~assignment:witness in
+      Ate.Interp.same_behaviour p q)
+
+let test_solver_translation_preserves_emits () =
+  let p = Ate.Progen.pro 2 in
+  let solve g =
+    fst (Solvers.Liberty.solve ~max_liberty:13 ~max_states:200_000 g)
+  in
+  match Ate.Translate.allocate machine ~solve p with
+  | Error e -> Alcotest.fail ("allocation failed: " ^ e)
+  | Ok q ->
+      Alcotest.(check bool) "same emit stream" true
+        (Ate.Interp.same_behaviour p q)
+
+(* a deliberately broken allocation must be caught by the interpreter *)
+let test_bad_allocation_changes_emits () =
+  let p =
+    Ate.Parse.of_string
+      "mov v0, #7\nmov v1, #9\nnop\nnop\nnop\nnop\nnop\nnop\nmov v2, v0\n\
+       mov v3, v1\nemit v2, v3\nhalt\n"
+  in
+  (* v0 and v1 interfere; map both to r0 *)
+  let clash v = Some (match v with 0 | 1 -> 0 | 2 -> 9 | _ -> 10) in
+  let q = Ate.Translate.apply p ~assignment:clash in
+  Alcotest.(check bool) "collision corrupts the stream" false
+    (Ate.Interp.same_behaviour p q)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling (nop padding) *)
+
+let test_schedule_fixes_write_twice () =
+  let p = Ate.Parse.of_string "mov v0, #1\nmov v0, #2\nhalt\n" in
+  let info = Ate.Program.analyze_exn p in
+  Alcotest.(check bool) "originally unschedulable" true
+    (Ate.Program.check_schedulable machine info <> Ok ());
+  let padded = Ate.Schedule.pad machine p in
+  let info' = Ate.Program.analyze_exn padded in
+  Alcotest.(check bool) "padded program schedulable" true
+    (Ate.Program.check_schedulable machine info' = Ok ());
+  Alcotest.(check int) "nops inserted" 7 (Ate.Schedule.nops_added machine p)
+
+let test_schedule_noop_on_good_programs () =
+  let p = Ate.Progen.pro 1 in
+  Alcotest.(check int) "already schedulable: no nops" 0
+    (Ate.Schedule.nops_added machine p)
+
+let prop_schedule_always_fixes =
+  qtest ~count:25 "padding makes arbitrary write patterns schedulable"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      (* random program with deliberate same-vreg rewrites *)
+      let r = rng seed in
+      let lines = ref [] in
+      for _ = 1 to 20 do
+        let v = Random.State.int r 4 in
+        lines :=
+          Ate.Ast.Instr
+            (Ate.Ast.Mov
+               { dst = Ate.Ast.Virt v; src = Ate.Ast.Imm (Random.State.int r 9) })
+          :: !lines
+      done;
+      lines := Ate.Ast.Instr Ate.Ast.Halt :: !lines;
+      let p = { Ate.Ast.name = "fuzz"; lines = Array.of_list (List.rev !lines) } in
+      let padded = Ate.Schedule.pad machine p in
+      Ate.Program.check_schedulable machine (Ate.Program.analyze_exn padded)
+      = Ok ())
+
+let test_translate_auto_schedule () =
+  let p = Ate.Parse.of_string "mov v0, #1\nmov v0, #2\nemit v1\nmov v1, #3\nhalt\n" in
+  let solve g =
+    fst (Solvers.Liberty.solve ~max_liberty:13 ~max_states:100_000 g)
+  in
+  (match Ate.Translate.allocate machine ~solve p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should be unschedulable without auto_schedule");
+  match Ate.Translate.allocate ~auto_schedule:true machine ~solve p with
+  | Ok q ->
+      Alcotest.(check bool) "result parses" true
+        (Ate.Ast.to_string (Ate.Parse.roundtrip q) = Ate.Ast.to_string q)
+  | Error e -> Alcotest.fail ("auto_schedule failed: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* PRO generator *)
+
+let test_pro_profiles () =
+  List.iter
+    (fun k ->
+      let _, info, built = build_pro k in
+      let n, low = Ate.Pbqp_build.liberty_profile built in
+      Alcotest.(check bool)
+        (Printf.sprintf "PRO%d size near target" k)
+        true
+        (abs (n - Ate.Progen.pro_sizes.(k - 1)) <= 12);
+      Alcotest.(check bool)
+        (Printf.sprintf "PRO%d has low-liberty vertices" k)
+        true (low > 0.1);
+      Alcotest.(check bool) "schedulable" true
+        (Ate.Program.check_schedulable machine info = Ok ()))
+    [ 1; 3; 5 ]
+
+let test_pro_deterministic () =
+  let a = Ate.Progen.pro 2 in
+  let b = Ate.Progen.pro 2 in
+  Alcotest.(check string) "same program" (Ate.Ast.to_string a)
+    (Ate.Ast.to_string b)
+
+let test_pro_range () =
+  Alcotest.check_raises "index range"
+    (Invalid_argument "Progen.pro: index must be in 1..10") (fun () ->
+      ignore (Ate.Progen.pro 11))
+
+let test_scholz_fails_on_pros () =
+  (* the original solver's failure on ATE programs (§V-B: 9 of 10) *)
+  let failures =
+    List.filter
+      (fun k ->
+        let _, _, built = build_pro k in
+        not (Solvers.Scholz.succeeded built.Ate.Pbqp_build.graph))
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "Scholz fails on most PROs" true
+    (List.length failures >= 3)
+
+let () =
+  Alcotest.run "ate"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "banks" `Quick test_machine_banks;
+          Alcotest.test_case "pairing" `Quick test_machine_pairing;
+          Alcotest.test_case "classes" `Quick test_machine_classes;
+          Alcotest.test_case "models" `Quick test_machine_models;
+          Alcotest.test_case "cross-ATE translation" `Quick
+            test_cross_ate_translation;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          test_parse_roundtrip_generated;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "undefined label" `Quick test_analyze_undefined_label;
+          Alcotest.test_case "duplicate label" `Quick test_analyze_duplicate_label;
+          Alcotest.test_case "schedulability" `Quick test_schedulability;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "loop liveness" `Quick test_liveness_loop;
+          Alcotest.test_case "pressure" `Quick test_liveness_pressure;
+        ] );
+      ( "pbqp",
+        [
+          Alcotest.test_case "0/inf structure" `Quick test_pbqp_zero_inf_structure;
+          prop_pbqp_solution_validates;
+          prop_witness_is_zero_cost;
+          Alcotest.test_case "validator rejects bad" `Quick
+            test_validator_rejects_bad;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "apply" `Quick test_translate_apply;
+          Alcotest.test_case "end to end" `Quick test_translate_end_to_end;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "loop semantics" `Quick test_interp_basics;
+          Alcotest.test_case "shl masks to 16 bits" `Quick test_interp_shl_masks;
+          Alcotest.test_case "fuel" `Quick test_interp_fuel;
+          prop_translation_preserves_emits;
+          Alcotest.test_case "solver translation preserves emits" `Quick
+            test_solver_translation_preserves_emits;
+          Alcotest.test_case "bad allocation detected" `Quick
+            test_bad_allocation_changes_emits;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "fixes write-twice" `Quick
+            test_schedule_fixes_write_twice;
+          Alcotest.test_case "no-op on good programs" `Quick
+            test_schedule_noop_on_good_programs;
+          prop_schedule_always_fixes;
+          Alcotest.test_case "auto_schedule in translate" `Quick
+            test_translate_auto_schedule;
+        ] );
+      ( "progen",
+        [
+          Alcotest.test_case "profiles" `Quick test_pro_profiles;
+          Alcotest.test_case "deterministic" `Quick test_pro_deterministic;
+          Alcotest.test_case "index range" `Quick test_pro_range;
+          Alcotest.test_case "Scholz fails on PROs" `Quick
+            test_scholz_fails_on_pros;
+        ] );
+    ]

@@ -1,0 +1,414 @@
+(* Tests for the tensor / autodiff / optimizer / policy-value-network
+   stack.  The centerpiece is numerical gradient checking: every autodiff
+   primitive is validated against central finite differences. *)
+
+open Testutil
+
+let feps = 1e-4
+
+(* ------------------------------------------------------------------ *)
+(* Tensor *)
+
+let t_approx = Alcotest.testable Tensor.pp (Tensor.approx_equal ~eps:1e-9)
+
+let test_tensor_shapes () =
+  let a = Tensor.zeros [| 3 |] in
+  Alcotest.(check int) "rank" 1 (Tensor.rank a);
+  Alcotest.(check int) "numel" 3 (Tensor.numel a);
+  let b = Tensor.zeros [| 2; 4 |] in
+  let r, c = Tensor.dims2 b in
+  Alcotest.(check (pair int int)) "dims2" (2, 4) (r, c);
+  Alcotest.check_raises "bad shape"
+    (Invalid_argument "Tensor: shape must be [|n|] or [|r; c|] with positive dims")
+    (fun () -> ignore (Tensor.zeros [| 0 |]))
+
+let test_tensor_matmul () =
+  let a = Tensor.of_array2 [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Tensor.of_array2 [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  Alcotest.check t_approx "matmul"
+    (Tensor.of_array2 [| [| 19.; 22. |]; [| 43.; 50. |] |])
+    (Tensor.matmul a b)
+
+let test_tensor_mv_tmv () =
+  let m = Tensor.of_array2 [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let v = Tensor.of_array1 [| 1.; 0.; -1. |] in
+  Alcotest.check t_approx "mv" (Tensor.of_array1 [| -2.; -2. |]) (Tensor.mv m v);
+  let u = Tensor.of_array1 [| 1.; 2. |] in
+  Alcotest.check t_approx "tmv = transpose mv"
+    (Tensor.mv (Tensor.transpose m) u)
+    (Tensor.tmv m u)
+
+let test_tensor_outer_dot () =
+  let u = Tensor.of_array1 [| 1.; 2. |] in
+  let v = Tensor.of_array1 [| 3.; 4.; 5. |] in
+  Alcotest.check t_approx "outer"
+    (Tensor.of_array2 [| [| 3.; 4.; 5. |]; [| 6.; 8.; 10. |] |])
+    (Tensor.outer u v);
+  Alcotest.(check (float 1e-9)) "dot" 11.0 (Tensor.dot u (Tensor.of_array1 [| 3.; 4. |]))
+
+let test_tensor_concat () =
+  let a = Tensor.of_array1 [| 1.; 2. |] in
+  let b = Tensor.of_array1 [| 3. |] in
+  Alcotest.check t_approx "concat"
+    (Tensor.of_array1 [| 1.; 2.; 3. |])
+    (Tensor.concat1 [ a; b ])
+
+let test_tensor_reductions () =
+  let a = Tensor.of_array1 [| 1.; -2.; 4. |] in
+  Alcotest.(check (float 1e-9)) "sum" 3.0 (Tensor.sum a);
+  Alcotest.(check (float 1e-9)) "mean" 1.0 (Tensor.mean a);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Tensor.max_value a);
+  Alcotest.(check int) "argmax" 2 (Tensor.argmax1 a);
+  Alcotest.(check (float 1e-9)) "l2sq" 21.0 (Tensor.l2norm_sq a)
+
+let test_tensor_shape_errors () =
+  let a = Tensor.zeros [| 2 |] and b = Tensor.zeros [| 3 |] in
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Tensor.add: shape mismatch") (fun () ->
+      ignore (Tensor.add a b));
+  Alcotest.check_raises "matmul mismatch"
+    (Invalid_argument "Tensor.matmul: inner dims differ") (fun () ->
+      ignore (Tensor.matmul (Tensor.zeros [| 2; 3 |]) (Tensor.zeros [| 2; 3 |])))
+
+(* ------------------------------------------------------------------ *)
+(* Autodiff: numerical gradient checking *)
+
+(* [check_grads vars f] compares autodiff gradients of the scalar function
+   [f : Ad.ctx -> Ad.t] w.r.t. every var against central differences. *)
+let check_grads ?(tol = 1e-4) name (vars : Nn.Var.t list) f =
+  let eval () =
+    let ctx = Nn.Ad.ctx () in
+    Tensor.get1 (Nn.Ad.value (f ctx)) 0
+  in
+  let ctx = Nn.Ad.ctx () in
+  let root = f ctx in
+  Nn.Ad.backward root;
+  List.iter
+    (fun (v : Nn.Var.t) ->
+      let g =
+        match Nn.Ad.var_grad ctx v with
+        | Some g -> g
+        | None -> Tensor.zeros (Tensor.shape v.Nn.Var.value)
+      in
+      let data = Tensor.data v.Nn.Var.value in
+      let gd = Tensor.data g in
+      Array.iteri
+        (fun i x ->
+          data.(i) <- x +. feps;
+          let up = eval () in
+          data.(i) <- x -. feps;
+          let down = eval () in
+          data.(i) <- x;
+          let num = (up -. down) /. (2.0 *. feps) in
+          if Float.abs (num -. gd.(i)) > tol *. (1.0 +. Float.abs num) then
+            Alcotest.failf "%s: var %s[%d]: numerical %.6f vs autodiff %.6f"
+              name v.Nn.Var.name i num gd.(i))
+        data)
+    vars
+
+let mkvar name a = Nn.Var.create ~name (Tensor.of_array1 a)
+let mkvar2 name a = Nn.Var.create ~name (Tensor.of_array2 a)
+
+let test_grad_arith () =
+  let a = mkvar "a" [| 0.5; -1.2; 2.0 |] in
+  let b = mkvar "b" [| 1.5; 0.3; -0.7 |] in
+  check_grads "add-mul-sub" [ a; b ] (fun ctx ->
+      let x = Nn.Ad.of_var ctx a and y = Nn.Ad.of_var ctx b in
+      Nn.Ad.sum (Nn.Ad.mul (Nn.Ad.add x y) (Nn.Ad.sub x y)))
+
+let test_grad_scale_neg_mean () =
+  let a = mkvar "a" [| 0.5; -1.2; 2.0; 0.1 |] in
+  check_grads "scale-neg-mean" [ a ] (fun ctx ->
+      let x = Nn.Ad.of_var ctx a in
+      Nn.Ad.mean (Nn.Ad.neg (Nn.Ad.scale 3.0 (Nn.Ad.mul x x))))
+
+let test_grad_relu_tanh () =
+  (* keep values away from the ReLU kink *)
+  let a = mkvar "a" [| 0.5; -1.2; 2.0; -0.4 |] in
+  check_grads "relu" [ a ] (fun ctx ->
+      Nn.Ad.sum (Nn.Ad.relu (Nn.Ad.of_var ctx a)));
+  check_grads "tanh" [ a ] (fun ctx ->
+      Nn.Ad.sum (Nn.Ad.tanh_ (Nn.Ad.of_var ctx a)))
+
+let test_grad_mv () =
+  let m = mkvar2 "m" [| [| 0.5; -1.0 |]; [| 2.0; 0.3 |]; [| -0.2; 1.1 |] |] in
+  let v = mkvar "v" [| 0.7; -0.6 |] in
+  check_grads "mv" [ m; v ] (fun ctx ->
+      Nn.Ad.sum (Nn.Ad.tanh_ (Nn.Ad.mv (Nn.Ad.of_var ctx m) (Nn.Ad.of_var ctx v))))
+
+let test_grad_matmul () =
+  let a = mkvar2 "a" [| [| 0.5; -1.0 |]; [| 2.0; 0.3 |] |] in
+  let b = mkvar2 "b" [| [| 1.5; 0.2 |]; [| -0.7; 0.9 |] |] in
+  check_grads "matmul" [ a; b ] (fun ctx ->
+      Nn.Ad.sum (Nn.Ad.matmul (Nn.Ad.of_var ctx a) (Nn.Ad.of_var ctx b)))
+
+let test_grad_concat_meanlist () =
+  let a = mkvar "a" [| 0.5; -1.2 |] in
+  let b = mkvar "b" [| 1.5; 0.3 |] in
+  let c = mkvar "c" [| -0.9; 0.8 |] in
+  check_grads "concat" [ a; b; c ] (fun ctx ->
+      Nn.Ad.sum
+        (Nn.Ad.tanh_
+           (Nn.Ad.concat1
+              [ Nn.Ad.of_var ctx a; Nn.Ad.of_var ctx b; Nn.Ad.of_var ctx c ])));
+  check_grads "mean_list" [ a; b; c ] (fun ctx ->
+      Nn.Ad.sum
+        (Nn.Ad.tanh_
+           (Nn.Ad.mean_list
+              [ Nn.Ad.of_var ctx a; Nn.Ad.of_var ctx b; Nn.Ad.of_var ctx c ])))
+
+let test_grad_softmax_xent () =
+  let logits = mkvar "logits" [| 0.5; -1.2; 2.0; 0.1 |] in
+  let target = Tensor.of_array1 [| 0.1; 0.2; 0.6; 0.1 |] in
+  check_grads "softmax_xent" [ logits ] (fun ctx ->
+      Nn.Ad.softmax_xent (Nn.Ad.of_var ctx logits) target)
+
+let test_grad_layernorm () =
+  let x = mkvar "x" [| 0.5; -1.2; 2.0; 0.1; -0.6 |] in
+  let gain = mkvar "gain" [| 1.1; 0.9; 1.0; 1.2; 0.8 |] in
+  let bias = mkvar "bias" [| 0.1; -0.1; 0.0; 0.2; -0.2 |] in
+  check_grads "layernorm" [ x; gain; bias ] (fun ctx ->
+      Nn.Ad.sum
+        (Nn.Ad.tanh_
+           (Nn.Ad.layernorm ~gain:(Nn.Ad.of_var ctx gain)
+              ~bias:(Nn.Ad.of_var ctx bias) (Nn.Ad.of_var ctx x))))
+
+let test_grad_shared_var () =
+  (* a var used twice must accumulate both contributions: d/dx (x·x) = 2x *)
+  let a = mkvar "a" [| 0.5; -1.2; 2.0 |] in
+  let ctx = Nn.Ad.ctx () in
+  let x = Nn.Ad.of_var ctx a in
+  let x' = Nn.Ad.of_var ctx a in
+  let root = Nn.Ad.sum (Nn.Ad.mul x x') in
+  Nn.Ad.backward root;
+  let g = Option.get (Nn.Ad.var_grad ctx a) in
+  Alcotest.check t_approx "grad is 2x"
+    (Tensor.of_array1 [| 1.0; -2.4; 4.0 |])
+    g
+
+let test_grad_layers () =
+  let rng = rng 5 in
+  let lin = Nn.Layer.Linear.create ~rng ~name:"l" ~in_dim:3 ~out_dim:2 in
+  let x = mkvar "x" [| 0.5; -1.2; 2.0 |] in
+  check_grads "linear layer"
+    (x :: Nn.Layer.Linear.params lin)
+    (fun ctx ->
+      Nn.Ad.sum (Nn.Ad.tanh_ (Nn.Layer.Linear.forward ctx lin (Nn.Ad.of_var ctx x))));
+  let res = Nn.Layer.Residual.create ~rng ~name:"r" ~dim:3 in
+  check_grads "residual block"
+    (x :: Nn.Layer.Residual.params res)
+    (fun ctx ->
+      Nn.Ad.sum
+        (Nn.Ad.tanh_ (Nn.Layer.Residual.forward ctx res (Nn.Ad.of_var ctx x))))
+
+(* ------------------------------------------------------------------ *)
+(* Adam *)
+
+let test_adam_quadratic () =
+  (* minimize |w - target|^2: Adam should converge *)
+  let w = mkvar "w" [| 5.0; -3.0 |] in
+  let target = Tensor.of_array1 [| 1.0; 2.0 |] in
+  let opt = Nn.Adam.create { Nn.Adam.default_config with lr = 0.1; weight_decay = 0.0 } in
+  for _ = 1 to 300 do
+    let ctx = Nn.Ad.ctx () in
+    let d = Nn.Ad.sub (Nn.Ad.of_var ctx w) (Nn.Ad.const target) in
+    let loss = Nn.Ad.sum (Nn.Ad.mul d d) in
+    Nn.Ad.backward loss;
+    Nn.Adam.step opt [ (w, Option.get (Nn.Ad.var_grad ctx w)) ]
+  done;
+  Alcotest.(check bool) "converged" true
+    (Tensor.approx_equal ~eps:1e-2 target w.Nn.Var.value)
+
+let test_adam_grad_clip () =
+  (* a huge gradient must be scaled down to the clip norm before the
+     update; the resulting step is bounded by ~lr *)
+  let w = mkvar "w" [| 0.0 |] in
+  let opt =
+    Nn.Adam.create
+      { Nn.Adam.default_config with lr = 0.1; weight_decay = 0.0; grad_clip = 1.0 }
+  in
+  Nn.Adam.step opt [ (w, Tensor.of_array1 [| 1e9 |]) ];
+  Alcotest.(check bool) "step bounded" true
+    (Float.abs (Tensor.get1 w.Nn.Var.value 0) <= 0.11)
+
+let test_adam_weight_decay () =
+  (* zero gradient + weight decay shrinks weights toward zero *)
+  let w = mkvar "w" [| 4.0 |] in
+  let opt =
+    Nn.Adam.create { Nn.Adam.default_config with lr = 0.1; weight_decay = 0.5 }
+  in
+  for _ = 1 to 50 do
+    Nn.Adam.step opt [ (w, Tensor.zeros [| 1 |]) ]
+  done;
+  Alcotest.(check bool) "shrunk" true (Float.abs (Tensor.get1 w.Nn.Var.value 0) < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Pvnet *)
+
+open Pbqp
+
+let small_graph () =
+  let g = Graph.create ~m:3 ~n:4 in
+  Graph.set_cost g 0 (Vec.of_array [| 0.0; Cost.inf; 1.0 |]);
+  Graph.set_cost g 1 (Vec.of_array [| 2.0; 0.0; 0.0 |]);
+  Graph.set_cost g 2 (Vec.of_array [| 0.0; 0.0; Cost.inf |]);
+  Graph.set_cost g 3 (Vec.of_array [| 1.0; 1.0; 1.0 |]);
+  Graph.add_edge g 0 1 (Mat.interference 3);
+  Graph.add_edge g 1 2 (Mat.interference 3);
+  Graph.add_edge g 2 3 (Mat.interference 3);
+  g
+
+let mknet ?(seed = 3) () =
+  Nn.Pvnet.create ~rng:(rng seed)
+    { (Nn.Pvnet.default_config ~m:3) with trunk_width = 16; trunk_blocks = 1 }
+
+let test_pvnet_predict_shape () =
+  let net = mknet () in
+  let g = small_graph () in
+  let priors, v = Nn.Pvnet.predict net g ~next:0 in
+  Alcotest.(check int) "priors length" 3 (Array.length priors);
+  Alcotest.(check (float 1e-6)) "priors sum to 1" 1.0
+    (Array.fold_left ( +. ) 0.0 priors);
+  Alcotest.(check (float 1e-9)) "infinite color masked" 0.0 priors.(1);
+  Alcotest.(check bool) "value in [-1,1]" true (v >= -1.0 && v <= 1.0)
+
+let test_pvnet_dead_end_priors () =
+  let net = mknet () in
+  let g = Graph.create ~m:3 ~n:1 in
+  Graph.set_cost g 0 (Vec.make 3 Cost.inf);
+  let priors, _ = Nn.Pvnet.predict net g ~next:0 in
+  Alcotest.(check (float 1e-9)) "all-zero priors on dead end" 0.0
+    (Array.fold_left ( +. ) 0.0 priors)
+
+let test_pvnet_deterministic () =
+  let net = mknet () in
+  let g = small_graph () in
+  let p1, v1 = Nn.Pvnet.predict net g ~next:2 in
+  let p2, v2 = Nn.Pvnet.predict net g ~next:2 in
+  Alcotest.(check (array (float 1e-12))) "same priors" p1 p2;
+  Alcotest.(check (float 1e-12)) "same value" v1 v2
+
+let test_pvnet_m_mismatch () =
+  let net = mknet () in
+  let g = Graph.create ~m:2 ~n:1 in
+  Alcotest.check_raises "m mismatch"
+    (Invalid_argument "Pvnet.forward: m mismatch") (fun () ->
+      ignore (Nn.Pvnet.predict net g ~next:0))
+
+let test_pvnet_training_reduces_loss () =
+  let net = mknet () in
+  let g = small_graph () in
+  let sample =
+    { Nn.Pvnet.graph = g; next = 0; policy = [| 0.8; 0.0; 0.2 |]; value = 1.0 }
+  in
+  let opt = Nn.Adam.create { Nn.Adam.default_config with lr = 0.01 } in
+  let first = Nn.Pvnet.train_batch net opt [ sample ] in
+  let last = ref first in
+  for _ = 1 to 60 do
+    last := Nn.Pvnet.train_batch net opt [ sample ]
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "loss decreased (%.4f -> %.4f)" first !last)
+    true (!last < first)
+
+let test_pvnet_training_moves_prediction () =
+  let net = mknet ~seed:11 () in
+  let g = small_graph () in
+  let sample =
+    { Nn.Pvnet.graph = g; next = 0; policy = [| 1.0; 0.0; 0.0 |]; value = 1.0 }
+  in
+  let opt = Nn.Adam.create { Nn.Adam.default_config with lr = 0.01 } in
+  for _ = 1 to 150 do
+    ignore (Nn.Pvnet.train_batch net opt [ sample ])
+  done;
+  let priors, v = Nn.Pvnet.predict net g ~next:0 in
+  Alcotest.(check bool) "policy mass on color 0" true (priors.(0) > 0.8);
+  Alcotest.(check bool) "value pulled toward +1" true (v > 0.5)
+
+let test_pvnet_save_load () =
+  let net = mknet ~seed:7 () in
+  let g = small_graph () in
+  let p1, v1 = Nn.Pvnet.predict net g ~next:1 in
+  let path = Filename.temp_file "pvnet" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Nn.Pvnet.save net path;
+      let net' = Nn.Pvnet.load path in
+      let p2, v2 = Nn.Pvnet.predict net' g ~next:1 in
+      Alcotest.(check (array (float 1e-12))) "same priors after reload" p1 p2;
+      Alcotest.(check (float 1e-12)) "same value after reload" v1 v2)
+
+let test_pvnet_param_count () =
+  let net = mknet () in
+  Alcotest.(check bool) "has parameters" true (Nn.Pvnet.param_count net > 100)
+
+(* gradient check through the full network on a tiny graph *)
+let test_pvnet_full_gradcheck () =
+  let net =
+    Nn.Pvnet.create ~rng:(rng 13)
+      { (Nn.Pvnet.default_config ~m:2) with trunk_width = 4; trunk_blocks = 1;
+        gcn_layers = 1 }
+  in
+  let g = Graph.create ~m:2 ~n:2 in
+  Graph.set_cost g 0 (Vec.of_array [| 0.5; 1.0 |]);
+  Graph.set_cost g 1 (Vec.of_array [| 0.0; 2.0 |]);
+  Graph.add_edge g 0 1 (Mat.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |]);
+  let sample =
+    { Nn.Pvnet.graph = g; next = 0; policy = [| 0.7; 0.3 |]; value = 0.5 }
+  in
+  check_grads ~tol:2e-3 "pvnet loss" (Nn.Pvnet.params net) (fun ctx ->
+      Nn.Pvnet.loss net ctx sample)
+
+let () =
+  Alcotest.run "nn"
+    [
+      ( "tensor",
+        [
+          Alcotest.test_case "shapes" `Quick test_tensor_shapes;
+          Alcotest.test_case "matmul" `Quick test_tensor_matmul;
+          Alcotest.test_case "mv/tmv" `Quick test_tensor_mv_tmv;
+          Alcotest.test_case "outer/dot" `Quick test_tensor_outer_dot;
+          Alcotest.test_case "concat" `Quick test_tensor_concat;
+          Alcotest.test_case "reductions" `Quick test_tensor_reductions;
+          Alcotest.test_case "shape errors" `Quick test_tensor_shape_errors;
+        ] );
+      ( "autodiff",
+        [
+          Alcotest.test_case "arith grads" `Quick test_grad_arith;
+          Alcotest.test_case "scale/neg/mean grads" `Quick
+            test_grad_scale_neg_mean;
+          Alcotest.test_case "relu/tanh grads" `Quick test_grad_relu_tanh;
+          Alcotest.test_case "mv grads" `Quick test_grad_mv;
+          Alcotest.test_case "matmul grads" `Quick test_grad_matmul;
+          Alcotest.test_case "concat/mean_list grads" `Quick
+            test_grad_concat_meanlist;
+          Alcotest.test_case "softmax xent grads" `Quick test_grad_softmax_xent;
+          Alcotest.test_case "layernorm grads" `Quick test_grad_layernorm;
+          Alcotest.test_case "shared var accumulates" `Quick
+            test_grad_shared_var;
+          Alcotest.test_case "layer grads" `Quick test_grad_layers;
+        ] );
+      ( "adam",
+        [
+          Alcotest.test_case "quadratic convergence" `Quick test_adam_quadratic;
+          Alcotest.test_case "gradient clipping" `Quick test_adam_grad_clip;
+          Alcotest.test_case "weight decay" `Quick test_adam_weight_decay;
+        ] );
+      ( "pvnet",
+        [
+          Alcotest.test_case "predict shape & masking" `Quick
+            test_pvnet_predict_shape;
+          Alcotest.test_case "dead-end priors" `Quick test_pvnet_dead_end_priors;
+          Alcotest.test_case "deterministic" `Quick test_pvnet_deterministic;
+          Alcotest.test_case "m mismatch" `Quick test_pvnet_m_mismatch;
+          Alcotest.test_case "training reduces loss" `Quick
+            test_pvnet_training_reduces_loss;
+          Alcotest.test_case "training moves prediction" `Quick
+            test_pvnet_training_moves_prediction;
+          Alcotest.test_case "save/load roundtrip" `Quick test_pvnet_save_load;
+          Alcotest.test_case "param count" `Quick test_pvnet_param_count;
+          Alcotest.test_case "full network gradcheck" `Quick
+            test_pvnet_full_gradcheck;
+        ] );
+    ]

@@ -1,0 +1,412 @@
+(* Tests for the baseline PBQP solvers: brute-force branch & bound, the
+   Scholz–Eckstein reduction solver, and liberty-based enumeration. *)
+
+open Pbqp
+open Solvers
+open Testutil
+
+(* ------------------------------------------------------------------ *)
+(* Brute force *)
+
+let test_brute_fig2 () =
+  let g = Generate.fig2 () in
+  match fst (Brute.solve g) with
+  | Some (sol, c) ->
+      Alcotest.check cost "optimum is 11 (paper)" 11.0 c;
+      Alcotest.check solution "optimal selection (0,0,0)"
+        (Solution.of_array [| 0; 0; 0 |])
+        sol
+  | None -> Alcotest.fail "fig2 is solvable"
+
+let test_brute_single_vertex () =
+  let g = Graph.create ~m:3 ~n:1 in
+  Graph.set_cost g 0 (Vec.of_array [| 5.0; 1.0; Cost.inf |]);
+  match fst (Brute.solve g) with
+  | Some (sol, c) ->
+      Alcotest.check cost "min entry" 1.0 c;
+      Alcotest.(check int) "color" 1 (Solution.get sol 0)
+  | None -> Alcotest.fail "solvable"
+
+let test_brute_infeasible () =
+  (* 2-color triangle with pure interference: no finite assignment *)
+  let g = Graph.create ~m:2 ~n:3 in
+  Graph.add_edge g 0 1 (Mat.interference 2);
+  Graph.add_edge g 1 2 (Mat.interference 2);
+  Graph.add_edge g 0 2 (Mat.interference 2);
+  Alcotest.(check bool) "infeasible" false (Brute.solvable g);
+  Alcotest.check cost_exact "optimal cost inf" Cost.inf (Brute.optimal_cost g)
+
+let test_brute_feasible_coloring () =
+  (* 3-color triangle is colorable at zero cost *)
+  let g = Graph.create ~m:3 ~n:3 in
+  Graph.add_edge g 0 1 (Mat.interference 3);
+  Graph.add_edge g 1 2 (Mat.interference 3);
+  Graph.add_edge g 0 2 (Mat.interference 3);
+  Alcotest.check cost "zero" 0.0 (Brute.optimal_cost g)
+
+let test_brute_budget () =
+  let g =
+    Generate.erdos_renyi ~rng:(rng 1)
+      { Generate.default with n = 10; m = 4; p_edge = 0.5 }
+  in
+  let _, stats = Brute.solve ~max_states:100 g in
+  Alcotest.(check bool) "stopped at budget" true (stats.Brute.states <= 101)
+
+let test_brute_empty_graph () =
+  let g = Graph.create ~m:2 ~n:0 in
+  match fst (Brute.solve g) with
+  | Some (_, c) -> Alcotest.check cost "empty optimum 0" 0.0 c
+  | None -> Alcotest.fail "empty graph has the empty solution"
+
+(* ------------------------------------------------------------------ *)
+(* Scholz–Eckstein *)
+
+let test_scholz_fig2 () =
+  let g = Generate.fig2 () in
+  let _, c, stats = Scholz.solve_with_cost g in
+  (* fig2 is a triangle: R2 then R1 then R0, all exact *)
+  Alcotest.check cost "finds the optimum exactly" 11.0 c;
+  Alcotest.(check int) "no heuristic reduction on a triangle" 0 stats.Scholz.rn
+
+let test_scholz_path_exact () =
+  (* all degrees <= 2: reductions are exact, result must equal brute *)
+  let g = Graph.create ~m:2 ~n:4 in
+  Graph.set_cost g 0 (Vec.of_array [| 2.0; 1.0 |]);
+  Graph.set_cost g 1 (Vec.of_array [| 0.0; 3.0 |]);
+  Graph.set_cost g 2 (Vec.of_array [| 1.0; 1.0 |]);
+  Graph.set_cost g 3 (Vec.of_array [| 4.0; 0.0 |]);
+  Graph.add_edge g 0 1 (Mat.interference 2);
+  Graph.add_edge g 1 2 (Mat.interference 2);
+  Graph.add_edge g 2 3 (Mat.interference 2);
+  let _, c, stats = Scholz.solve_with_cost g in
+  Alcotest.check cost "matches brute" (Brute.optimal_cost g) c;
+  Alcotest.(check int) "no RN needed" 0 stats.Scholz.rn
+
+let test_scholz_cycle_exact () =
+  let g = Graph.create ~m:3 ~n:4 in
+  List.iter
+    (fun u ->
+      Graph.set_cost g u
+        (Vec.of_array [| float_of_int u; 1.0; 2.0 |]))
+    [ 0; 1; 2; 3 ];
+  Graph.add_edge g 0 1 (Mat.interference 3);
+  Graph.add_edge g 1 2 (Mat.interference 3);
+  Graph.add_edge g 2 3 (Mat.interference 3);
+  Graph.add_edge g 3 0 (Mat.interference 3);
+  let _, c, stats = Scholz.solve_with_cost g in
+  Alcotest.check cost "cycle optimum" (Brute.optimal_cost g) c;
+  Alcotest.(check int) "degree-2 reductions only" 0 stats.Scholz.rn
+
+let test_scholz_complete_assignment () =
+  let g =
+    Generate.erdos_renyi ~rng:(rng 9)
+      { Generate.default with n = 20; m = 4; p_edge = 0.3 }
+  in
+  let sol, _ = Scholz.solve g in
+  Alcotest.(check bool) "complete" true (Solution.is_complete sol)
+
+let test_scholz_input_untouched () =
+  let g =
+    Generate.erdos_renyi ~rng:(rng 13)
+      { Generate.default with n = 15; m = 3; p_edge = 0.4 }
+  in
+  let snapshot = Graph.copy g in
+  ignore (Scholz.solve g);
+  Alcotest.check graph "input graph unchanged" snapshot g
+
+(* The motivating failure of §II-A: on dense no-spill (0/inf) graphs the
+   heuristic RN reduction fails even though a solution exists. *)
+let test_scholz_can_fail_on_ate_style () =
+  let failures = ref 0 in
+  for seed = 0 to 29 do
+    let g, witness =
+      Generate.planted ~rng:(rng seed)
+        {
+          Generate.default with
+          n = 12;
+          m = 4;
+          p_edge = 0.6;
+          p_inf = 0.5;
+          zero_inf = true;
+        }
+    in
+    Alcotest.(check bool) "witness valid" true (Solution.valid g witness);
+    if not (Scholz.succeeded g) then incr failures
+  done;
+  Alcotest.(check bool)
+    "solvable dense 0/inf instances defeat the heuristic" true (!failures > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Liberty-based enumeration *)
+
+let test_liberty_fig2 () =
+  let g = Generate.fig2 () in
+  match fst (Liberty.solve g) with
+  | Some sol ->
+      Alcotest.(check bool) "finite" true (Cost.is_finite (Solution.cost g sol))
+  | None -> Alcotest.fail "fig2 feasible"
+
+let test_liberty_infeasible () =
+  let g = Graph.create ~m:2 ~n:3 in
+  Graph.add_edge g 0 1 (Mat.interference 2);
+  Graph.add_edge g 1 2 (Mat.interference 2);
+  Graph.add_edge g 0 2 (Mat.interference 2);
+  let result, stats = Liberty.solve g in
+  Alcotest.(check bool) "no solution" true (result = None);
+  Alcotest.(check bool) "not a budget stop" false stats.Liberty.budget_exhausted
+
+let test_liberty_budget () =
+  let g =
+    Generate.erdos_renyi ~rng:(rng 21)
+      {
+        Generate.default with
+        n = 14;
+        m = 3;
+        p_edge = 0.9;
+        p_inf = 0.4;
+        zero_inf = true;
+      }
+  in
+  let result, stats = Liberty.solve ~max_states:5 g in
+  if stats.Liberty.budget_exhausted then
+    Alcotest.(check bool) "unknown on budget stop" true (result = None)
+  else Alcotest.(check bool) "answered within budget" true (stats.Liberty.states <= 5)
+
+let test_liberty_counts_states () =
+  let g =
+    Generate.erdos_renyi ~rng:(rng 2)
+      {
+        Generate.default with
+        n = 12;
+        m = 4;
+        p_edge = 0.5;
+        p_inf = 0.3;
+        zero_inf = true;
+      }
+  in
+  let _, stats = Liberty.solve g in
+  Alcotest.(check bool) "states counted" true (stats.Liberty.states > 0)
+
+(* ------------------------------------------------------------------ *)
+(* MRV dynamic-order search *)
+
+let test_mrv_fig2 () =
+  match fst (Mrv.solve (Generate.fig2 ())) with
+  | Some sol ->
+      Alcotest.(check bool) "finite" true
+        (Cost.is_finite (Solution.cost (Generate.fig2 ()) sol))
+  | None -> Alcotest.fail "fig2 feasible"
+
+let test_mrv_infeasible_proof () =
+  let g = Graph.create ~m:2 ~n:3 in
+  Graph.add_edge g 0 1 (Mat.interference 2);
+  Graph.add_edge g 1 2 (Mat.interference 2);
+  Graph.add_edge g 0 2 (Mat.interference 2);
+  let result, stats = Mrv.solve g in
+  Alcotest.(check bool) "no solution" true (result = None);
+  Alcotest.(check bool) "proof, not budget" false stats.Mrv.budget_exhausted
+
+let prop_mrv_complete =
+  qtest ~count:60 "MRV agrees with brute force on feasibility"
+    (arb_graph_spec ~zero_inf:true ~nmax:7 ~mmax:3 ~p_inf:0.4 ()) (fun spec ->
+      let g = build_graph spec in
+      let result, stats = Mrv.solve g in
+      (not stats.Mrv.budget_exhausted)
+      && Bool.equal (Option.is_some result) (Brute.solvable g)
+      && match result with Some s -> Solution.valid g s | None -> true)
+
+let test_mrv_beats_static_order_on_planted () =
+  (* dynamic fail-first should need no more states than the static
+     liberty order on hard planted instances, usually far fewer *)
+  let wins = ref 0 in
+  for seed = 0 to 4 do
+    let g, _ =
+      Generate.planted ~rng:(rng (300 + seed))
+        { Generate.default with n = 20; m = 6; p_edge = 0.35; p_inf = 0.5;
+          zero_inf = true }
+    in
+    let _, ms = Mrv.solve ~max_states:50_000 g in
+    let _, ls = Liberty.solve ~max_liberty:6 ~max_states:50_000 g in
+    if ms.Mrv.states <= ls.Liberty.states then incr wins
+  done;
+  Alcotest.(check bool) "MRV no worse on most instances" true (!wins >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Partial exact reduction *)
+
+let test_reduce_exact_residual_degrees () =
+  let g =
+    Generate.erdos_renyi ~rng:(rng 17)
+      { Generate.default with n = 25; m = 4; p_edge = 0.15 }
+  in
+  let residual, reduction = Scholz.reduce_exact g in
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) "residual degree >= 3" true
+        (Pbqp.Graph.degree residual u >= 3))
+    (Pbqp.Graph.vertices residual);
+  Alcotest.(check int) "counts add up" (Graph.capacity g)
+    (Pbqp.Graph.n_alive residual + Scholz.reduced_count reduction)
+
+let prop_reduce_exact_preserves_optimum =
+  qtest ~count:50 "exact reduction + completion preserves the optimum"
+    (arb_graph_spec ~nmax:7 ~mmax:3 ~p_inf:0.15 ()) (fun spec ->
+      let g = build_graph spec in
+      let residual, reduction = Scholz.reduce_exact g in
+      (* solve the residual exactly, complete, compare against brute *)
+      let sol =
+        match fst (Brute.solve residual) with
+        | Some (s, _) -> Some s
+        | None ->
+            if Pbqp.Graph.n_alive residual = 0 then
+              Some (Solution.make (Graph.capacity g))
+            else None
+      in
+      match sol with
+      | None -> true (* residual infeasible: nothing to check *)
+      | Some s ->
+          let s = Solution.copy s in
+          Scholz.complete reduction s;
+          Cost.approx_equal ~eps:1e-6 (Solution.cost g s) (Brute.optimal_cost g))
+
+let test_complete_requires_residual_assigned () =
+  let g = Graph.create ~m:2 ~n:2 in
+  Graph.set_cost g 0 (Vec.of_array [| 1.0; 2.0 |]);
+  Graph.set_cost g 1 (Vec.of_array [| 3.0; 4.0 |]);
+  Graph.add_edge g 0 1 (Mat.interference 2);
+  (* degree-1 chain reduces fully; an RN-free stack still needs its
+     neighbors assigned in order, which complete handles itself *)
+  let residual, reduction = Scholz.reduce_exact g in
+  Alcotest.(check int) "fully reduced" 0 (Pbqp.Graph.n_alive residual);
+  let sol = Solution.make 2 in
+  Scholz.complete reduction sol;
+  Alcotest.(check bool) "complete assignment" true (Solution.is_complete sol);
+  Alcotest.check cost "optimal" (Brute.optimal_cost g) (Solution.cost g sol)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_scholz_never_beats_brute =
+  qtest ~count:60 "Scholz cost >= brute optimum"
+    (arb_graph_spec ~nmax:7 ~mmax:3 ()) (fun spec ->
+      let g = build_graph spec in
+      let _, c, _ = Scholz.solve_with_cost g in
+      Cost.compare (Brute.optimal_cost g) (Cost.add c 1e-6) <= 0)
+
+let prop_scholz_exact_when_low_degree =
+  qtest ~count:60 "Scholz is exact when no RN reduction fires"
+    (arb_graph_spec ~nmax:7 ~mmax:3 ~p_inf:0.1 ()) (fun spec ->
+      let g = build_graph spec in
+      let _, c, stats = Scholz.solve_with_cost g in
+      stats.Scholz.rn > 0 || Cost.approx_equal ~eps:1e-6 (Brute.optimal_cost g) c)
+
+let prop_liberty_complete_on_zero_inf =
+  (* With max_liberty covering every vertex, enumeration is complete:
+     it finds a zero-cost solution exactly when brute force does. *)
+  qtest ~count:60 "liberty enumeration completeness on 0/inf graphs"
+    (arb_graph_spec ~zero_inf:true ~nmax:7 ~mmax:3 ~p_inf:0.4 ()) (fun spec ->
+      let g = build_graph spec in
+      let result, stats = Liberty.solve ~max_liberty:spec.m g in
+      (not stats.Liberty.budget_exhausted)
+      && Bool.equal (Option.is_some result) (Brute.solvable g))
+
+let prop_liberty_backward_agrees_with_forward =
+  qtest ~count:40 "backward pruning finds a solution iff forward does"
+    (arb_graph_spec ~zero_inf:true ~nmax:7 ~mmax:3 ~p_inf:0.4 ()) (fun spec ->
+      let g = build_graph spec in
+      let fwd, fs = Liberty.solve ~max_liberty:spec.m g in
+      let bwd, bs = Liberty.solve ~max_liberty:spec.m ~pruning:Liberty.Backward g in
+      (not fs.Liberty.budget_exhausted)
+      && (not bs.Liberty.budget_exhausted)
+      && Bool.equal (Option.is_some fwd) (Option.is_some bwd)
+      && bs.Liberty.states >= fs.Liberty.states)
+
+let prop_liberty_solutions_are_valid =
+  qtest ~count:60 "liberty solutions have finite cost"
+    (arb_graph_spec ~zero_inf:true ~nmax:8 ~mmax:4 ~p_inf:0.3 ()) (fun spec ->
+      let g = build_graph spec in
+      match fst (Liberty.solve g) with
+      | Some sol -> Solution.valid g sol
+      | None -> true)
+
+let prop_reduce_exact_idempotent =
+  qtest ~count:40 "reduce_exact leaves nothing reducible"
+    (arb_graph_spec ~nmax:9 ~mmax:3 ()) (fun spec ->
+      let g = build_graph spec in
+      let residual, _ = Scholz.reduce_exact g in
+      let residual2, red2 = Scholz.reduce_exact residual in
+      Scholz.reduced_count red2 = 0
+      && Pbqp.Graph.n_alive residual2 = Pbqp.Graph.n_alive residual)
+
+let prop_brute_optimal_leq_any_random_assignment =
+  qtest ~count:60 "brute optimum lower-bounds random assignments"
+    (arb_graph_spec ~nmax:6 ~mmax:3 ()) (fun spec ->
+      let g = build_graph spec in
+      let r = rng (spec.seed + 99) in
+      let s =
+        Solution.of_array
+          (Array.init spec.n (fun _ -> Random.State.int r spec.m))
+      in
+      Cost.compare (Brute.optimal_cost g)
+        (Cost.add (Solution.cost g s) 1e-6)
+      <= 0)
+
+let () =
+  Alcotest.run "solvers"
+    [
+      ( "brute",
+        [
+          Alcotest.test_case "fig2 optimum" `Quick test_brute_fig2;
+          Alcotest.test_case "single vertex" `Quick test_brute_single_vertex;
+          Alcotest.test_case "infeasible" `Quick test_brute_infeasible;
+          Alcotest.test_case "3-coloring triangle" `Quick
+            test_brute_feasible_coloring;
+          Alcotest.test_case "budget stop" `Quick test_brute_budget;
+          Alcotest.test_case "empty graph" `Quick test_brute_empty_graph;
+        ] );
+      ( "scholz",
+        [
+          Alcotest.test_case "fig2" `Quick test_scholz_fig2;
+          Alcotest.test_case "path is exact" `Quick test_scholz_path_exact;
+          Alcotest.test_case "cycle is exact" `Quick test_scholz_cycle_exact;
+          Alcotest.test_case "complete assignment" `Quick
+            test_scholz_complete_assignment;
+          Alcotest.test_case "input untouched" `Quick test_scholz_input_untouched;
+          Alcotest.test_case "fails on dense 0/inf instances" `Quick
+            test_scholz_can_fail_on_ate_style;
+        ] );
+      ( "liberty",
+        [
+          Alcotest.test_case "fig2" `Quick test_liberty_fig2;
+          Alcotest.test_case "infeasible" `Quick test_liberty_infeasible;
+          Alcotest.test_case "budget stop" `Quick test_liberty_budget;
+          Alcotest.test_case "state counting" `Quick test_liberty_counts_states;
+        ] );
+      ( "mrv",
+        [
+          Alcotest.test_case "fig2" `Quick test_mrv_fig2;
+          Alcotest.test_case "infeasibility proof" `Quick
+            test_mrv_infeasible_proof;
+          prop_mrv_complete;
+          Alcotest.test_case "beats static order" `Quick
+            test_mrv_beats_static_order_on_planted;
+        ] );
+      ( "reduce-exact",
+        [
+          Alcotest.test_case "residual degrees" `Quick
+            test_reduce_exact_residual_degrees;
+          prop_reduce_exact_preserves_optimum;
+          prop_reduce_exact_idempotent;
+          Alcotest.test_case "full reduction completes" `Quick
+            test_complete_requires_residual_assigned;
+        ] );
+      ( "properties",
+        [
+          prop_scholz_never_beats_brute;
+          prop_scholz_exact_when_low_degree;
+          prop_liberty_complete_on_zero_inf;
+          prop_liberty_backward_agrees_with_forward;
+          prop_liberty_solutions_are_valid;
+          prop_brute_optimal_leq_any_random_assignment;
+        ] );
+    ]

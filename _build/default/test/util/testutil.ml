@@ -1,0 +1,57 @@
+(* Shared helpers for the test suites. *)
+
+open Pbqp
+
+let rng seed = Random.State.make [| seed |]
+
+(* Alcotest testables *)
+
+let cost = Alcotest.testable Cost.pp (fun a b -> Cost.approx_equal a b)
+let cost_exact = Alcotest.testable Cost.pp Cost.equal
+let vec = Alcotest.testable Vec.pp (Vec.approx_equal ?eps:None)
+let mat = Alcotest.testable Mat.pp (Mat.approx_equal ?eps:None)
+let solution = Alcotest.testable Solution.pp Solution.equal
+let graph = Alcotest.testable Graph.pp (Graph.approx_equal ?eps:None)
+
+(* Random graph generators for qcheck: generate a seed + a config, rebuild
+   deterministically so shrinking stays meaningful. *)
+
+type graph_spec = {
+  seed : int;
+  n : int;
+  m : int;
+  p_edge : float;
+  p_inf : float;
+  zero_inf : bool;
+}
+
+let build_graph spec =
+  Generate.erdos_renyi ~rng:(rng spec.seed)
+    {
+      Generate.n = spec.n;
+      m = spec.m;
+      p_edge = spec.p_edge;
+      p_inf = spec.p_inf;
+      cost_max = 10.;
+      zero_inf = spec.zero_inf;
+      min_liberty = 1;
+    }
+
+let graph_spec_gen ?(zero_inf = false) ?(nmax = 8) ?(mmax = 4) ?(p_inf = 0.15)
+    () =
+  let open QCheck.Gen in
+  let* seed = int_bound 1_000_000 in
+  let* n = int_range 1 nmax in
+  let* m = int_range 1 mmax in
+  let* p_edge = float_range 0.0 1.0 in
+  pure { seed; n; m; p_edge; p_inf; zero_inf }
+
+let arb_graph_spec ?zero_inf ?nmax ?mmax ?p_inf () =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "{seed=%d; n=%d; m=%d; p_edge=%.3f; p_inf=%.3f; zero_inf=%b}"
+        s.seed s.n s.m s.p_edge s.p_inf s.zero_inf)
+    (graph_spec_gen ?zero_inf ?nmax ?mmax ?p_inf ())
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
