@@ -499,6 +499,12 @@ let micro () =
                 List.hd (Cir.Lower.compile (Cir.Programs.find "Sieve")).Cir.Ir.funcs
               in
               fun () -> ignore (Cir.Liveness.analyze f)));
+        Test.make ~name:"Check.Invariants.graph (n=30)"
+          (Staged.stage (fun () -> ignore (Check.Invariants.graph g30)));
+        Test.make ~name:"Check.Certify.recompute (n=30)"
+          (Staged.stage
+             (let sol, _, _ = Solvers.Scholz.solve_with_cost g30 in
+              fun () -> ignore (Check.Certify.recompute g30 sol)));
       ]
   in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in

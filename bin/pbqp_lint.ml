@@ -1,0 +1,183 @@
+(* CLI: lint PBQP instance files, certify solver outputs, check compiled
+   MiniC allocations, gradient-check the network, and run the built-in
+   verification battery (`--self-test`). *)
+
+open Cmdliner
+
+let print_findings header findings =
+  if findings <> [] then begin
+    Printf.printf "%s\n" header;
+    List.iter
+      (fun f -> Printf.printf "  %s\n" (Format.asprintf "%a" Check.Diag.pp_finding f))
+      findings
+  end
+
+(* Lint one graph (well-formedness, optionally solver certification);
+   returns its findings. *)
+let lint_graph ~certify header g =
+  let findings =
+    Check.Invariants.graph g
+    @ (if certify then Check.Certify.classic_findings g else [])
+  in
+  print_findings header findings;
+  findings
+
+let run_files ~certify files =
+  List.concat_map
+    (fun path ->
+      match Check.Invariants.parse_file path with
+      | Error findings ->
+          print_findings path findings;
+          findings
+      | Ok g -> lint_graph ~certify path g)
+    files
+
+let run_gen ~certify ~seed n =
+  let rng = Random.State.make [| seed |] in
+  List.concat
+    (List.init n (fun i ->
+         let config =
+           { Pbqp.Generate.default with n = 4 + (i mod 6); m = 2 + (i mod 3) }
+         in
+         let g = Pbqp.Generate.erdos_renyi ~rng config in
+         lint_graph ~certify (Printf.sprintf "gen-%03d" i) g))
+
+let run_cir ~kind path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg ->
+      let f = [ Check.Diag.error "io" Check.Diag.Global "%s" msg ] in
+      print_findings path f;
+      f
+  | src ->
+      let findings = Check_ir.Cir_check.check_source ~kind src in
+      print_findings path findings;
+      findings
+
+let run_fuzz ~kind ~seed n =
+  let rng = Random.State.make [| seed |] in
+  List.concat
+    (List.init n (fun i ->
+         let src = Cir.Fuzzgen.generate ~rng in
+         let findings = Check_ir.Cir_check.check_source ~kind src in
+         print_findings (Printf.sprintf "fuzz-%03d" i) findings;
+         findings))
+
+let run_gradcheck () =
+  let findings =
+    Check.Gradcheck.layer_battery () @ Check.Gradcheck.pvnet_battery ()
+  in
+  print_findings "gradcheck" findings;
+  if not (Check.Diag.has_errors findings) then
+    Printf.printf "gradcheck: all layers match finite differences\n";
+  findings
+
+let run_selftest ~graphs ~seed =
+  let cases = Check_ir.Selftest.run ~graphs ~seed () in
+  List.iter
+    (fun (c : Check_ir.Selftest.case) ->
+      Printf.printf "%s %s%s\n"
+        (if c.ok then "ok  " else "FAIL")
+        c.name
+        (if c.ok then "" else "\n  " ^ c.detail))
+    cases;
+  let failed = List.filter (fun (c : Check_ir.Selftest.case) -> not c.ok) cases in
+  Printf.printf "self-test: %d/%d cases passed\n"
+    (List.length cases - List.length failed)
+    (List.length cases);
+  Check_ir.Selftest.ok cases
+
+let lint files certify gen cir fuzz alloc gradcheck selftest graphs seed =
+  let kind =
+    match alloc with
+    | "fast" -> Ok Check_ir.Cir_check.Fast
+    | "basic" -> Ok Check_ir.Cir_check.Basic
+    | "greedy" -> Ok Check_ir.Cir_check.Greedy
+    | "pbqp" -> Ok Check_ir.Cir_check.Pbqp
+    | other -> Error (Printf.sprintf "unknown allocator %S" other)
+  in
+  match kind with
+  | Error msg -> `Error (false, msg)
+  | Ok kind ->
+      if
+        files = [] && gen = 0 && cir = None && fuzz = 0 && (not gradcheck)
+        && not selftest
+      then `Error (true, "nothing to do: give FILES or a mode flag")
+      else begin
+        let findings =
+          run_files ~certify files
+          @ (if gen > 0 then run_gen ~certify ~seed gen else [])
+          @ (match cir with Some p -> run_cir ~kind p | None -> [])
+          @ (if fuzz > 0 then run_fuzz ~kind ~seed fuzz else [])
+          @ if gradcheck then run_gradcheck () else []
+        in
+        let selftest_ok = if selftest then run_selftest ~graphs ~seed else true in
+        if findings <> [] then
+          Printf.printf "%s\n" (Check.Diag.summary findings);
+        if Check.Diag.has_errors findings || not selftest_ok then
+          (* distinct from cmdliner's own exit codes *)
+          exit 1;
+        `Ok ()
+      end
+
+let () =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILES"
+           ~doc:"PBQP instances (Pbqp.Io text format) to lint")
+  in
+  let certify =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"also run every classic solver on each graph and certify \
+                   the solutions (brute-force cross-check on small graphs)")
+  in
+  let gen =
+    Arg.(value & opt int 0
+         & info [ "gen" ] ~docv:"N" ~doc:"lint N random Erdős–Rényi graphs")
+  in
+  let cir =
+    Arg.(value & opt (some file) None
+         & info [ "cir" ] ~docv:"FILE"
+             ~doc:"compile a MiniC file and verify IR, allocation and spill \
+                   code")
+  in
+  let fuzz =
+    Arg.(value & opt int 0
+         & info [ "fuzz" ] ~docv:"N"
+             ~doc:"verify N random fuzzgen MiniC programs end to end")
+  in
+  let alloc =
+    Arg.(value & opt string "pbqp"
+         & info [ "alloc" ] ~docv:"KIND"
+             ~doc:"allocator for --cir/--fuzz: fast, basic, greedy, pbqp")
+  in
+  let gradcheck =
+    Arg.(value & flag
+         & info [ "gradcheck" ]
+             ~doc:"finite-difference-check the network gradients (every \
+                   layer and the full pvnet loss)")
+  in
+  let selftest =
+    Arg.(value & flag
+         & info [ "self-test" ]
+             ~doc:"run the built-in verification battery: well-formedness \
+                   and certification over generated graphs, rejection of \
+                   malformed inputs, gradient checks, CIR and ATE pipelines")
+  in
+  let graphs =
+    Arg.(value & opt int 60
+         & info [ "graphs" ] ~docv:"N"
+             ~doc:"graphs per self-test battery (default 60)")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"rng seed")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "pbqp_lint"
+         ~doc:"Static analysis and solution certification for the PBQP stack")
+      Term.(
+        ret
+          (const lint $ files $ certify $ gen $ cir $ fuzz $ alloc $ gradcheck
+         $ selftest $ graphs $ seed))
+  in
+  exit (Cmd.eval cmd)

@@ -2,8 +2,31 @@
 
 open Cmdliner
 
+let print_findings file findings =
+  List.iter
+    (fun f ->
+      Printf.eprintf "%s: %s\n" file
+        (Format.asprintf "%a" Check.Diag.pp_finding f))
+    findings
+
 let solve file solver net_path k backtracking max_states dot =
-  let g = Pbqp.Io.of_file file in
+  match
+    match Check.Invariants.parse_file file with
+    | Error findings -> Error findings
+    | Ok g ->
+        (* structural lint: refuse representation-level errors, but keep
+           semantic warnings (arc-dead colors etc.) advisory *)
+        let findings = Check.Invariants.graph g in
+        if Check.Diag.has_errors findings then Error findings
+        else begin
+          print_findings file findings;
+          Ok g
+        end
+  with
+  | Error findings ->
+      print_findings file findings;
+      `Error (false, Printf.sprintf "%s: malformed PBQP instance" file)
+  | Ok g ->
   Option.iter (fun path -> Pbqp.Dot.to_file path g) dot;
   Printf.printf "instance: %d vertices, %d edges, m = %d\n"
     (Pbqp.Graph.n_alive g) (Pbqp.Graph.edge_count g) (Pbqp.Graph.m g);

@@ -1,0 +1,200 @@
+(* Solution certifier: accepts a solver's output only after recomputing
+   everything from the original graph with its own (deliberately
+   independent) cost loop — a bug in [Solution.cost] or in a solver's
+   incremental bookkeeping shows up as a certification failure here.
+
+   Certification levels:
+   - [solution]    well-formedness + admissibility + recomputed-vs-reported
+   - [against_brute]  reported cost may not beat the brute-force optimum
+   - [classic_solvers]  run every classic solver on a graph and certify
+     each claim, including cross-solver consistency. *)
+
+open Pbqp
+
+let default_eps = 1e-6
+
+(* Independent recomputation over the raw representation: vertex terms for
+   every live vertex, each symmetric edge counted once via the u < v
+   orientation. *)
+let recompute g s =
+  let acc = ref Cost.zero in
+  let add x = acc := Cost.add !acc x in
+  List.iter
+    (fun u ->
+      let cu = Solution.get s u in
+      if cu = Solution.unassigned then add Cost.inf
+      else add (Vec.get (Graph.cost g u) cu))
+    (Graph.vertices g);
+  Graph.iter_adjacency
+    (fun u v muv ->
+      if u < v && Graph.is_alive g u && Graph.is_alive g v then begin
+        let cu = Solution.get s u and cv = Solution.get s v in
+        if cu = Solution.unassigned || cv = Solution.unassigned then
+          add Cost.inf
+        else add (Mat.get muv cu cv)
+      end)
+    g;
+  !acc
+
+let solution ?(eps = default_eps) ?reported g s =
+  let c = Diag.collector () in
+  let n = Graph.capacity g and m = Graph.m g in
+  if Solution.length s <> n then
+    Diag.errorf c "certify-length" Diag.Global
+      "solution has %d entries, graph capacity is %d" (Solution.length s) n
+  else begin
+    List.iter
+      (fun u ->
+        let col = Solution.get s u in
+        if col = Solution.unassigned then
+          Diag.errorf c "certify-unassigned" (Diag.Vertex u)
+            "live vertex has no color"
+        else if col < 0 || col >= m then
+          Diag.errorf c "certify-color-range" (Diag.Vertex u)
+            "color %d out of range [0,%d)" col m
+        else if Cost.is_inf (Vec.get (Graph.cost g u) col) then
+          Diag.errorf c "certify-inadmissible" (Diag.Vertex u)
+            "color %d has infinite vertex cost" col)
+      (Graph.vertices g);
+    if Diag.error_count_in c = 0 then begin
+      Graph.fold_edges
+        (fun u v muv () ->
+          let cu = Solution.get s u and cv = Solution.get s v in
+          if Cost.is_inf (Mat.get muv cu cv) then
+            Diag.errorf c "certify-conflict" (Diag.Edge (u, v))
+              "colors (%d,%d) hit an infinite edge cost" cu cv)
+        g ();
+      let rc = recompute g s in
+      (if Diag.error_count_in c = 0 && Cost.is_inf rc then
+         Diag.errorf c "certify-infinite" Diag.Global
+           "recomputed cost is infinite");
+      match reported with
+      | None -> ()
+      | Some r ->
+          let tol = eps *. (1.0 +. Float.abs (Cost.to_float r)) in
+          if not (Cost.approx_equal ~eps:tol rc r) then
+            Diag.errorf c "certify-cost-mismatch" Diag.Global
+              "solver reported %s but recomputation gives %s"
+              (Cost.to_string r) (Cost.to_string rc)
+    end
+  end;
+  Diag.report c
+
+let valid g s = not (Diag.has_errors (solution g s))
+
+(* --- brute-force cross-check ----------------------------------------- *)
+
+type brute_verdict =
+  | Optimal of Cost.t  (* exhaustive search completed *)
+  | Budget_exhausted
+  | Infeasible
+
+let brute_optimum ?(max_states = 500_000) g =
+  let result, stats = Solvers.Brute.solve ~max_states g in
+  if stats.Solvers.Brute.states > max_states then Budget_exhausted
+  else match result with Some (_, c) -> Optimal c | None -> Infeasible
+
+let against_brute ?max_states ?(eps = default_eps) g ~reported =
+  let c = Diag.collector () in
+  (match brute_optimum ?max_states g with
+  | Budget_exhausted ->
+      Diag.infof c "certify-brute-budget" Diag.Global
+        "brute-force cross-check skipped (budget exhausted)"
+  | Infeasible ->
+      if Cost.is_finite reported then
+        Diag.errorf c "certify-claims-infeasible" Diag.Global
+          "solver reported finite cost %s on a provably infeasible graph"
+          (Cost.to_string reported)
+  | Optimal opt ->
+      let tol = eps *. (1.0 +. Float.abs (Cost.to_float opt)) in
+      if
+        Cost.is_finite reported
+        && Cost.to_float reported < Cost.to_float opt -. tol
+      then
+        Diag.errorf c "certify-below-optimum" Diag.Global
+          "solver reported %s, below the proven optimum %s"
+          (Cost.to_string reported) (Cost.to_string opt));
+  Diag.report c
+
+(* --- whole-solver battery -------------------------------------------- *)
+
+type solver_run = {
+  solver : string;
+  cost : Cost.t option;  (* None: solver found no solution *)
+  findings : Diag.finding list;
+}
+
+(* Run the four classic solvers; certify every claimed solution, and when
+   the brute-force search completes within budget, cross-check the
+   heuristic costs against the optimum and the feasibility claims against
+   each other. *)
+let classic_solvers ?(max_states = 200_000) ?(brute_max = 500_000) g =
+  let runs = ref [] in
+  let push solver cost findings = runs := { solver; cost; findings } :: !runs in
+  (* scholz always returns a full assignment; an infinite cost is the
+     heuristic failing, not a certifiable claim *)
+  let scholz_sol, scholz_cost, _ = Solvers.Scholz.solve_with_cost g in
+  (if Cost.is_finite scholz_cost then
+     push "scholz" (Some scholz_cost)
+       (solution ~reported:scholz_cost g scholz_sol)
+   else push "scholz" None []);
+  let certify_opt solver = function
+    | Some sol ->
+        let cost = recompute g sol in
+        push solver (Some cost) (solution ~reported:cost g sol)
+    | None -> push solver None []
+  in
+  certify_opt "mrv" (fst (Solvers.Mrv.solve ~max_states g));
+  certify_opt "liberty" (fst (Solvers.Liberty.solve ~max_states g));
+  let brute_result, brute_stats = Solvers.Brute.solve ~max_states:brute_max g in
+  let brute =
+    if brute_stats.Solvers.Brute.states > brute_max then Budget_exhausted
+    else
+      match brute_result with
+      | Some (_, c) -> Optimal c
+      | None -> Infeasible
+  in
+  (match (brute, brute_result) with
+  | Optimal opt, Some (sol, _) ->
+      push "brute" (Some opt) (solution ~reported:opt g sol)
+  | Budget_exhausted, _ ->
+      push "brute" None
+        [
+          Diag.info "certify-brute-budget" Diag.Global
+            "brute-force search skipped (budget exhausted)";
+        ]
+  | _ -> push "brute" None []);
+  (* cross-solver consistency *)
+  let cross = Diag.collector () in
+  (match brute with
+  | Optimal opt ->
+      List.iter
+        (fun r ->
+          match r.cost with
+          | Some c when r.solver <> "brute" ->
+              let tol = default_eps *. (1.0 +. Float.abs (Cost.to_float opt)) in
+              if Cost.to_float c < Cost.to_float opt -. tol then
+                Diag.errorf cross "certify-below-optimum" Diag.Global
+                  "%s reported %s, below the proven optimum %s" r.solver
+                  (Cost.to_string c) (Cost.to_string opt)
+          | _ -> ())
+        !runs
+  | Infeasible ->
+      List.iter
+        (fun r ->
+          match r.cost with
+          | Some c ->
+              Diag.errorf cross "certify-claims-infeasible" Diag.Global
+                "%s reported %s on a provably infeasible graph" r.solver
+                (Cost.to_string c)
+          | None -> ())
+        !runs
+  | Budget_exhausted -> ());
+  (List.rev !runs, Diag.report cross)
+
+let classic_findings ?max_states ?brute_max g =
+  let runs, cross = classic_solvers ?max_states ?brute_max g in
+  List.concat_map
+    (fun r -> List.map (fun f -> { f with Diag.rule = r.solver ^ "/" ^ f.Diag.rule }) r.findings)
+    runs
+  @ cross

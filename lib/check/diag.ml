@@ -1,0 +1,107 @@
+(* Findings shared by every checker in lib/check: a severity, a stable
+   rule name (kebab-case, greppable), a location in whatever layer the
+   checker inspects, and a human message.  Checkers collect findings
+   instead of raising so that one pass reports everything it can see. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Global
+  | Vertex of int  (* PBQP vertex *)
+  | Edge of int * int  (* PBQP edge *)
+  | Vreg of int  (* virtual register, CIR or ATE *)
+  | Instr of int  (* linear instruction position *)
+  | Block of int  (* CIR basic block *)
+  | Param of string  (* network parameter by name *)
+  | Line of int  (* line of a text input *)
+
+type finding = {
+  severity : severity;
+  rule : string;
+  location : location;
+  message : string;
+}
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+let finding severity rule location fmt =
+  Printf.ksprintf (fun message -> { severity; rule; location; message }) fmt
+
+let error rule location fmt = finding Error rule location fmt
+let warning rule location fmt = finding Warning rule location fmt
+let info rule location fmt = finding Info rule location fmt
+
+(* Accumulator used by the checkers; findings come back in insertion
+   order. *)
+type collector = { mutable rev : finding list; mutable n_error : int }
+
+let collector () = { rev = []; n_error = 0 }
+
+let add c f =
+  if f.severity = Error then c.n_error <- c.n_error + 1;
+  c.rev <- f :: c.rev
+
+let addf c severity rule location fmt =
+  Printf.ksprintf
+    (fun message -> add c { severity; rule; location; message })
+    fmt
+
+let errorf c rule location fmt = addf c Error rule location fmt
+let warningf c rule location fmt = addf c Warning rule location fmt
+let infof c rule location fmt = addf c Info rule location fmt
+let report c = List.rev c.rev
+let error_count_in c = c.n_error
+
+let count sev findings =
+  List.fold_left
+    (fun acc f -> if f.severity = sev then acc + 1 else acc)
+    0 findings
+
+let has_errors findings = List.exists (fun f -> f.severity = Error) findings
+let errors_only findings = List.filter (fun f -> f.severity = Error) findings
+
+let by_severity findings =
+  List.stable_sort
+    (fun a b -> compare (severity_rank b.severity) (severity_rank a.severity))
+    findings
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let location_string = function
+  | Global -> ""
+  | Vertex u -> Printf.sprintf "v%d" u
+  | Edge (u, v) -> Printf.sprintf "e(%d,%d)" u v
+  | Vreg v -> Printf.sprintf "%%%d" v
+  | Instr i -> Printf.sprintf "instr %d" i
+  | Block b -> Printf.sprintf "b%d" b
+  | Param p -> p
+  | Line l -> Printf.sprintf "line %d" l
+
+let pp_finding ppf f =
+  let loc = location_string f.location in
+  Format.fprintf ppf "%s[%s]%s%s: %s"
+    (severity_string f.severity)
+    f.rule
+    (if loc = "" then "" else " ")
+    loc f.message
+
+let pp_report ppf findings =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_finding)
+    findings
+
+let to_string findings = Format.asprintf "%a" pp_report findings
+
+let summary findings =
+  Printf.sprintf "%d error(s), %d warning(s), %d info" (count Error findings)
+    (count Warning findings) (count Info findings)
+
+(* Prefix every finding's rule, used by batteries that aggregate several
+   sub-checks under one namespace. *)
+let with_context ctx findings =
+  List.map (fun f -> { f with message = ctx ^ ": " ^ f.message }) findings
+
+let exit_code findings = if has_errors findings then 1 else 0

@@ -1,0 +1,151 @@
+(* ATE schedule and register-assignment validator.
+
+   Sanitizer-style counterpart of [Ate.Validate.check] /
+   [Ate.Program.check_schedulable]: the same machine rules, but every
+   violation is reported as a located finding instead of failing on the
+   first, plus a structural check that [Schedule.pad] behaved (only nops
+   inserted, control flow intact). *)
+
+open Check
+open Ate
+
+let vregs_of regs =
+  List.filter_map (function Ast.Virt v -> Some v | Ast.Phys _ -> None) regs
+
+(* --- schedule ---------------------------------------------------------- *)
+
+let schedule machine prog =
+  let c = Diag.collector () in
+  (match Program.analyze prog with
+  | Error msg -> Diag.errorf c "ate-labels" Diag.Global "%s" msg
+  | Ok info -> (
+      match Program.check_schedulable machine info with
+      | Ok () -> ()
+      | Error msg ->
+          Diag.errorf c "ate-schedule" Diag.Global "%s" msg;
+          Diag.infof c "ate-schedule" Diag.Global
+            "Schedule.pad would insert %d nop(s) to fix this"
+            (Schedule.nops_added machine prog)));
+  Diag.report c
+
+(* [Schedule.pad] must yield a schedulable program that differs from the
+   input only by inserted [Nop]s (same instructions in order, same
+   labels). *)
+let padded machine prog =
+  let c = Diag.collector () in
+  let out = Schedule.pad machine prog in
+  (match Program.analyze out with
+  | Error msg ->
+      Diag.errorf c "ate-pad-labels" Diag.Global "pad broke labels: %s" msg
+  | Ok info -> (
+      match Program.check_schedulable machine info with
+      | Ok () -> ()
+      | Error msg ->
+          Diag.errorf c "ate-pad-schedule" Diag.Global
+            "pad output still unschedulable: %s" msg));
+  let strip (p : Ast.program) =
+    Array.to_list p.Ast.lines
+    |> List.filter (function Ast.Instr Ast.Nop -> false | _ -> true)
+  in
+  if strip prog <> strip out then
+    Diag.errorf c "ate-pad-preserve" Diag.Global
+      "pad changed the program beyond inserting nops";
+  Diag.report c
+
+(* --- register assignment ----------------------------------------------- *)
+
+let assignment machine info ~assignment =
+  let c = Diag.collector () in
+  let nregs = machine.Machine.nregs in
+  (* resolve every vreg once; unmapped / out-of-range vregs are reported
+     and excluded from the later physical checks *)
+  let phys = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      match assignment v with
+      | None -> Diag.errorf c "ate-unassigned" (Diag.Vreg v) "no assignment"
+      | Some p when p < 0 || p >= nregs ->
+          Diag.errorf c "ate-reg-range" (Diag.Vreg v)
+            "assigned out-of-range register r%d" p
+      | Some p -> Hashtbl.replace phys v p)
+    info.Program.vregs;
+  let resolve = function
+    | Ast.Virt v -> Hashtbl.find_opt phys v
+    | Ast.Phys p -> Some p
+  in
+  Array.iteri
+    (fun i instr ->
+      List.iter
+        (fun (r, cls) ->
+          match resolve r with
+          | Some p when not (Machine.class_allowed machine cls p) ->
+              Diag.errorf c "ate-class" (Diag.Instr i)
+                "%s in r%d violates class %s"
+                (Format.asprintf "%a" Ast.pp_reg r)
+                p
+                (Machine.rclass_to_string cls)
+          | _ -> ())
+        (Ast.operand_classes instr);
+      match Ast.pair_sources instr with
+      | Some (a, b) -> (
+          match (resolve a, resolve b) with
+          | Some pa, Some pb when not (Machine.pair_compatible machine pa pb)
+            ->
+              Diag.errorf c "ate-pair" (Diag.Instr i)
+                "sources r%d and r%d are not a compatible pair" pa pb
+          | _ -> ())
+      | None -> ())
+    info.Program.instrs;
+  let live = Liveness.compute info in
+  List.iter
+    (fun (u, v) ->
+      match (Hashtbl.find_opt phys u, Hashtbl.find_opt phys v) with
+      | Some pu, Some pv when pu = pv ->
+          Diag.errorf c "ate-interference" (Diag.Vreg u)
+            "interfering v%d and v%d share r%d" u v pu
+      | _ -> ())
+    (Liveness.interference_pairs info live);
+  (* major cycles: physical write-once and no read before a later write *)
+  let n = Array.length info.Program.instrs in
+  let pdefs k =
+    List.filter_map resolve
+      (List.map (fun v -> Ast.Virt v) (vregs_of (Ast.defs info.Program.instrs.(k))))
+  in
+  let puses k =
+    List.filter_map resolve
+      (List.map (fun v -> Ast.Virt v) (vregs_of (Ast.uses info.Program.instrs.(k))))
+  in
+  for i = 0 to n - 1 do
+    let cyc = Program.cycle_of machine i in
+    let j = ref (i + 1) in
+    while !j < n && Program.cycle_of machine !j = cyc do
+      let dj = pdefs !j in
+      List.iter
+        (fun p ->
+          if List.mem p dj then
+            Diag.errorf c "ate-cycle-write" (Diag.Instr i)
+              "r%d written twice in major cycle %d" p cyc)
+        (pdefs i);
+      List.iter
+        (fun p ->
+          if List.mem p dj then
+            Diag.errorf c "ate-cycle-read" (Diag.Instr i)
+              "r%d read at %d before its write at %d (major cycle %d)" p i !j
+              cyc)
+        (puses i);
+      incr j
+    done
+  done;
+  (* cross-check the repo's own fail-fast validator *)
+  (match
+     ( Validate.check machine info ~assignment,
+       Diag.error_count_in c > 0 )
+   with
+  | Ok (), true ->
+      Diag.warningf c "ate-validator-disagrees" Diag.Global
+        "Validate.check accepts an assignment this checker rejects"
+  | Error msg, false ->
+      Diag.errorf c "ate-validator-disagrees" Diag.Global
+        "Validate.check rejects: %s" msg
+  | _ -> ());
+  Diag.report c

@@ -1,0 +1,295 @@
+(* CIR allocation verifier.
+
+   Three layers of checks over the compiler backend:
+   - [func]: structural IR sanity plus a must-define (definite-assignment)
+     forward dataflow — every use must be dominated by a definition along
+     all paths, which lowered MiniC guarantees (decls default-initialize);
+   - [allocation]: a [Regalloc.allocation] against the liveness facts —
+     register ranges, class/constraint membership, interference, and
+     must-spill consistency;
+   - [machine_func]: spill-slot consistency of the rewritten VCPU code
+     (slot ranges, scratch-register discipline, physical register
+     ranges). *)
+
+open Check
+open Cir
+module Iset = Set.Make (Int)
+
+(* --- IR structure + definite assignment ------------------------------- *)
+
+let check_structure c (f : Ir.func) =
+  let nb = Array.length f.Ir.blocks in
+  let nv = Ir.nvregs f in
+  Array.iteri
+    (fun i (blk : Ir.block) ->
+      if blk.Ir.id <> i then
+        Diag.errorf c "cir-block-id" (Diag.Block i)
+          "block at index %d has id %d" i blk.Ir.id;
+      List.iter
+        (fun s ->
+          if s < 0 || s >= nb then
+            Diag.errorf c "cir-branch-target" (Diag.Block i)
+              "terminator targets non-existent block %d" s)
+        (Ir.successors blk.Ir.term);
+      let check_vregs vs =
+        List.iter
+          (fun v ->
+            if v < 0 || v >= nv then
+              Diag.errorf c "cir-vreg-range" (Diag.Block i)
+                "vreg %%%d out of range [0,%d)" v nv)
+          vs
+      in
+      List.iter
+        (fun ins ->
+          check_vregs (Ir.defs ins);
+          check_vregs (Ir.uses_instr ins))
+        blk.Ir.instrs;
+      check_vregs (Ir.uses_term blk.Ir.term))
+    f.Ir.blocks;
+  List.iter
+    (fun p ->
+      if p < 0 || p >= nv then
+        Diag.errorf c "cir-vreg-range" Diag.Global
+          "parameter %%%d out of range [0,%d)" p nv)
+    f.Ir.params
+
+(* Must-define forward dataflow: IN(entry) = params,
+   IN(b) = ∩ over predecessors OUT, OUT(b) = IN(b) ∪ defs(b).
+   A use outside the must-define set can read garbage on some path. *)
+let check_must_define c (f : Ir.func) =
+  let nb = Array.length f.Ir.blocks in
+  if nb > 0 then begin
+    let nv = Ir.nvregs f in
+    let universe = Iset.of_list (List.init nv Fun.id) in
+    let params = Iset.of_list f.Ir.params in
+    let preds = Array.make nb [] in
+    Array.iter
+      (fun (blk : Ir.block) ->
+        List.iter
+          (fun s ->
+            if s >= 0 && s < nb then preds.(s) <- blk.Ir.id :: preds.(s))
+          (Ir.successors blk.Ir.term))
+      f.Ir.blocks;
+    let out_ = Array.make nb universe in
+    let in_of b =
+      if b = 0 then params
+      else
+        match preds.(b) with
+        | [] -> universe (* unreachable: vacuously defined *)
+        | ps -> List.fold_left (fun acc p -> Iset.inter acc out_.(p)) universe ps
+    in
+    let transfer b set =
+      List.fold_left
+        (fun set ins ->
+          List.fold_left (fun s d -> Iset.add d s) set (Ir.defs ins))
+        set f.Ir.blocks.(b).Ir.instrs
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = 0 to nb - 1 do
+        let o = transfer b (in_of b) in
+        if not (Iset.equal o out_.(b)) then begin
+          out_.(b) <- o;
+          changed := true
+        end
+      done
+    done;
+    Array.iter
+      (fun (blk : Ir.block) ->
+        let b = blk.Ir.id in
+        let cur = ref (in_of b) in
+        let use where v =
+          if v >= 0 && v < nv && not (Iset.mem v !cur) then
+            Diag.errorf c "cir-use-before-def" (Diag.Block b)
+              "%s uses %%%d with no definition on some path" where v
+        in
+        List.iteri
+          (fun i ins ->
+            List.iter (use (Printf.sprintf "instr %d" i)) (Ir.uses_instr ins);
+            List.iter (fun d -> cur := Iset.add d !cur) (Ir.defs ins))
+          blk.Ir.instrs;
+        List.iter (use "terminator") (Ir.uses_term blk.Ir.term))
+      f.Ir.blocks
+  end
+
+let func f =
+  let c = Diag.collector () in
+  check_structure c f;
+  if Diag.error_count_in c = 0 then check_must_define c f;
+  Diag.report c
+
+let program (p : Ir.program) =
+  (match Ir.check p with
+  | Ok () -> []
+  | Error msg -> [ Diag.error "cir-structure" Diag.Global "%s" msg ])
+  @ List.concat_map
+      (fun (f : Ir.func) ->
+        Diag.with_context f.Ir.name (func f))
+      p.Ir.funcs
+
+(* --- register allocation ---------------------------------------------- *)
+
+let allocation (live : Liveness.t) (alloc : Regalloc.allocation) =
+  let c = Diag.collector () in
+  let nv = Ir.nvregs live.Liveness.func in
+  if Array.length alloc <> nv then
+    Diag.errorf c "cir-alloc-length" Diag.Global
+      "allocation has %d entries, function has %d vregs" (Array.length alloc)
+      nv
+  else begin
+    Array.iteri
+      (fun v loc ->
+        (* vregs that never occur carry no constraints *)
+        if live.Liveness.intervals.(v) <> (-1, -1) then
+          match loc with
+          | Regalloc.Spill -> ()
+          | Regalloc.Reg r ->
+              if r < 0 || r >= Target.num_regs then
+                Diag.errorf c "cir-reg-range" (Diag.Vreg v)
+                  "physical register %d out of range [0,%d)" r Target.num_regs
+              else if not (List.mem r (Regalloc.allowed live v)) then
+                Diag.errorf c "cir-class" (Diag.Vreg v)
+                  "register P%d violates the vreg's class/constraint set" r)
+      alloc;
+    List.iter
+      (fun (u, v) ->
+        match (alloc.(u), alloc.(v)) with
+        | Regalloc.Reg ru, Regalloc.Reg rv when ru = rv ->
+            Diag.errorf c "cir-interference" (Diag.Vreg u)
+              "interfering vregs %%%d and %%%d share register P%d" u v ru
+        | _ -> ())
+      live.Liveness.interference;
+    (* independent cross-check of the repo's own validator *)
+    match Regalloc.validate live alloc with
+    | Ok () ->
+        if Diag.error_count_in c > 0 then
+          Diag.warningf c "cir-validator-disagrees" Diag.Global
+            "Regalloc.validate accepts an allocation this checker rejects"
+    | Error msg ->
+        if Diag.error_count_in c = 0 then
+          Diag.errorf c "cir-validator-disagrees" Diag.Global
+            "Regalloc.validate rejects: %s" msg
+  end;
+  Diag.report c
+
+(* --- spill-slot consistency over rewritten machine code ---------------- *)
+
+let machine_func (mf : Mach.mfunc) =
+  let c = Diag.collector () in
+  let slot where s =
+    if s < 0 || s >= mf.Mach.nslots then
+      Diag.errorf c "cir-slot-range" where
+        "stack slot %d out of range [0,%d)" s mf.Mach.nslots
+  in
+  let reg where r =
+    if r < 0 || r >= Target.total_regs then
+      Diag.errorf c "cir-preg-range" where
+        "physical register %d out of range [0,%d)" r Target.total_regs
+  in
+  let mval where = function
+    | Mach.MReg r -> reg where r
+    | Mach.MSlot s -> slot where s
+    | Mach.MInt _ | Mach.MFloat _ -> ()
+  in
+  let scratch where r =
+    if r <> Target.scratch0 && r <> Target.scratch1 then
+      Diag.errorf c "cir-spill-scratch" where
+        "spill code uses non-scratch register %d" r
+  in
+  Array.iter
+    (fun (blk : Mach.mblock) ->
+      let where = Diag.Block blk.Mach.id in
+      List.iter
+        (fun ins ->
+          match ins with
+          (* both spill forms carry (register, slot) — see Msim *)
+          | Mach.MSpill_load (r, s) | Mach.MSpill_store (r, s) ->
+              reg where r;
+              slot where s;
+              scratch where r
+          | Mach.MBin (_, d, a, b) ->
+              reg where d;
+              mval where a;
+              mval where b
+          | Mach.MMov (d, a) | Mach.MI2f (d, a) | Mach.MF2i (d, a) ->
+              reg where d;
+              mval where a
+          | Mach.MLoad (d, _, a) ->
+              reg where d;
+              mval where a
+          | Mach.MStore (_, a, b) ->
+              mval where a;
+              mval where b
+          | Mach.MLoad_var (d, _) -> reg where d
+          | Mach.MStore_var (_, a) -> mval where a
+          | Mach.MCall (d, _, args) ->
+              Option.iter (reg where) d;
+              List.iter (mval where) args
+          | Mach.MPrint (_, a) -> mval where a)
+        blk.Mach.instrs;
+      match blk.Mach.term with
+      | Mach.MRet a -> Option.iter (mval where) a
+      | Mach.MJmp _ -> ()
+      | Mach.MBr (a, _, _) -> mval where a)
+    mf.Mach.blocks;
+  List.iter
+    (fun pl ->
+      match pl with
+      | Mach.PReg r -> reg Diag.Global r
+      | Mach.PSlot s -> slot Diag.Global s)
+    mf.Mach.params_loc;
+  List.iter
+    (fun r ->
+      if not (List.mem r Target.callee_saved) then
+        Diag.errorf c "cir-callee-saved" Diag.Global
+          "callee_saved_used lists non-callee-saved register %d" r)
+    mf.Mach.callee_saved_used;
+  Diag.report c
+
+(* --- whole-pipeline check for the CLI ---------------------------------- *)
+
+type alloc_kind = Fast | Basic | Greedy | Pbqp
+
+let alloc_of kind (f : Ir.func) (live : Liveness.t) =
+  match kind with
+  | Fast -> Regalloc.fast f
+  | Basic -> Regalloc.basic live
+  | Greedy -> Regalloc.greedy live
+  | Pbqp -> fst (Alloc_pbqp.solve_scholz live)
+
+let alloc_kind_name = function
+  | Fast -> "fast"
+  | Basic -> "basic"
+  | Greedy -> "greedy"
+  | Pbqp -> "pbqp"
+
+(* Compile MiniC source and push every function through IR checks, the
+   allocator under [kind], allocation certification, spill rewriting and
+   machine-code checks.  For the PBQP allocator the built graph is also
+   linted with the base well-formedness analyzer. *)
+let check_source ?(kind = Pbqp) src =
+  match Lower.compile src with
+  | exception Invalid_argument msg ->
+      [ Diag.error "cir-compile" Diag.Global "%s" msg ]
+  | prog ->
+      let structural = program prog in
+      if Diag.has_errors structural then structural
+      else
+        structural
+        @ List.concat_map
+            (fun (f : Ir.func) ->
+              let live = Liveness.analyze f in
+              let per_func =
+                (if kind = Pbqp then
+                   let b = Alloc_pbqp.build live in
+                   Invariants.graph b.Alloc_pbqp.graph
+                 else [])
+                @
+                let alloc = alloc_of kind f live in
+                allocation live alloc
+                @ machine_func (Rewrite.rewrite_func f alloc)
+              in
+              Diag.with_context (f.Ir.name ^ "/" ^ alloc_kind_name kind)
+                per_func)
+            prog.Ir.funcs

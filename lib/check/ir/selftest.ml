@@ -1,0 +1,167 @@
+(* The deterministic battery behind `pbqp-lint --self-test`: positive
+   properties (generated instances are well-formed, classic-solver
+   solutions certify, gradients match finite differences, the CIR and ATE
+   pipelines verify end to end) and negative properties (hand-crafted
+   malformed graphs/solutions are rejected). *)
+
+open Check
+open Pbqp
+
+type case = { name : string; ok : bool; detail : string }
+
+(* pass iff no Error finding *)
+let clean name findings =
+  let errs = Diag.errors_only findings in
+  {
+    name;
+    ok = errs = [];
+    detail =
+      (if errs = [] then Printf.sprintf "%d finding(s), none fatal"
+         (List.length findings)
+       else Diag.to_string errs);
+  }
+
+(* pass iff at least one Error finding *)
+let rejected name findings =
+  if Diag.has_errors findings then
+    { name; ok = true; detail = "rejected as expected" }
+  else { name; ok = false; detail = "accepted a malformed input" }
+
+let ok cases = List.for_all (fun c -> c.ok) cases
+
+(* Drop the semantic arc-consistency findings: a plain Erdős–Rényi draw
+   may legitimately be infeasible, which is a property of the instance,
+   not of its representation. *)
+let structural_only =
+  List.filter (fun f ->
+      not (String.starts_with ~prefix:"pbqp-arc" f.Diag.rule))
+
+(* --- PBQP graphs + classic solver certification ------------------------ *)
+
+let graph_battery ~rng ~graphs =
+  let cases = ref [] in
+  for i = 1 to graphs do
+    let m = 2 + (i mod 3) in
+    let n = 3 + (i mod (if m >= 4 then 6 else 7)) in
+    let config =
+      {
+        Generate.default with
+        n;
+        m;
+        p_edge = 0.3 +. (0.1 *. float_of_int (i mod 4));
+        p_inf = (if i mod 2 = 0 then 0.0 else 0.15);
+        zero_inf = i mod 5 = 0;
+        min_liberty = 1;
+      }
+    in
+    let g, tag =
+      if i mod 3 = 0 then (Generate.erdos_renyi ~rng config, "er")
+      else (fst (Generate.planted ~rng config), "planted")
+    in
+    let wf = Invariants.graph g in
+    let wf = if tag = "er" then structural_only wf else wf in
+    cases := clean (Printf.sprintf "wellformed-%s-%03d" tag i) wf :: !cases;
+    cases :=
+      clean
+        (Printf.sprintf "certify-classic-%03d" i)
+        (Certify.classic_findings g)
+      :: !cases
+  done;
+  List.rev !cases
+
+(* --- hand-crafted malformed inputs ------------------------------------- *)
+
+let negative_battery () =
+  let fig2 = Generate.fig2 () in
+  let bad_vertex () =
+    let g = Graph.create ~m:2 ~n:2 in
+    Graph.set_cost g 0 (Vec.of_array [| Cost.inf; Cost.inf |]);
+    g
+  in
+  let conflict_graph () =
+    let g = Graph.create ~m:2 ~n:2 in
+    Graph.add_edge g 0 1
+      (Mat.of_arrays [| [| Cost.inf; 0.0 |]; [| 0.0; 0.0 |] |]);
+    g
+  in
+  [
+    rejected "reject-parse"
+      (Invariants.lint_string "pbqp 2 2\nv 0 1.0\n");
+    rejected "reject-unknown-directive"
+      (Invariants.lint_string "pbqp 1 2\nq 0 1 2\n");
+    rejected "reject-no-color" (Invariants.graph (bad_vertex ()));
+    rejected "reject-color-range"
+      (Certify.solution fig2 (Solution.of_array [| 0; 5; 0 |]));
+    rejected "reject-unassigned"
+      (Certify.solution fig2 (Solution.of_array [| 0; Solution.unassigned; 0 |]));
+    rejected "reject-conflict"
+      (Certify.solution (conflict_graph ()) (Solution.of_array [| 0; 0 |]));
+    rejected "reject-cost-lie"
+      (Certify.solution ~reported:5.0 fig2 (Solution.of_array [| 0; 0; 0 |]));
+    rejected "reject-below-optimum"
+      (Certify.against_brute fig2 ~reported:5.0);
+  ]
+
+(* --- gradients --------------------------------------------------------- *)
+
+let grad_battery () =
+  [
+    clean "gradcheck-layers" (Gradcheck.layer_battery ());
+    clean "gradcheck-pvnet" (Gradcheck.pvnet_battery ());
+  ]
+
+(* --- CIR pipeline ------------------------------------------------------ *)
+
+let cir_battery ~rng =
+  List.concat_map
+    (fun i ->
+      let src = Cir.Fuzzgen.generate ~rng in
+      List.map
+        (fun kind ->
+          clean
+            (Printf.sprintf "cir-fuzz-%d-%s" i
+               (Cir_check.alloc_kind_name kind))
+            (Cir_check.check_source ~kind src))
+        [ Cir_check.Basic; Cir_check.Greedy; Cir_check.Pbqp ])
+    [ 1; 2; 3 ]
+
+(* --- ATE pipeline ------------------------------------------------------ *)
+
+let ate_battery ~rng =
+  let machine = Ate.Machine.default in
+  let prog, witness =
+    Ate.Progen.generate_with_witness ~machine ~rng ~target_vregs:12 ()
+  in
+  let info = Ate.Program.analyze_exn prog in
+  let schedule_case = clean "ate-schedule" (Ate_check.schedule machine prog) in
+  let pad_case = clean "ate-pad" (Ate_check.padded machine prog) in
+  let witness_case =
+    clean "ate-witness" (Ate_check.assignment machine info ~assignment:witness)
+  in
+  let build = Ate.Pbqp_build.build machine info in
+  let graph_case = clean "ate-pbqp-graph" (Invariants.graph build.Ate.Pbqp_build.graph) in
+  let solver_case =
+    match fst (Solvers.Mrv.solve ~max_states:200_000 build.Ate.Pbqp_build.graph) with
+    | None ->
+        {
+          name = "ate-pbqp-solve";
+          ok = false;
+          detail = "MRV found no solution on a feasible-by-construction graph";
+        }
+    | Some sol ->
+        let cert = Certify.solution build.Ate.Pbqp_build.graph sol in
+        let assignment = Ate.Pbqp_build.assignment_of_solution build sol in
+        clean "ate-pbqp-roundtrip"
+          (cert @ Ate_check.assignment machine info ~assignment)
+  in
+  [ schedule_case; pad_case; witness_case; graph_case; solver_case ]
+
+(* --- entry point -------------------------------------------------------- *)
+
+let run ?(graphs = 60) ?(seed = 42) () =
+  let rng = Random.State.make [| seed |] in
+  graph_battery ~rng ~graphs
+  @ negative_battery ()
+  @ grad_battery ()
+  @ cir_battery ~rng
+  @ ate_battery ~rng

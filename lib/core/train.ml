@@ -22,6 +22,7 @@ type config = {
   instance_generator : (rng:Random.State.t -> Pbqp.Graph.t) option;
   domains : int;
   checkpoint : string option;
+  check : bool;
 }
 
 let default_config ~m =
@@ -49,6 +50,7 @@ let default_config ~m =
     instance_generator = None;
     domains = 1;
     checkpoint = None;
+    check = false;
   }
 
 type progress = {
@@ -91,6 +93,26 @@ let play_once ?(collect = false) ~rng ~net ~temperature_moves config g =
   Episode.play ~collect ~rng ~net ~mode
     { Episode.mcts = config.mcts; temperature_moves; root_noise }
     state
+
+(* With [config.check]: certify an episode's claim against the original
+   graph — the solution must be admissible and its recomputed cost must
+   equal the cost the episode reports.  A violation is a solver bug, so
+   training aborts loudly rather than learning from corrupt labels. *)
+let certify_outcome config who g (outcome : Episode.outcome) =
+  if config.check then
+    match outcome.Episode.solution with
+    | None -> ()
+    | Some sol ->
+        let reported = outcome.Episode.cost in
+        let findings =
+          if Cost.is_finite reported then
+            Check.Certify.solution ~reported g sol
+          else Check.Certify.solution g sol
+        in
+        if Check.Diag.has_errors findings then
+          failwith
+            (Printf.sprintf "Train: %s episode failed certification:\n%s" who
+               (Check.Diag.to_string (Check.Diag.errors_only findings)))
 
 let compare_costs current best =
   if Cost.compare current best < 0 then 1.0
@@ -141,6 +163,8 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
       play_once ~collect:true ~rng ~net:current
         ~temperature_moves:config.temperature_moves config g
     in
+    certify_outcome config "best" g best_outcome;
+    certify_outcome config "current" g cur_outcome;
     (* In the no-spill (0/∞) setting the game is feasibility: finishing is
        the win condition itself, so the label is absolute.  In the general
        setting the label is the paper's comparison against the best

@@ -58,6 +58,13 @@ type config = {
           [<prefix>.current.ckpt] and [<prefix>.replay.txt]; {!run}
           resumes from them when all three exist.  (Optimizer moments are
           not persisted; Adam re-warms on resume.) *)
+  check : bool;
+      (** certify every self-play episode's solution with
+          [Check.Certify.solution] against the original graph (the
+          episode's incremental cost bookkeeping must match an
+          independent recomputation); any violation aborts training with
+          [Failure].  Off by default — it adds a per-episode
+          recomputation. *)
 }
 
 val default_config : m:int -> config

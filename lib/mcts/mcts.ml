@@ -7,9 +7,9 @@ type 'a game = {
   evaluate : 'a -> float array * float;
 }
 
-type config = { k : int; c_puct : float; epsilon : float }
+type config = { k : int; c_puct : float; epsilon : float; check : bool }
 
-let default_config = { k = 50; c_puct = 1.5; epsilon = 1e-8 }
+let default_config = { k = 50; c_puct = 1.5; epsilon = 1e-8; check = false }
 
 type 'a node = {
   state : 'a;
@@ -154,6 +154,77 @@ let add_root_noise ~rng ~epsilon ~alpha t =
             else p)
           t.root.priors
   end
+
+(* Tree validity: every invariant the search maintains by construction,
+   re-verified over the whole materialized tree.  Returns all violations
+   (not just the first) as human-readable strings. *)
+let validate t =
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (* walk up to the initial root so retreat-able ancestors are covered *)
+  let rec top n = match n.parent with Some (p, _) -> top p | None -> n in
+  let reachable = ref 0 in
+  let rec walk path node =
+    incr reachable;
+    let terminal = t.game.is_terminal node.state in
+    if Array.length node.edges <> t.game.num_actions then
+      bad "%s: %d edges for %d actions" path (Array.length node.edges)
+        t.game.num_actions;
+    if node.expanded then begin
+      if Array.length node.priors <> t.game.num_actions then
+        bad "%s: priors length %d, expected %d" path
+          (Array.length node.priors) t.game.num_actions
+      else begin
+        let legal_mass = ref 0.0 in
+        Array.iteri
+          (fun a p ->
+            if Float.is_nan p || p = infinity || p < 0.0 then
+              bad "%s: prior[%d] = %g is not a finite non-negative value"
+                path a p
+            else if t.game.legal node.state a then
+              legal_mass := !legal_mass +. p)
+          node.priors;
+        if (not terminal) && !legal_mass <= 0.0 then
+          bad "%s: no prior mass on any legal action" path
+      end;
+      if Float.is_nan node.value_est then bad "%s: value estimate is NaN" path
+    end;
+    Array.iteri
+      (fun a e ->
+        let where = Printf.sprintf "%s.%d" path a in
+        if e.n < 0 then bad "%s: negative visit count %d" where e.n;
+        if Float.is_nan e.q then bad "%s: Q is NaN" where;
+        if e.n = 0 && e.q <> 0.0 then
+          bad "%s: unvisited edge has Q = %g" where e.q;
+        if not (t.game.legal node.state a) then begin
+          if e.n > 0 then bad "%s: illegal action has %d visits" where e.n;
+          if e.child <> None then bad "%s: illegal action has a child" where
+        end;
+        if terminal && e.n > 0 then
+          bad "%s: terminal node has visited edges" where;
+        match e.child with
+        | None -> ()
+        | Some c -> (
+            (match c.parent with
+            | Some (p, pa) when p == node && pa = a -> ()
+            | _ -> bad "%s: child's parent link is wrong" where);
+            walk where c))
+      node.edges
+  in
+  walk "root" (top t.root);
+  if !reachable > t.created then
+    bad "%d reachable nodes exceed the creation count %d" !reachable t.created;
+  List.rev !violations
+
+let check_tree t =
+  if t.config.check then
+    match validate t with
+    | [] -> ()
+    | vs -> failwith ("Mcts.validate: " ^ String.concat "; " vs)
+
+let run_n t n =
+  run_n t n;
+  check_tree t
 
 let run t = run_n t t.config.k
 

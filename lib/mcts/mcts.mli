@@ -25,10 +25,14 @@ type config = {
   k : int;  (** simulations per {!run} *)
   c_puct : float;  (** exploration constant of Eq. 2 *)
   epsilon : float;  (** the [ε] under the square root of Eq. 2 *)
+  check : bool;
+      (** validate the whole game tree after every {!run}/{!run_n} (see
+          {!validate}) and raise [Failure] on any violation — a debugging
+          aid for new games; costs a full tree walk per search *)
 }
 
 val default_config : config
-(** [k = 50; c_puct = 1.5; epsilon = 1e-8] *)
+(** [k = 50; c_puct = 1.5; epsilon = 1e-8; check = false] *)
 
 type 'a t
 
@@ -76,3 +80,13 @@ val depth : 'a t -> int
 val nodes_created : 'a t -> int
 (** Total states materialized in this game tree — the paper's search-space
     metric (Fig. 6). *)
+
+val validate : 'a t -> string list
+(** Re-verify every invariant the search maintains by construction, over
+    the {e whole} materialized tree (including retreat-able ancestors):
+    expanded nodes carry finite non-negative priors with mass on some
+    legal action; visit counts are non-negative, unvisited edges carry
+    [Q = 0], illegal actions are never visited or expanded; parent links
+    are coherent; reachable nodes never exceed {!nodes_created}.  Returns
+    {e all} violations, [[]] on a healthy tree.  Run automatically when
+    [config.check] is set. *)

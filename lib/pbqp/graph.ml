@@ -127,6 +127,9 @@ let fold_edges f g init =
 
 let edge_count g = fold_edges (fun _ _ _ acc -> acc + 1) g 0
 
+let iter_adjacency f g =
+  Array.iteri (fun u tbl -> Hashtbl.iter (fun v muv -> f u v muv) tbl) g.adj
+
 let equal_with vec_eq mat_eq a b =
   a.m = b.m && a.n = b.n
   && Array.for_all2 Bool.equal a.alive b.alive

@@ -87,6 +87,14 @@ val fold_edges : (int -> int -> Mat.t -> 'a -> 'a) -> t -> 'a -> 'a
 
 val edge_count : t -> int
 
+val iter_adjacency : (int -> int -> Mat.t -> unit) -> t -> unit
+(** Iterates over every {e stored} directed adjacency entry [(u, v, muv)],
+    without the liveness and orientation filtering of {!fold_edges}: a
+    symmetric edge is visited in both orientations, and entries dangling
+    on dead vertices (which {!check} would reject) are visited too.  This
+    exposes the raw representation for external invariant checkers; the
+    matrices are the graph's own — do not mutate. *)
+
 val equal : t -> t -> bool
 (** Structural equality on live vertices, costs and edges (exact). *)
 

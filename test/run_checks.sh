@@ -1,0 +1,20 @@
+#!/bin/sh
+# One-shot verification gate: build, run every test suite, then run the
+# linter's self-test battery (also available as `dune build @check`).
+# Exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== pbqp_lint --self-test =="
+dune exec bin/pbqp_lint.exe -- --self-test
+
+echo "== pbqp_lint --gen 50 --certify =="
+dune exec bin/pbqp_lint.exe -- --gen 50 --certify
+
+echo "all checks passed"

@@ -360,6 +360,29 @@ let test_pvnet_full_gradcheck () =
   check_grads ~tol:2e-3 "pvnet loss" (Nn.Pvnet.params net) (fun ctx ->
       Nn.Pvnet.loss net ctx sample)
 
+(* ------------------------------------------------------------------ *)
+(* lib/check gradient batteries: Linear / ReLU / Tanh / LayerNorm / the
+   residual block (tolerance 1e-4), and the full pvnet loss. *)
+
+let no_grad_errors name findings =
+  match Check.Diag.errors_only findings with
+  | [] -> ()
+  | errs -> Alcotest.failf "%s:\n%s" name (Check.Diag.to_string errs)
+
+let test_check_layer_battery () =
+  no_grad_errors "layer battery"
+    (Check.Gradcheck.layer_battery ~tol:1e-4 ())
+
+let test_check_pvnet_battery () =
+  no_grad_errors "pvnet battery" (Check.Gradcheck.pvnet_battery ())
+
+(* zero tolerance must flag float-rounding mismatches on every layer —
+   proof the finite-difference sweep actually runs and compares *)
+let test_check_battery_detects () =
+  let findings = Check.Gradcheck.layer_battery ~tol:0.0 () in
+  if not (Check.Diag.has_errors findings) then
+    Alcotest.fail "tolerance-0 battery reported no findings"
+
 let () =
   Alcotest.run "nn"
     [
@@ -410,5 +433,13 @@ let () =
           Alcotest.test_case "param count" `Quick test_pvnet_param_count;
           Alcotest.test_case "full network gradcheck" `Quick
             test_pvnet_full_gradcheck;
+        ] );
+      ( "check-gradcheck",
+        [
+          Alcotest.test_case "layer battery (1e-4)" `Quick
+            test_check_layer_battery;
+          Alcotest.test_case "pvnet battery" `Quick test_check_pvnet_battery;
+          Alcotest.test_case "detects at tol 0" `Quick
+            test_check_battery_detects;
         ] );
     ]
