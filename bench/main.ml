@@ -522,6 +522,89 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Batched-evaluation microbenchmarks: the tiled GEMM against the naive
+   kernel, one batched pvnet forward against N scalar ones, and a whole
+   self-play episode with and without batched leaf evaluation.  Uses a
+   fresh (untrained) net — these measure inference mechanics, not play
+   quality — so the section runs in seconds. *)
+
+let batching () =
+  section "Batched evaluation microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let mk n =
+    let r = rng (n + 1) in
+    let rand _ _ = Random.State.float r 2.0 -. 1.0 in
+    (Tensor.init2 n n rand, Tensor.init2 n n rand)
+  in
+  let a64, b64 = mk 64 in
+  let a192, b192 = mk 192 in
+  let out192 = Tensor.zeros [| 192; 192 |] in
+  let m = 13 in
+  let net =
+    Nn.Pvnet.create ~rng:(rng 1)
+      { (Nn.Pvnet.default_config ~m) with trunk_width = 64; trunk_blocks = 2 }
+  in
+  let g =
+    Pbqp.Generate.erdos_renyi ~rng:(rng 3)
+      { Pbqp.Generate.default with n = 30; m; p_edge = 0.2 }
+  in
+  let states =
+    List.filteri (fun i _ -> i < 16)
+      (List.map (fun v -> (g, v)) (Pbqp.Graph.vertices g))
+  in
+  let st = Core.State.of_graph g in
+  let episode ~batched ~batch () =
+    let cfg =
+      {
+        Core.Episode.default_config with
+        Core.Episode.mcts = { Mcts.default_config with k = 16; batch };
+      }
+    in
+    ignore
+      (Core.Episode.play ~batched ~rng:(rng 7) ~net
+         ~mode:Core.Game.Feasibility cfg st)
+  in
+  let tests =
+    Test.make_grouped ~name:"batching"
+      [
+        Test.make ~name:"matmul_naive 64x64"
+          (Staged.stage (fun () -> ignore (Tensor.matmul_naive a64 b64)));
+        Test.make ~name:"matmul (tiled) 64x64"
+          (Staged.stage (fun () -> ignore (Tensor.matmul a64 b64)));
+        Test.make ~name:"matmul_naive 192x192"
+          (Staged.stage (fun () -> ignore (Tensor.matmul_naive a192 b192)));
+        Test.make ~name:"matmul (tiled) 192x192"
+          (Staged.stage (fun () -> ignore (Tensor.matmul a192 b192)));
+        Test.make ~name:"matmul_into (tiled, no alloc) 192x192"
+          (Staged.stage (fun () -> Tensor.matmul_into out192 a192 b192));
+        Test.make ~name:"16 x Pvnet.predict (n=30)"
+          (Staged.stage (fun () ->
+               List.iter
+                 (fun (g, next) -> ignore (Nn.Pvnet.predict net g ~next))
+                 states));
+        Test.make ~name:"Pvnet.predict_batch of 16 (n=30)"
+          (Staged.stage (fun () -> ignore (Nn.Pvnet.predict_batch net states)));
+        Test.make ~name:"episode, scalar eval (k=16)"
+          (Staged.stage (episode ~batched:false ~batch:1));
+        Test.make ~name:"episode, batch_leaves=8 (k=16)"
+          (Staged.stage (episode ~batched:true ~batch:8));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-42s %14.1f ns/run\n%!" name est
+      | _ -> Printf.printf "  %-42s (no estimate)\n%!" name)
+    results
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -539,6 +622,7 @@ let () =
   | "e6" -> e6 ()
   | "ext" -> ext ()
   | "micro" -> micro ()
+  | "batch" -> batching ()
   | "all" ->
       e1 ();
       e2 ();
@@ -547,8 +631,10 @@ let () =
       e5 ();
       e6 ();
       ext ();
-      micro ()
+      micro ();
+      batching ()
   | other ->
-      Printf.eprintf "unknown experiment %S (e1..e6, ext, micro, all)\n" other;
+      Printf.eprintf
+        "unknown experiment %S (e1..e6, ext, micro, batch, all)\n" other;
       exit 1);
   Printf.printf "\ntotal wall time: %.0fs\n" (Unix.gettimeofday () -. t0)

@@ -5,7 +5,7 @@
 open Cmdliner
 
 let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
-    ate batch replay domains checkpoint seed out =
+    ate batch batch_leaves replay domains checkpoint seed out =
   let instance_generator =
     if ate then
       Some
@@ -29,6 +29,7 @@ let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
       mcts = { Mcts.default_config with k = k_train };
       planted;
       batch_size = batch;
+      batch_leaves;
       replay_capacity = replay;
       domains;
       checkpoint;
@@ -82,6 +83,12 @@ let () =
          & info [ "ate" ] ~doc:"train on PBQP graphs of synthetic ATE programs")
   in
   let batch = Arg.(value & opt int 32 & info [ "batch" ] ~doc:"paper: 64") in
+  let batch_leaves =
+    Arg.(value & opt int 1
+         & info [ "batch-leaves" ]
+             ~doc:"MCTS leaves per batched network evaluation (1 = exact \
+                   scalar search; >1 uses virtual-loss waves)")
+  in
   let replay =
     Arg.(value & opt int 20_000 & info [ "replay" ] ~doc:"paper: 200000")
   in
@@ -104,7 +111,7 @@ let () =
       (Cmd.info "train" ~doc:"Train a PBQP policy/value network by self-play")
       Term.(
         const run $ m $ iterations $ episodes $ k_train $ n_mean $ p_edge
-        $ p_inf $ zero_inf $ planted $ ate $ batch $ replay $ domains
-        $ checkpoint $ seed $ out)
+        $ p_inf $ zero_inf $ planted $ ate $ batch $ batch_leaves $ replay
+        $ domains $ checkpoint $ seed $ out)
   in
   exit (Cmd.eval cmd)

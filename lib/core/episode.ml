@@ -35,9 +35,9 @@ let argmax (p : float array) =
   Array.iteri (fun i pi -> if pi > p.(!best) then best := i) p;
   !best
 
-let play ?(collect = false) ~rng ~net ~mode config state =
+let play ?(collect = false) ?(batched = true) ~rng ~net ~mode config state =
   let m = State.m state in
-  let game = Game.make ~net ~mode ~m () in
+  let game = Game.make ~batched ~net ~mode ~m () in
   let tree = Mcts.create config.mcts game state in
   let samples = ref [] in
   let move = ref 0 in

@@ -30,12 +30,17 @@ type outcome = {
 
 val play :
   ?collect:bool ->
+  ?batched:bool ->
   rng:Random.State.t ->
   net:Nn.Pvnet.t ->
   mode:Game.mode ->
   config ->
   State.t ->
   outcome * Nn.Pvnet.sample list
+(** [batched] (default [true]) is forwarded to {!Game.make}: [false]
+    forces scalar per-leaf network evaluation — the pre-batching
+    baseline used by the equivalence tests and benchmarks.  Search
+    results are bit-identical either way. *)
 
 val set_values : float -> Nn.Pvnet.sample list -> Nn.Pvnet.sample list
 (** Stamp the final reward on every tuple of the episode (§II-C: "all

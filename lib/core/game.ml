@@ -18,7 +18,40 @@ let reward mode cost =
 
 let final_cost st = if State.is_complete st then State.base_cost st else Cost.inf
 
-let make ?rollout ~net ~mode ~m () =
+let make ?rollout ?(batched = true) ~net ~mode ~m () =
+  let blend st v =
+    match rollout with Some f -> 0.5 *. (v +. f st) | None -> v
+  in
+  (* One network forward for a whole wave of leaves: states that still
+     have a vertex to color go through [Pvnet.predict_batch] together
+     (bit-identical to per-state [predict]); the rest — complete games
+     and dead ends that slipped past [is_terminal] — get the same
+     defensive terminal reward the scalar path uses. *)
+  let batched_evaluate states =
+    let states = Array.of_list states in
+    let out = Array.make (Array.length states) ([||], 0.0) in
+    let with_next = ref [] in
+    Array.iteri
+      (fun i st ->
+        match State.next_vertex st with
+        | Some next -> with_next := (i, st, next) :: !with_next
+        | None -> out.(i) <- (Array.make m 0.0, reward mode (final_cost st)))
+      states;
+    let with_next = List.rev !with_next in
+    (match with_next with
+    | [] -> ()
+    | _ ->
+        let preds =
+          Nn.Pvnet.predict_batch net
+            (List.map (fun (_, st, next) -> (State.graph st, next)) with_next)
+        in
+        List.iteri
+          (fun j (i, st, _) ->
+            let priors, v = preds.(j) in
+            out.(i) <- (priors, blend st v))
+          with_next);
+    out
+  in
   {
     Mcts.num_actions = m;
     is_terminal = State.is_terminal;
@@ -30,11 +63,7 @@ let make ?rollout ~net ~mode ~m () =
         match State.next_vertex st with
         | Some next ->
             let priors, v = Nn.Pvnet.predict net (State.graph st) ~next in
-            let v =
-              match rollout with
-              | Some f -> 0.5 *. (v +. f st)
-              | None -> v
-            in
-            (priors, v)
+            (priors, blend st v)
         | None -> (Array.make m 0.0, reward mode (final_cost st)));
+    batched_evaluate = (if batched then Some batched_evaluate else None);
   }

@@ -20,6 +20,7 @@ val reward : mode -> Cost.t -> float
 
 val make :
   ?rollout:(State.t -> float) ->
+  ?batched:bool ->
   net:Nn.Pvnet.t ->
   mode:mode ->
   m:int ->
@@ -28,7 +29,12 @@ val make :
 (** The game record MCTS searches: legality and transitions from
     {!State}, leaf evaluation from the network.  When [rollout] is given,
     leaf values are the mean of the network's estimate and the roll-out
-    value (see {!Rollout}) — an opt-in extension beyond the paper. *)
+    value (see {!Rollout}) — an opt-in extension beyond the paper.
+    [batched] (default [true]) fills the game's [batched_evaluate] with
+    {!Nn.Pvnet.predict_batch}, so searches evaluate leaf waves in one
+    batched forward; results are bit-identical to the scalar path.  Pass
+    [~batched:false] to force the pre-batching scalar evaluation (the
+    baseline the equivalence tests and benchmarks compare against). *)
 
 val final_cost : State.t -> Cost.t
 (** [base_cost] if complete, [inf] otherwise. *)

@@ -23,6 +23,7 @@ type config = {
   domains : int;
   checkpoint : string option;
   check : bool;
+  batch_leaves : int;
 }
 
 let default_config ~m =
@@ -51,6 +52,7 @@ let default_config ~m =
     domains = 1;
     checkpoint = None;
     check = false;
+    batch_leaves = 1;
   }
 
 type progress = {
@@ -90,8 +92,9 @@ let play_once ?(collect = false) ~rng ~net ~temperature_moves config g =
   (* AlphaZero-style: the training run explores with Dirichlet root noise;
      inference runs (temperature 0) play clean *)
   let root_noise = if temperature_moves > 0 then Some (0.25, 0.5) else None in
+  let mcts = { config.mcts with Mcts.batch = max 1 config.batch_leaves } in
   Episode.play ~collect ~rng ~net ~mode
-    { Episode.mcts = config.mcts; temperature_moves; root_noise }
+    { Episode.mcts; temperature_moves; root_noise }
     state
 
 (* With [config.check]: certify an episode's claim against the original
@@ -120,14 +123,18 @@ let compare_costs current best =
   else 0.0
 
 let checkpoint_paths prefix =
-  (prefix ^ ".best.ckpt", prefix ^ ".current.ckpt", prefix ^ ".replay.txt")
+  ( prefix ^ ".best.ckpt",
+    prefix ^ ".current.ckpt",
+    prefix ^ ".replay.txt",
+    prefix ^ ".opt.ckpt" )
 
 let run ?(on_iteration = fun _ -> ()) ~rng config =
-  (* resume from a checkpoint prefix when all three files exist *)
+  (* resume from a checkpoint prefix when the three original files exist
+     (the optimizer file is optional for back-compat with older runs) *)
   let resume =
     match config.checkpoint with
     | Some prefix ->
-        let b, c, r = checkpoint_paths prefix in
+        let b, c, r, _ = checkpoint_paths prefix in
         if Sys.file_exists b && Sys.file_exists c && Sys.file_exists r then
           Some (Nn.Pvnet.load b, Nn.Pvnet.load c, Replay.load r)
         else None
@@ -142,14 +149,22 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
          Replay.create ~capacity:config.replay_capacity)
   in
   let opt = Nn.Adam.create config.adam in
+  (* Only the current net is ever trained, so its params key the moments. *)
+  (match (resume, config.checkpoint) with
+  | Some _, Some prefix ->
+      let _, _, _, o = checkpoint_paths prefix in
+      if Sys.file_exists o then
+        Nn.Adam.load opt ~params:(Nn.Pvnet.params current) o
+  | _ -> ());
   let save_checkpoint () =
     match config.checkpoint with
     | None -> ()
     | Some prefix ->
-        let b, c, r = checkpoint_paths prefix in
+        let b, c, r, o = checkpoint_paths prefix in
         Nn.Pvnet.save best b;
         Nn.Pvnet.save current c;
-        Replay.save replay r
+        Replay.save replay r;
+        Nn.Adam.save opt ~params:(Nn.Pvnet.params current) o
   in
   (* One self-play episode: returns the stamped training tuples and
      whether the (collecting) player failed to finish.  Safe to run in a

@@ -53,11 +53,13 @@ type config = {
           training stays on the main domain.  1 (the default) is fully
           deterministic; >1 reorders replay insertion. *)
   checkpoint : string option;
-      (** checkpoint file prefix: after every iteration both networks and
-          the replay buffer are saved to [<prefix>.best.ckpt],
-          [<prefix>.current.ckpt] and [<prefix>.replay.txt]; {!run}
-          resumes from them when all three exist.  (Optimizer moments are
-          not persisted; Adam re-warms on resume.) *)
+      (** checkpoint file prefix: after every iteration both networks, the
+          replay buffer and the Adam optimizer state are saved to
+          [<prefix>.best.ckpt], [<prefix>.current.ckpt],
+          [<prefix>.replay.txt] and [<prefix>.opt.ckpt]; {!run} resumes
+          when the first three exist (the optimizer file is optional for
+          back-compat — when present, moments and step count are restored
+          and a resumed run continues bit-identically). *)
   check : bool;
       (** certify every self-play episode's solution with
           [Check.Certify.solution] against the original graph (the
@@ -65,6 +67,12 @@ type config = {
           independent recomputation); any violation aborts training with
           [Failure].  Off by default — it adds a per-episode
           recomputation. *)
+  batch_leaves : int;
+      (** MCTS leaves gathered per virtual-loss wave and evaluated in one
+          batched network forward during self-play and arena games
+          (overrides [mcts.batch]).  1 (the default) reproduces the
+          scalar search exactly; larger values trade some search
+          sequentiality for evaluation throughput (see DESIGN.md). *)
 }
 
 val default_config : m:int -> config

@@ -5,11 +5,19 @@ type 'a game = {
   legal : 'a -> int -> bool;
   apply : 'a -> int -> 'a;
   evaluate : 'a -> float array * float;
+  batched_evaluate : ('a list -> (float array * float) array) option;
 }
 
-type config = { k : int; c_puct : float; epsilon : float; check : bool }
+type config = {
+  k : int;
+  c_puct : float;
+  epsilon : float;
+  check : bool;
+  batch : int;
+}
 
-let default_config = { k = 50; c_puct = 1.5; epsilon = 1e-8; check = false }
+let default_config =
+  { k = 50; c_puct = 1.5; epsilon = 1e-8; check = false; batch = 1 }
 
 type 'a node = {
   state : 'a;
@@ -56,6 +64,28 @@ let ucb t node a =
      *. sqrt (t.config.epsilon +. float_of_int total)
      /. (1.0 +. float_of_int e.n)
 
+let select_action t node =
+  let best = ref (-1) and best_u = ref neg_infinity in
+  for a = 0 to t.game.num_actions - 1 do
+    if t.game.legal node.state a then begin
+      let u = ucb t node a in
+      if u > !best_u then begin
+        best := a;
+        best_u := u
+      end
+    end
+  done;
+  !best
+
+let child_of t node a =
+  let e = node.edges.(a) in
+  match e.child with
+  | Some c -> c
+  | None ->
+      let c = make_node t ~parent:(node, a) (t.game.apply node.state a) in
+      e.child <- Some c;
+      c
+
 (* Algorithm 1 (SIMULATE): selection by max-UCB, expansion of the first
    undiscovered node, roll-out by the DNN, and back-propagation on the
    recursion unwind. *)
@@ -71,33 +101,14 @@ let rec simulate t node =
     v
   end
   else begin
-    let best = ref (-1) and best_u = ref neg_infinity in
-    for a = 0 to t.game.num_actions - 1 do
-      if t.game.legal node.state a then begin
-        let u = ucb t node a in
-        if u > !best_u then begin
-          best := a;
-          best_u := u
-        end
-      end
-    done;
-    if !best < 0 then
+    let a = select_action t node in
+    if a < 0 then
       (* No legal action: the game should have flagged this state as
          terminal; treat it as a loss to stay safe. *)
       t.game.terminal_value node.state
     else begin
-      let a = !best in
       let e = node.edges.(a) in
-      let child =
-        match e.child with
-        | Some c -> c
-        | None ->
-            let c =
-              make_node t ~parent:(node, a) (t.game.apply node.state a)
-            in
-            e.child <- Some c;
-            c
-      in
+      let child = child_of t node a in
       let v = simulate t child in
       e.q <- ((float_of_int e.n *. e.q) +. v) /. float_of_int (e.n + 1);
       e.n <- e.n + 1;
@@ -105,10 +116,97 @@ let rec simulate t node =
     end
   end
 
+(* --- Batched SIMULATE (virtual-loss leaf gathering) ------------------- *)
+
+(* A wave descends up to [config.batch] times, parking each unexpanded
+   leaf it reaches instead of evaluating it on the spot, then runs one
+   [batched_evaluate] call over the distinct parked states and backs all
+   paths up.  During a descent every traversed edge's visit count is
+   incremented (a visit-count-only virtual loss) so later descents of the
+   same wave are steered away from the identical path; backup reverts the
+   increment before applying the standard Q/N update, so the statistics
+   after a wave carry no trace of it.
+
+   A wave of size 1 is exactly the scalar SIMULATE: UCB at a node reads
+   only that node's own edges, and within a single descent the virtual
+   increments sit strictly on ancestor edges the selection below never
+   consults — so batch = 1 reproduces Algorithm 1 node for node (the
+   determinism suite in test_mcts pins this down). *)
+
+let backup path v =
+  List.iter
+    (fun e ->
+      e.n <- e.n - 1;  (* revert the virtual loss *)
+      e.q <- ((float_of_int e.n *. e.q) +. v) /. float_of_int (e.n + 1);
+      e.n <- e.n + 1)
+    path
+
+let rec descend t node path =
+  if t.game.is_terminal node.state then
+    `Value (t.game.terminal_value node.state, path)
+  else if not node.expanded then `Leaf (node, path)
+  else
+    let a = select_action t node in
+    if a < 0 then `Value (t.game.terminal_value node.state, path)
+    else begin
+      let e = node.edges.(a) in
+      let child = child_of t node a in
+      e.n <- e.n + 1;  (* virtual loss *)
+      descend t child (e :: path)
+    end
+
+let evaluate_leaves t leaves =
+  match t.game.batched_evaluate with
+  | Some f -> f leaves
+  | None -> Array.of_list (List.map t.game.evaluate leaves)
+
+let run_wave t wave =
+  let pending = ref [] in
+  for _ = 1 to wave do
+    match descend t t.root [] with
+    | `Value (v, path) -> backup path v
+    | `Leaf (node, path) -> pending := (node, path) :: !pending
+  done;
+  match List.rev !pending with
+  | [] -> ()
+  | pend ->
+      (* evaluate each distinct leaf once; duplicated paths share it *)
+      let uniq =
+        List.rev
+          (List.fold_left
+             (fun acc (node, _) ->
+               if List.exists (fun n -> n == node) acc then acc
+               else node :: acc)
+             [] pend)
+      in
+      let results = evaluate_leaves t (List.map (fun n -> n.state) uniq) in
+      if Array.length results <> List.length uniq then
+        invalid_arg "Mcts: batched_evaluate returned wrong result count";
+      List.iteri
+        (fun i node ->
+          let priors, v = results.(i) in
+          if Array.length priors <> t.game.num_actions then
+            invalid_arg "Mcts: evaluate returned wrong prior length";
+          node.priors <- priors;
+          node.value_est <- v;
+          node.expanded <- true)
+        uniq;
+      List.iter (fun (node, path) -> backup path node.value_est) pend
+
 let run_n t n =
-  for _ = 1 to n do
-    ignore (simulate t t.root)
-  done
+  if t.config.batch <= 1 && Option.is_none t.game.batched_evaluate then
+    for _ = 1 to n do
+      ignore (simulate t t.root)
+    done
+  else begin
+    let wave = max 1 t.config.batch in
+    let remaining = ref n in
+    while !remaining > 0 do
+      let w = min wave !remaining in
+      run_wave t w;
+      remaining := !remaining - w
+    done
+  end
 
 (* Marsaglia-Tsang gamma sampling (shape < 1 handled by boosting). *)
 let rec gamma_sample rng shape =
@@ -229,6 +327,7 @@ let run_n t n =
 let run t = run_n t t.config.k
 
 let visit_counts t = Array.map (fun e -> e.n) t.root.edges
+let root_qs t = Array.map (fun e -> e.q) t.root.edges
 
 let policy t =
   let counts = visit_counts t in

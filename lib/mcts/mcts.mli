@@ -19,6 +19,14 @@ type 'a game = {
   evaluate : 'a -> float array * float;
       (** DNN roll-out: priors over actions (illegal entries ignored) and
           value estimate [v̂] *)
+  batched_evaluate : ('a list -> (float array * float) array) option;
+      (** optional batched roll-out: one result per input state, in
+          order.  When present, {!run}/{!run_n} gather up to
+          [config.batch] leaves per wave (using a visit-count virtual
+          loss during selection, reverted on backup) and evaluate them in
+          one call — and even [batch = 1] searches route single-leaf
+          batches through it.  [None] falls back to mapping
+          [evaluate]. *)
 }
 
 type config = {
@@ -29,10 +37,15 @@ type config = {
       (** validate the whole game tree after every {!run}/{!run_n} (see
           {!validate}) and raise [Failure] on any violation — a debugging
           aid for new games; costs a full tree walk per search *)
+  batch : int;
+      (** leaves gathered per virtual-loss wave before one (batched)
+          evaluation.  1 (the default) reproduces the scalar Algorithm 1
+          search node for node; larger batches trade some search
+          sequentiality for evaluation throughput (see DESIGN.md). *)
 }
 
 val default_config : config
-(** [k = 50; c_puct = 1.5; epsilon = 1e-8; check = false] *)
+(** [k = 50; c_puct = 1.5; epsilon = 1e-8; check = false; batch = 1] *)
 
 type 'a t
 
@@ -64,6 +77,10 @@ val root_value : 'a t -> float
     visit). *)
 
 val visit_counts : 'a t -> int array
+
+val root_qs : 'a t -> float array
+(** Per-edge mean action values Q at the root (0 for unvisited edges) —
+    exposed so equivalence tests can compare search statistics exactly. *)
 
 val advance : 'a t -> int -> unit
 (** Make action [a]: the corresponding child becomes the root.  The child

@@ -78,3 +78,87 @@ let step t grads =
     grads
 
 let steps_taken t = t.step
+
+(* --- Persistence ------------------------------------------------------ *)
+
+(* Moments are keyed by [Var.id] in memory, but ids come from a
+   process-global counter and are not stable across runs — files key by
+   the parameter *name* instead, and [load] rebinds them to the ids of
+   the [params] passed in.  [%.17g] round-trips doubles exactly, so a
+   resumed optimizer continues bit-identically. *)
+
+let save t ~params path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "adam %d\n" t.step;
+      List.iter
+        (fun (var : Var.t) ->
+          let s = state_for t var in
+          let shape = Tensor.shape var.Var.value in
+          Printf.fprintf oc "moment %s %s\n" var.Var.name
+            (String.concat "x" (Array.to_list (Array.map string_of_int shape)));
+          let dump tensor =
+            let d = Tensor.data tensor in
+            Array.iteri
+              (fun i x ->
+                if i > 0 then output_char oc ' ';
+                Printf.fprintf oc "%.17g" x)
+              d;
+            output_char oc '\n'
+          in
+          dump s.m;
+          dump s.v)
+        params)
+
+let load t ~params path =
+  let by_name = Hashtbl.create 32 in
+  List.iter (fun (v : Var.t) -> Hashtbl.replace by_name v.Var.name v) params;
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line () =
+        match In_channel.input_line ic with
+        | Some l -> l
+        | None -> invalid_arg "Adam.load: truncated file"
+      in
+      (match String.split_on_char ' ' (line ()) with
+      | [ "adam"; step ] -> t.step <- int_of_string step
+      | _ -> invalid_arg "Adam.load: bad header");
+      let parse_row d values =
+        let toks =
+          String.split_on_char ' ' values |> List.filter (fun s -> s <> "")
+        in
+        if List.length toks <> Array.length d then
+          invalid_arg "Adam.load: value count mismatch";
+        List.iteri (fun i s -> d.(i) <- float_of_string s) toks
+      in
+      try
+        while true do
+          match In_channel.input_line ic with
+          | None -> raise Exit
+          | Some l when String.trim l = "" -> ()
+          | Some l -> (
+              match String.split_on_char ' ' l with
+              | [ "moment"; name; shape_s ] -> (
+                  match Hashtbl.find_opt by_name name with
+                  | None ->
+                      invalid_arg
+                        (Printf.sprintf "Adam.load: unknown param %s" name)
+                  | Some var ->
+                      let shape =
+                        String.split_on_char 'x' shape_s
+                        |> List.map int_of_string |> Array.of_list
+                      in
+                      if shape <> Tensor.shape var.Var.value then
+                        invalid_arg
+                          (Printf.sprintf "Adam.load: shape mismatch for %s"
+                             name);
+                      let s = state_for t var in
+                      parse_row (Tensor.data s.m) (line ());
+                      parse_row (Tensor.data s.v) (line ()))
+              | _ -> invalid_arg "Adam.load: malformed line")
+        done
+      with Exit -> ())

@@ -4,15 +4,18 @@
 
 type t = {
   table : (int, Var.t * Tensor.t) Hashtbl.t;
+  mutable order : int list;  (* first-seen var ids, reversed *)
   mutable samples : int;
 }
 
-let create () = { table = Hashtbl.create 32; samples = 0 }
+let create () = { table = Hashtbl.create 32; order = []; samples = 0 }
 
 let add t var g =
   match Hashtbl.find_opt t.table var.Var.id with
   | Some (_, acc) -> Tensor.add_into acc g
-  | None -> Hashtbl.replace t.table var.Var.id (var, Tensor.copy g)
+  | None ->
+      Hashtbl.replace t.table var.Var.id (var, Tensor.copy g);
+      t.order <- var.Var.id :: t.order
 
 (* Collect every parameter gradient the context accumulated. *)
 let add_from_ctx t ctx vars =
@@ -22,12 +25,19 @@ let add_from_ctx t ctx vars =
     vars;
   t.samples <- t.samples + 1
 
+(* First-seen order, NOT hashtable order: callers like [Adam.step] fold
+   over the list (global-norm clipping), and float summation order must
+   not depend on how process-global var ids happen to hash — a net
+   reloaded from a checkpoint gets fresh ids and must train
+   bit-identically to the original. *)
 let to_list ?(average = true) t =
   let s =
     if average && t.samples > 0 then 1.0 /. float_of_int t.samples else 1.0
   in
-  Hashtbl.fold
-    (fun _ (var, g) acc -> (var, Tensor.scale s g) :: acc)
-    t.table []
+  List.fold_left
+    (fun acc id ->
+      let var, g = Hashtbl.find t.table id in
+      (var, Tensor.scale s g) :: acc)
+    [] t.order
 
 let sample_count t = t.samples

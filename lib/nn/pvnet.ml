@@ -189,6 +189,173 @@ let predict t g ~next =
   in
   (priors, Tensor.get1 (Ad.value value) 0)
 
+(* --- Batched inference ------------------------------------------------ *)
+
+(* The batched path re-implements the forward pass with plain tensors (no
+   tape) and runs the per-vertex GCN transforms and the trunk/heads as
+   batch GEMMs over row-stacked feature vectors.  Every operation
+   reproduces the scalar pipeline's float arithmetic exactly: [matmul]
+   accumulates each output row in the same ascending order as [Tensor.mv]
+   (with operands commuted, which IEEE multiplication doesn't notice),
+   and activations / LayerNorm are applied per row with the same
+   expressions as their [Ad] counterparts.  [predict_batch] is therefore
+   bit-identical to mapping [predict]; the equivalence property suite in
+   test_nn locks this down. *)
+
+let relu_t x = Tensor.map (fun v -> if v > 0.0 then v else 0.0) x
+
+(* rows(x) ↦ rows(x) Wᵀ + b, one GEMM for the whole stack *)
+let linear_rows (lin : Layer.Linear.t) x =
+  let y = Tensor.matmul x (Tensor.transpose lin.Layer.Linear.w.Var.value) in
+  let r, c = Tensor.dims2 y in
+  let yd = Tensor.data y and bd = Tensor.data lin.Layer.Linear.b.Var.value in
+  for i = 0 to r - 1 do
+    let base = i * c in
+    for j = 0 to c - 1 do
+      yd.(base + j) <- yd.(base + j) +. bd.(j)
+    done
+  done;
+  y
+
+(* per-row LayerNorm mirroring Ad.layernorm's arithmetic term for term *)
+let layernorm_rows (ln : Layer.Layernorm.t) x =
+  let eps = 1e-5 in
+  let r, c = Tensor.dims2 x in
+  let nf = float_of_int c in
+  let xd = Tensor.data x in
+  let gd = Tensor.data ln.Layer.Layernorm.gain.Var.value in
+  let bd = Tensor.data ln.Layer.Layernorm.bias.Var.value in
+  let out = Tensor.zeros [| r; c |] in
+  let od = Tensor.data out in
+  for i = 0 to r - 1 do
+    let base = i * c in
+    let s = ref 0.0 in
+    for j = 0 to c - 1 do
+      s := !s +. xd.(base + j)
+    done;
+    let mu = !s /. nf in
+    let acc = ref 0.0 in
+    for j = 0 to c - 1 do
+      let d = xd.(base + j) -. mu in
+      acc := !acc +. (d *. d)
+    done;
+    let var = !acc /. nf in
+    let sigma = sqrt (var +. eps) in
+    for j = 0 to c - 1 do
+      let xhat = (xd.(base + j) -. mu) /. sigma in
+      od.(base + j) <- (gd.(j) *. xhat) +. bd.(j)
+    done
+  done;
+  out
+
+let residual_rows (blk : Layer.Residual.t) x =
+  let h = layernorm_rows blk.Layer.Residual.ln x in
+  let h = relu_t (linear_rows blk.Layer.Residual.fc1 h) in
+  let h = linear_rows blk.Layer.Residual.fc2 h in
+  Tensor.add x h
+
+(* Plain-tensor replica of the GCN + readout part of [forward]: one
+   3m-dimensional readout row for one state. *)
+let readout_row t g ~next =
+  let m = t.config.m in
+  let verts = Graph.vertices g in
+  let h = Hashtbl.create (List.length verts) in
+  List.iter
+    (fun u -> Hashtbl.replace h u (vertex_features t (Graph.cost g u)))
+    verts;
+  Array.iter
+    (fun layer ->
+      (* self transform: all vertices in one GEMM *)
+      let hmat = Tensor.stack_rows (List.map (fun v -> Hashtbl.find h v) verts) in
+      let selfs = linear_rows layer.w_self hmat in
+      (* neighbor messages: the mean replicates Ad.mean_list (accumulate
+         in neighbor order, then scale), the transform is one GEMM over
+         the vertices that have any *)
+      let msgs =
+        List.filter_map
+          (fun v ->
+            match Graph.neighbors g v with
+            | [] -> None
+            | ns ->
+                let acc = Tensor.zeros [| m |] in
+                List.iter
+                  (fun u ->
+                    let mvu = Option.get (Graph.edge_ref g v u) in
+                    Tensor.add_into acc
+                      (Tensor.mv (message_matrix t mvu) (Hashtbl.find h u)))
+                  ns;
+                Some (v, Tensor.scale (1.0 /. float_of_int (List.length ns)) acc))
+          verts
+      in
+      let transformed = Hashtbl.create 16 in
+      (match msgs with
+      | [] -> ()
+      | _ ->
+          let tmat =
+            linear_rows layer.w_msg (Tensor.stack_rows (List.map snd msgs))
+          in
+          List.iteri
+            (fun i (v, _) -> Hashtbl.replace transformed v (Tensor.row tmat i))
+            msgs);
+      let h' = Hashtbl.create (List.length verts) in
+      List.iteri
+        (fun i v ->
+          let self = Tensor.row selfs i in
+          let combined =
+            match Hashtbl.find_opt transformed v with
+            | Some msg -> Tensor.add self msg
+            | None -> self
+          in
+          Hashtbl.replace h' v (relu_t combined))
+        verts;
+      Hashtbl.reset h;
+      List.iter (fun v -> Hashtbl.replace h v (Hashtbl.find h' v)) verts)
+    t.gcn;
+  let global =
+    let k = float_of_int (List.length verts) in
+    let acc = Tensor.zeros [| m |] in
+    List.iter (fun v -> Tensor.add_into acc (Hashtbl.find h v)) verts;
+    Tensor.scale (1.0 /. k) acc
+  in
+  Tensor.concat1
+    [ Hashtbl.find h next; global; vertex_features t (Graph.cost g next) ]
+
+let predict_batch t states =
+  match states with
+  | [] -> [||]
+  | _ ->
+      let states = Array.of_list states in
+      Array.iter
+        (fun (g, next) ->
+          if Graph.m g <> t.config.m then
+            invalid_arg "Pvnet.predict_batch: m mismatch";
+          if not (Graph.is_alive g next) then
+            invalid_arg "Pvnet.predict_batch: next vertex not alive")
+        states;
+      let rows =
+        Array.to_list
+          (Array.map (fun (g, next) -> readout_row t g ~next) states)
+      in
+      let x = relu_t (linear_rows t.trunk_in (Tensor.stack_rows rows)) in
+      let x = Array.fold_left (fun x blk -> residual_rows blk x) x t.trunk in
+      let x = layernorm_rows t.trunk_ln x in
+      let logits = linear_rows t.policy_head x in
+      let values = linear_rows t.value_head x in
+      Array.mapi
+        (fun i (g, next) ->
+          let cost_vec = Graph.cost g next in
+          let masked =
+            Tensor.init1 t.config.m (fun c ->
+                if Cost.is_inf (Vec.get cost_vec c) then neg_infinity
+                else Tensor.get2 logits i c)
+          in
+          let priors =
+            if Vec.is_all_inf cost_vec then Array.make t.config.m 0.0
+            else Tensor.to_array1 (Ad.softmax masked)
+          in
+          (priors, Float.tanh (Tensor.get2 values i 0)))
+        states
+
 (* --- Training -------------------------------------------------------- *)
 
 type sample = {

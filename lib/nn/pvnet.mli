@@ -51,6 +51,17 @@ val predict : t -> Pbqp.Graph.t -> next:int -> float array * float
     @raise Invalid_argument if the graph's [m] differs from the net's or
     [next] is not a live vertex. *)
 
+val predict_batch :
+  t -> (Pbqp.Graph.t * int) list -> (float array * float) array
+(** [predict_batch t [(g, next); ...]] is {!predict} applied to every
+    state, in order — but the per-vertex GCN transforms and the
+    trunk/heads run as batch GEMMs over row-stacked features, without
+    building an autodiff tape.  The arithmetic is replicated operation
+    for operation, so results are bit-identical to the scalar path (the
+    test suite asserts agreement to ≤1e-9; in practice the floats are
+    equal).  Duplicate states and states from different graphs may mix
+    in one batch.  [[]] maps to [[||]]. *)
+
 (** {1 Training} *)
 
 type sample = {

@@ -72,7 +72,18 @@ val axpy : float -> t -> t -> unit
 (** {1 Linear algebra} *)
 
 val matmul : t -> t -> t
-(** rank-2 × rank-2. *)
+(** rank-2 × rank-2, cache-tiled.  Bit-identical to {!matmul_naive}: both
+    accumulate each output element in ascending-[k] order. *)
+
+val matmul_naive : t -> t -> t
+(** The straightforward three-loop kernel — kept as the reference the
+    tiled {!matmul} is equivalence-tested against. *)
+
+val matmul_into : t -> t -> t -> unit
+(** [matmul_into out a b] writes [a × b] into [out] (overwriting it),
+    reusing the buffer instead of allocating.
+    @raise Invalid_argument on shape mismatch or if [out] shares its
+    buffer with [a] or [b]. *)
 
 val mv : t -> t -> t
 (** rank-2 × rank-1 → rank-1. *)
@@ -106,6 +117,13 @@ val xavier : rng:Random.State.t -> fan_in:int -> fan_out:int -> int array -> t
 
 val concat1 : t list -> t
 (** Concatenation of rank-1 tensors. *)
+
+val stack_rows : t list -> t
+(** Stack rank-1 tensors of equal length as the rows of a rank-2 tensor.
+    @raise Invalid_argument on an empty list or ragged lengths. *)
+
+val row : t -> int -> t
+(** [row m i] is a fresh rank-1 copy of row [i] of a rank-2 tensor. *)
 
 val approx_equal : ?eps:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit

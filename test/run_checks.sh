@@ -8,6 +8,11 @@ cd "$(dirname "$0")/.."
 echo "== dune build =="
 dune build
 
+echo "== dune build @quick =="
+# sub-minute inner-loop suites (tensor/nn equivalence, MCTS, pbqp); the
+# full matrix follows, this just fails fast on the cheap ones
+dune build @quick
+
 echo "== dune runtest =="
 dune runtest
 

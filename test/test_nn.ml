@@ -242,6 +242,42 @@ let test_adam_weight_decay () =
   done;
   Alcotest.(check bool) "shrunk" true (Float.abs (Tensor.get1 w.Nn.Var.value 0) < 1.0)
 
+let test_adam_save_load_continues_identically () =
+  (* moments + step count round-trip by parameter NAME (ids are not
+     stable across processes), and a reloaded optimizer must continue
+     bit-identically with the original *)
+  let cfg = { Nn.Adam.default_config with lr = 0.05 } in
+  let grad i = Tensor.of_array1 [| sin (float_of_int i); 0.5 |] in
+  let w1 = mkvar "w" [| 3.0; -2.0 |] in
+  let opt1 = Nn.Adam.create cfg in
+  for i = 1 to 10 do
+    Nn.Adam.step opt1 [ (w1, grad i) ]
+  done;
+  let path = Filename.temp_file "adam" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Nn.Adam.save opt1 ~params:[ w1 ] path;
+      (* a fresh var with the same name but a different id *)
+      let w2 = mkvar "w" (Array.copy (Tensor.data w1.Nn.Var.value)) in
+      let opt2 = Nn.Adam.create cfg in
+      Nn.Adam.load opt2 ~params:[ w2 ] path;
+      Alcotest.(check int) "step restored" (Nn.Adam.steps_taken opt1)
+        (Nn.Adam.steps_taken opt2);
+      for i = 11 to 20 do
+        Nn.Adam.step opt1 [ (w1, grad i) ];
+        Nn.Adam.step opt2 [ (w2, grad i) ]
+      done;
+      Alcotest.(check bool) "continuation bit-identical" true
+        (Array.for_all2
+           (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+           (Tensor.data w1.Nn.Var.value)
+           (Tensor.data w2.Nn.Var.value));
+      Alcotest.check_raises "unknown param"
+        (Invalid_argument "Adam.load: unknown param w") (fun () ->
+          Nn.Adam.load (Nn.Adam.create cfg) ~params:[ mkvar "other" [| 0.0 |] ]
+            path))
+
 (* ------------------------------------------------------------------ *)
 (* Pvnet *)
 
@@ -343,6 +379,60 @@ let test_pvnet_param_count () =
   let net = mknet () in
   Alcotest.(check bool) "has parameters" true (Nn.Pvnet.param_count net > 100)
 
+(* --- batched inference: predict_batch must match per-state predict --- *)
+
+let check_batch_matches_scalar ?(eps = 1e-9) net states =
+  let preds = Nn.Pvnet.predict_batch net states in
+  Alcotest.(check int) "one result per state" (List.length states)
+    (Array.length preds);
+  List.iteri
+    (fun i (g, next) ->
+      let p_s, v_s = Nn.Pvnet.predict net g ~next in
+      let p_b, v_b = preds.(i) in
+      Alcotest.(check (array (float eps)))
+        (Printf.sprintf "priors of state %d" i)
+        p_s p_b;
+      Alcotest.(check (float eps)) (Printf.sprintf "value of state %d" i) v_s v_b)
+    states
+
+let test_pvnet_predict_batch_basic () =
+  let net = mknet () in
+  Alcotest.(check int) "empty batch" 0
+    (Array.length (Nn.Pvnet.predict_batch net []));
+  let g = small_graph () in
+  (* batch of 1, all vertices, and duplicated states in one batch *)
+  check_batch_matches_scalar net [ (g, 2) ];
+  check_batch_matches_scalar net (List.map (fun v -> (g, v)) (Graph.vertices g));
+  check_batch_matches_scalar net [ (g, 0); (g, 0); (g, 3); (g, 0) ]
+
+let test_pvnet_predict_batch_m_mismatch () =
+  let net = mknet () in
+  let g = Graph.create ~m:2 ~n:1 in
+  Alcotest.check_raises "m mismatch"
+    (Invalid_argument "Pvnet.predict_batch: m mismatch") (fun () ->
+      ignore (Nn.Pvnet.predict_batch net [ (g, 0) ]))
+
+(* Property: batches mixing graphs of different sizes (ragged next-vertex
+   sets), with duplicates, sized 1..32, agree with scalar predict to
+   1e-9 on every prior and value. *)
+let test_pvnet_predict_batch_property =
+  let net = lazy (mknet ~seed:19 ()) in
+  qtest ~count:40 "predict_batch = predict (random ragged batches)"
+    (arb_graph_spec ~nmax:8 ~mmax:3 ())
+    (fun spec ->
+      let spec = { spec with m = 3 } in
+      let net = Lazy.force net in
+      let g1 = build_graph spec in
+      let g2 = build_graph { spec with seed = spec.seed + 1; n = spec.n + 2 } in
+      let all =
+        List.map (fun v -> (g1, v)) (Graph.vertices g1)
+        @ List.map (fun v -> (g2, v)) (Graph.vertices g2)
+      in
+      (* duplicate some states and cap the batch at 32 *)
+      let states = List.filteri (fun i _ -> i < 32) (all @ all) in
+      check_batch_matches_scalar net states;
+      true)
+
 (* gradient check through the full network on a tiny graph *)
 let test_pvnet_full_gradcheck () =
   let net =
@@ -417,6 +507,8 @@ let () =
           Alcotest.test_case "quadratic convergence" `Quick test_adam_quadratic;
           Alcotest.test_case "gradient clipping" `Quick test_adam_grad_clip;
           Alcotest.test_case "weight decay" `Quick test_adam_weight_decay;
+          Alcotest.test_case "save/load continues identically" `Quick
+            test_adam_save_load_continues_identically;
         ] );
       ( "pvnet",
         [
@@ -431,6 +523,11 @@ let () =
             test_pvnet_training_moves_prediction;
           Alcotest.test_case "save/load roundtrip" `Quick test_pvnet_save_load;
           Alcotest.test_case "param count" `Quick test_pvnet_param_count;
+          Alcotest.test_case "predict_batch basics" `Quick
+            test_pvnet_predict_batch_basic;
+          Alcotest.test_case "predict_batch m mismatch" `Quick
+            test_pvnet_predict_batch_m_mismatch;
+          test_pvnet_predict_batch_property;
           Alcotest.test_case "full network gradcheck" `Quick
             test_pvnet_full_gradcheck;
         ] );
