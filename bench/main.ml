@@ -18,6 +18,69 @@ let time_it f =
   (r, Unix.gettimeofday () -. t)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json PATH): every group that measures
+   operations records (group, name, iters, ns/op, allocs/op) here, so a
+   run leaves a perf-trajectory file that later PRs can diff against. *)
+
+let json_out : string option ref = ref None
+let json_results : (string * string * int * float * float) list ref = ref []
+
+let record ~group ~name ~iters ~ns_per_op ~allocs_per_op =
+  json_results := (group, name, iters, ns_per_op, allocs_per_op) :: !json_results
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"schema\": \"pbqp-rl-bench-1\",\n";
+      Printf.fprintf oc "  \"recommended_domains\": %d,\n"
+        (Domain.recommended_domain_count ());
+      Printf.fprintf oc "  \"results\": [\n";
+      let results = List.rev !json_results in
+      List.iteri
+        (fun i (group, name, iters, ns_per_op, allocs_per_op) ->
+          Printf.fprintf oc
+            "    {\"group\": \"%s\", \"name\": \"%s\", \"iters\": %d, \
+             \"ns_per_op\": %.1f, \"allocs_per_op\": %.1f}%s\n"
+            (json_escape group) (json_escape name) iters ns_per_op
+            allocs_per_op
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      Printf.fprintf oc "  ]\n}\n")
+
+(* Hand-rolled timing for the parallel benchmarks (Bechamel pins its
+   harness to one domain, so pool effects are better measured directly):
+   repeat [f] until [min_time] wall seconds and [min_iters] runs, then
+   report per-op nanoseconds and per-op allocated words (main domain
+   only — worker-domain allocation is not in the counter). *)
+let measure ?(min_time = 0.25) ?(min_iters = 3) f =
+  ignore (f ());
+  let iters = ref 0 and t_total = ref 0.0 and a_total = ref 0.0 in
+  while !t_total < min_time || !iters < min_iters do
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    t_total := !t_total +. (Unix.gettimeofday () -. t0);
+    a_total := !a_total +. (Gc.allocated_bytes () -. a0);
+    incr iters
+  done;
+  ( !iters,
+    !t_total *. 1e9 /. float_of_int !iters,
+    !a_total /. 8.0 /. float_of_int !iters )
+
+(* ------------------------------------------------------------------ *)
 (* Trained networks (cached) *)
 
 let ensure_cache_dir () =
@@ -517,7 +580,10 @@ let micro () =
   Hashtbl.iter
     (fun name ols ->
       match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "  %-36s %14.1f ns/run\n%!" name est
+      | Some [ est ] ->
+          record ~group:"micro" ~name ~iters:1 ~ns_per_op:est
+            ~allocs_per_op:0.0;
+          Printf.printf "  %-36s %14.1f ns/run\n%!" name est
       | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
     results
 
@@ -600,20 +666,135 @@ let batching () =
   Hashtbl.iter
     (fun name ols ->
       match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "  %-42s %14.1f ns/run\n%!" name est
+      | Some [ est ] ->
+          record ~group:"batch" ~name ~iters:1 ~ns_per_op:est
+            ~allocs_per_op:0.0;
+          Printf.printf "  %-42s %14.1f ns/run\n%!" name est
       | _ -> Printf.printf "  %-42s (no estimate)\n%!" name)
     results
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-runtime benchmarks: the pool-backed GEMM, the data-parallel
+   training step and whole-iteration episode throughput at 1/2/4/8
+   domains.  Every parallel variant computes bit-identical results to
+   its serial baseline (that is what the @par test alias asserts); this
+   group measures what that determinism costs or buys on this host. *)
+
+let par_bench () =
+  section "Parallel runtime (Par.Pool) at 1/2/4/8 domains";
+  Printf.printf
+    "host reports %d recommended domain(s); parallel results are\n\
+     bit-identical to serial at every pool size, so any speedup is free.\n\n"
+    (Domain.recommended_domain_count ());
+  let show ~name (iters, ns, allocs) =
+    record ~group:"par" ~name ~iters ~ns_per_op:ns ~allocs_per_op:allocs;
+    Printf.printf "  %-44s %14.1f ns/op  (x%d)\n%!" name ns iters
+  in
+  let js = [ 1; 2; 4; 8 ] in
+  (* GEMM: 256x256, comfortably above the pool threshold. *)
+  let n = 256 in
+  let r = rng 11 in
+  let rand _ _ = Random.State.float r 2.0 -. 1.0 in
+  let a = Tensor.init2 n n rand and b = Tensor.init2 n n rand in
+  let out = Tensor.zeros [| n; n |] in
+  Tensor.set_pool None;
+  show ~name:"gemm 256x256 serial"
+    (measure (fun () -> Tensor.matmul_into out a b));
+  List.iter
+    (fun j ->
+      let pool = Par.Pool.create ~domains:j in
+      Tensor.set_pool (Some pool);
+      show
+        ~name:(Printf.sprintf "gemm 256x256 pool j=%d" j)
+        (measure (fun () -> Tensor.matmul_into out a b));
+      Tensor.set_pool None;
+      Par.Pool.shutdown pool)
+    js;
+  (* Training step: one Adam step on a 16-sample batch, m = 13. *)
+  let m = 13 in
+  let g =
+    Pbqp.Generate.erdos_renyi ~rng:(rng 5)
+      { Pbqp.Generate.default with n = 16; m; p_edge = 0.2 }
+  in
+  let uniform = Array.make m (1.0 /. float_of_int m) in
+  let samples =
+    List.map
+      (fun v ->
+        { Nn.Pvnet.graph = g; next = v; policy = Array.copy uniform;
+          value = 0.25 })
+      (Pbqp.Graph.vertices g)
+  in
+  let fresh_net () = Nn.Pvnet.create ~rng:(rng 6) (Nn.Pvnet.default_config ~m) in
+  let serial_net = fresh_net () in
+  let serial_opt = Nn.Adam.create Nn.Adam.default_config in
+  show ~name:"train step (16 samples) serial"
+    (measure (fun () -> Nn.Pvnet.train_batch serial_net serial_opt samples));
+  List.iter
+    (fun j ->
+      let pool = Par.Pool.create ~domains:j in
+      let net = fresh_net () in
+      let opt = Nn.Adam.create Nn.Adam.default_config in
+      let replicas =
+        Array.init (Par.Pool.size pool) (fun w ->
+            if w = 0 then net else Nn.Pvnet.clone net)
+      in
+      show
+        ~name:(Printf.sprintf "train step (16 samples) pool j=%d" j)
+        (measure (fun () ->
+             Nn.Pvnet.train_batch_parallel ~pool ~replicas net opt samples));
+      Par.Pool.shutdown pool)
+    js;
+  (* Episode throughput: one self-play iteration (8 episodes, k = 12, no
+     training / arena) through Core.Train.run at each pool size. *)
+  let episodes = 8 in
+  let train_cfg j =
+    {
+      (Core.Train.default_config ~m:8) with
+      iterations = 1;
+      episodes_per_iteration = episodes;
+      batches_per_iteration = 0;
+      arena_games = 0;
+      mcts = { Mcts.default_config with k = 12 };
+      n_mean = 12.0;
+      n_stddev = 2.0;
+      domains = j;
+    }
+  in
+  List.iter
+    (fun j ->
+      let iters, ns_run, allocs =
+        measure ~min_time:0.0 ~min_iters:2 (fun () ->
+            ignore (Core.Train.run ~rng:(rng 31) (train_cfg j)))
+      in
+      show
+        ~name:(Printf.sprintf "self-play episode (k=12) j=%d" j)
+        (iters * episodes, ns_run /. float_of_int episodes,
+         allocs /. float_of_int episodes))
+    js
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let which = ref "all" in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse rest
+    | [ "--json" ] ->
+        Printf.eprintf "--json needs a PATH argument\n";
+        exit 1
+    | a :: rest ->
+        which := a;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "PBQP-RL benchmark harness — reproducing the evaluation of\n\
      \"Solving PBQP-Based Register Allocation using Deep Reinforcement \
      Learning\" (CGO 2022)\n";
-  (match which with
+  (match !which with
   | "e1" -> e1 ()
   | "e2" -> e2 ()
   | "e3" -> e3 ()
@@ -623,6 +804,7 @@ let () =
   | "ext" -> ext ()
   | "micro" -> micro ()
   | "batch" -> batching ()
+  | "par" -> par_bench ()
   | "all" ->
       e1 ();
       e2 ();
@@ -632,9 +814,15 @@ let () =
       e6 ();
       ext ();
       micro ();
-      batching ()
+      batching ();
+      par_bench ()
   | other ->
       Printf.eprintf
-        "unknown experiment %S (e1..e6, ext, micro, batch, all)\n" other;
+        "unknown experiment %S (e1..e6, ext, micro, batch, par, all)\n" other;
       exit 1);
+  (match !json_out with
+  | Some path ->
+      write_json path;
+      Printf.printf "wrote %s\n" path
+  | None -> ());
   Printf.printf "\ntotal wall time: %.0fs\n" (Unix.gettimeofday () -. t0)

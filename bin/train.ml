@@ -5,7 +5,7 @@
 open Cmdliner
 
 let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
-    ate batch batch_leaves replay domains checkpoint seed out =
+    ate batch batch_leaves replay domains check checkpoint seed out =
   let instance_generator =
     if ate then
       Some
@@ -32,6 +32,7 @@ let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
       batch_leaves;
       replay_capacity = replay;
       domains;
+      check;
       checkpoint;
       instance_generator;
     }
@@ -93,9 +94,18 @@ let () =
     Arg.(value & opt int 20_000 & info [ "replay" ] ~doc:"paper: 200000")
   in
   let domains =
-    Arg.(value & opt int 1
+    Arg.(value & opt int (Par.recommended_domains ())
          & info [ "domains"; "j" ]
-             ~doc:"parallel self-play worker domains (needs real cores)")
+             ~doc:"domain-pool size shared by self-play, the gradient step \
+                   and the arena; results are bit-identical for every \
+                   value.  Default: Domain.recommended_domain_count, \
+                   capped at 8")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"certify every self-play episode's solution against the \
+                   original graph (abort on violation)")
   in
   let checkpoint =
     Arg.(value & opt (some string) None
@@ -112,6 +122,6 @@ let () =
       Term.(
         const run $ m $ iterations $ episodes $ k_train $ n_mean $ p_edge
         $ p_inf $ zero_inf $ planted $ ate $ batch $ batch_leaves $ replay
-        $ domains $ checkpoint $ seed $ out)
+        $ domains $ check $ checkpoint $ seed $ out)
   in
   exit (Cmd.eval cmd)

@@ -167,8 +167,8 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
         Nn.Adam.save opt ~params:(Nn.Pvnet.params current) o
   in
   (* One self-play episode: returns the stamped training tuples and
-     whether the (collecting) player failed to finish.  Safe to run in a
-     worker domain given private nets and rng. *)
+     whether the (collecting) player failed to finish.  Safe to run as a
+     pool task given private net replicas and a private rng. *)
   let one_episode ~rng ~best ~current =
     let g = random_graph ~rng config in
     let best_outcome, _ =
@@ -191,49 +191,98 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
     in
     (Episode.set_values z samples, cur_outcome.Episode.solution = None)
   in
+  (* One persistent pool for the whole run: self-play episodes, the
+     data-parallel gradient step, arena games and (via [Tensor.set_pool])
+     any large main-domain GEMM all share it, instead of paying a
+     [Domain.spawn] + net re-clone per iteration. *)
+  let pool = Par.Pool.create ~domains:config.domains in
+  let prev_tensor_pool = Tensor.get_pool () in
+  Fun.protect
+    ~finally:(fun () ->
+      Tensor.set_pool prev_tensor_pool;
+      Par.Pool.shutdown pool)
+  @@ fun () ->
+  Tensor.set_pool (Some pool);
+  let nw = Par.Pool.size pool in
+  (* Per-worker net replicas (the GCN message cache inside a net is not
+     thread-safe), allocated once for the whole run.  Worker 0 is the
+     submitting domain and uses the real nets; workers >= 1 get clones
+     refreshed in place — and only when the source weights actually
+     changed, which the version counters below track. *)
+  let bests =
+    Array.init nw (fun w -> if w = 0 then best else Nn.Pvnet.clone best)
+  in
+  let currents =
+    Array.init nw (fun w -> if w = 0 then current else Nn.Pvnet.clone current)
+  in
+  let best_version = ref 0 and current_version = ref 0 in
+  let bver = Array.make nw 0 and cver = Array.make nw 0 in
+  let refresh_replicas () =
+    for w = 1 to nw - 1 do
+      if bver.(w) <> !best_version then begin
+        Nn.Pvnet.copy_into ~src:best ~dst:bests.(w);
+        bver.(w) <- !best_version
+      end;
+      if cver.(w) <> !current_version then begin
+        Nn.Pvnet.copy_into ~src:current ~dst:currents.(w);
+        cver.(w) <- !current_version
+      end
+    done
+  in
+  (* Per-task rng derivation: split one child stream per episode/game off
+     the main stream, sequentially, on the submitting domain.  Unlike
+     seeding from [Random.State.int] draws, split streams cannot collide,
+     and keying them by task index (not worker index) makes the streams —
+     and with the fixed merge order below, the whole run — independent of
+     [config.domains] and of scheduling. *)
+  let split_rngs n = Array.init n (fun _ -> Random.State.split rng) in
+  let indices n = Array.init n (fun i -> i) in
+  (* An arena round: each game generates its own graph from its own split
+     stream and pits the two nets at temperature 0; outcomes come back in
+     game order. *)
+  let arena () =
+    refresh_replicas ();
+    let rngs = split_rngs config.arena_games in
+    Par.Pool.map pool (indices config.arena_games) ~f:(fun ~worker i ->
+        let rng = rngs.(i) in
+        let g = random_graph ~rng config in
+        let b, _ =
+          play_once ~rng ~net:bests.(worker) ~temperature_moves:0 config g
+        in
+        let c, _ =
+          play_once ~rng ~net:currents.(worker) ~temperature_moves:0 config g
+        in
+        compare_costs c.Episode.cost b.Episode.cost)
+  in
   for iteration = 1 to config.iterations do
-    let episodes_failed = ref 0 in
     (* --- self-play data generation --- *)
-    (if config.domains <= 1 then
-       for _ = 1 to config.episodes_per_iteration do
-         let samples, failed = one_episode ~rng ~best ~current in
-         if failed then incr episodes_failed;
-         Replay.add_list replay samples
-       done
-     else begin
-       (* Parallel self-play: each worker gets private clones of both nets
-          (the GCN message cache inside a net is not thread-safe) and a
-          private rng seeded from the main stream.  Training stays on the
-          main domain. *)
-       let nd = min config.domains config.episodes_per_iteration in
-       let base = config.episodes_per_iteration / nd in
-       let extra = config.episodes_per_iteration mod nd in
-       let workers =
-         List.init nd (fun i ->
-             let count = base + (if i < extra then 1 else 0) in
-             let seed = Random.State.int rng 0x3FFFFFFF in
-             let best = Nn.Pvnet.clone best in
-             let current = Nn.Pvnet.clone current in
-             Domain.spawn (fun () ->
-                 let rng = Random.State.make [| seed; i |] in
-                 List.init count (fun _ -> one_episode ~rng ~best ~current)))
-       in
-       List.iter
-         (fun d ->
-           List.iter
-             (fun (samples, failed) ->
-               if failed then incr episodes_failed;
-               Replay.add_list replay samples)
-             (Domain.join d))
-         workers
-     end);
-    (* --- gradient training --- *)
+    refresh_replicas ();
+    let episodes_failed = ref 0 in
+    let rngs = split_rngs config.episodes_per_iteration in
+    let results =
+      Par.Pool.map pool (indices config.episodes_per_iteration)
+        ~f:(fun ~worker i ->
+          one_episode ~rng:rngs.(i) ~best:bests.(worker)
+            ~current:currents.(worker))
+    in
+    (* Merge in episode order: replay contents and [episodes_failed] are
+       reproducible for a fixed seed regardless of scheduling. *)
+    Array.iter
+      (fun (samples, failed) ->
+        if failed then incr episodes_failed;
+        Replay.add_list replay samples)
+      results;
+    (* --- gradient training (data-parallel, bit-identical to serial) --- *)
     let losses = ref [] in
     for _ = 1 to config.batches_per_iteration do
       let batch = Replay.sample_batch ~rng replay config.batch_size in
       if batch <> [] then
-        losses := Nn.Pvnet.train_batch current opt batch :: !losses
+        losses :=
+          Nn.Pvnet.train_batch_parallel ~pool ~replicas:currents current opt
+            batch
+          :: !losses
     done;
+    if !losses <> [] then incr current_version;
     let mean_loss =
       match !losses with
       | [] -> 0.0
@@ -241,23 +290,24 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
     in
     (* --- arena gate --- *)
     let wins = ref 0 and ties = ref 0 in
-    for _ = 1 to config.arena_games do
-      let g = random_graph ~rng config in
-      let b, _ = play_once ~rng ~net:best ~temperature_moves:0 config g in
-      let c, _ = play_once ~rng ~net:current ~temperature_moves:0 config g in
-      match compare_costs c.Episode.cost b.Episode.cost with
-      | 1.0 -> incr wins
-      | 0.0 -> incr ties
-      | _ -> ()
-    done;
+    Array.iter
+      (fun outcome ->
+        if outcome = 1.0 then incr wins else if outcome = 0.0 then incr ties)
+      (arena ());
     (* Promote the candidate when it wins the majority of the games that
        were decisive at all, requiring at least one decisive win.  (A
        fixed ">5 of 10" threshold as in the paper needs large arenas to
        ever engage; with ties counted out, small arenas gate sensibly.) *)
     let losses = config.arena_games - !wins - !ties in
     let kept = !wins > losses in
-    if kept then Nn.Pvnet.sync ~src:current ~dst:best
-    else if config.reset_on_reject then Nn.Pvnet.sync ~src:best ~dst:current;
+    if kept then begin
+      Nn.Pvnet.sync ~src:current ~dst:best;
+      incr best_version
+    end
+    else if config.reset_on_reject then begin
+      Nn.Pvnet.sync ~src:best ~dst:current;
+      incr current_version
+    end;
     on_iteration
       {
         iteration;
@@ -274,13 +324,9 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
      unless the incumbent actually beats it head-to-head (with an all-tie
      arena the candidate's extra training is the better bet). *)
   let wins = ref 0 and losses = ref 0 in
-  for _ = 1 to config.arena_games do
-    let g = random_graph ~rng config in
-    let b, _ = play_once ~rng ~net:best ~temperature_moves:0 config g in
-    let c, _ = play_once ~rng ~net:current ~temperature_moves:0 config g in
-    match compare_costs c.Episode.cost b.Episode.cost with
-    | 1.0 -> incr wins
-    | -1.0 -> incr losses
-    | _ -> ()
-  done;
+  Array.iter
+    (fun outcome ->
+      if outcome = 1.0 then incr wins
+      else if outcome = -1.0 then incr losses)
+    (arena ());
   if !losses > !wins then best else current

@@ -48,10 +48,16 @@ type config = {
           e.g. to train the ATE net on PBQP graphs of small synthetic ATE
           programs (the target distribution). *)
   domains : int;
-      (** self-play worker domains (OCaml 5 parallelism).  Each worker
-          plays with private network clones and a private rng; gradient
-          training stays on the main domain.  1 (the default) is fully
-          deterministic; >1 reorders replay insertion. *)
+      (** size of the run's persistent domain pool ([Par.Pool], OCaml 5
+          parallelism): self-play episodes, arena games and the
+          data-parallel gradient step all share it, with per-worker
+          network replicas kept alive across iterations and refreshed in
+          place only when weights change.  Every per-task rng is a
+          [Random.State.split] child keyed by episode/game index (never
+          by worker), and all merges happen in task-index order — so for
+          a fixed seed the run (replay contents, [episodes_failed],
+          trained weights) is bit-identical for {e every} value of
+          [domains], 1 included. *)
   checkpoint : string option;
       (** checkpoint file prefix: after every iteration both networks, the
           replay buffer and the Adam optimizer state are saved to

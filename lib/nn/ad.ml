@@ -10,11 +10,12 @@ type t = {
 type ctx = { memo : (int, t) Hashtbl.t }
 
 let ctx () = { memo = Hashtbl.create 16 }
-let counter = ref 0
+(* Atomic: tapes are built concurrently on worker domains; ids only need
+   to be unique and monotone per tape, which a shared atomic preserves. *)
+let counter = Atomic.make 0
 
 let node value parents bwd =
-  incr counter;
-  { id = !counter; value; grad = None; parents; bwd }
+  { id = Atomic.fetch_and_add counter 1 + 1; value; grad = None; parents; bwd }
 
 let value n = n.value
 let grad n = match n.grad with Some g -> g | None -> Tensor.zeros (Tensor.shape n.value)

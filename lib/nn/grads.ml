@@ -40,4 +40,20 @@ let to_list ?(average = true) t =
       (var, Tensor.scale s g) :: acc)
     [] t.order
 
+(* Parameter order, for callers that hold the canonical [params] list:
+   stronger than first-seen order because it does not depend on which
+   sample happened to touch a parameter first — the serial and
+   data-parallel training steps both emit this order, which is what
+   makes them bit-identical. *)
+let to_list_ordered ?(average = true) t ~vars =
+  let s =
+    if average && t.samples > 0 then 1.0 /. float_of_int t.samples else 1.0
+  in
+  List.filter_map
+    (fun (v : Var.t) ->
+      Option.map
+        (fun (_, g) -> (v, Tensor.scale s g))
+        (Hashtbl.find_opt t.table v.Var.id))
+    vars
+
 let sample_count t = t.samples

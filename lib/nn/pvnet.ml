@@ -90,6 +90,11 @@ let clone t =
   sync ~src:t ~dst:t';
   t'
 
+(* Refresh a live replica in place instead of allocating a fresh clone;
+   a physical no-op when [src] and [dst] are the same net (worker 0's
+   replica aliases the real net). *)
+let copy_into ~src ~dst = if src != dst then sync ~src ~dst
+
 (* --- Feature encoding ------------------------------------------------ *)
 
 (* Soft availability weight: 1 at cost 0, decaying rationally so that the
@@ -399,8 +404,65 @@ let train_batch t opt samples =
           total := !total +. Tensor.get1 (Ad.value l) 0;
           Grads.add_from_ctx grads ctx vars)
         samples;
-      Adam.step opt (Grads.to_list grads);
+      Adam.step opt (Grads.to_list_ordered grads ~vars);
       !total /. float_of_int (List.length samples)
+
+(* Data-parallel training step.  Each sample's forward/backward is an
+   independent pool task running on a per-worker replica (forward is not
+   thread-safe: the tape-free msg_cache is a plain Hashtbl); the merge
+   on the submitting domain then replays exactly the serial reduction —
+   gradients combined per parameter in ascending sample order (copy then
+   add_into, like [Grads.add]), losses summed in sample order, the grads
+   list handed to Adam in [params] order — so the updated weights are
+   bit-identical to [train_batch] for any pool size. *)
+let train_batch_parallel ~pool ~replicas t opt samples =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+      let nw = Par.Pool.size pool in
+      if Array.length replicas <> nw then
+        invalid_arg "Pvnet.train_batch_parallel: replicas/pool size mismatch";
+      Array.iter (fun r -> copy_into ~src:t ~dst:r) replicas;
+      let rparams = Array.map (fun r -> Array.of_list (params r)) replicas in
+      let samples = Array.of_list samples in
+      let results =
+        Par.Pool.map pool samples ~f:(fun ~worker s ->
+            let net = replicas.(worker) in
+            let ctx = Ad.ctx () in
+            let l = loss net ctx s in
+            Ad.backward l;
+            let ps = rparams.(worker) in
+            let gs = ref [] in
+            for j = Array.length ps - 1 downto 0 do
+              match Ad.var_grad ctx ps.(j) with
+              | Some g -> gs := (j, g) :: !gs
+              | None -> ()
+            done;
+            (Tensor.get1 (Ad.value l) 0, !gs))
+      in
+      let vars = Array.of_list (params t) in
+      let acc = Array.make (Array.length vars) None in
+      let total = ref 0.0 in
+      Array.iter
+        (fun (l, gs) ->
+          total := !total +. l;
+          List.iter
+            (fun (j, g) ->
+              match acc.(j) with
+              | None -> acc.(j) <- Some (Tensor.copy g)
+              | Some a -> Tensor.add_into a g)
+            gs)
+        results;
+      let n = Array.length samples in
+      let s = 1.0 /. float_of_int n in
+      let grads = ref [] in
+      for j = Array.length vars - 1 downto 0 do
+        match acc.(j) with
+        | Some a -> grads := (vars.(j), Tensor.scale s a) :: !grads
+        | None -> ()
+      done;
+      Adam.step opt !grads;
+      !total /. float_of_int n
 
 (* --- Persistence ------------------------------------------------------ *)
 

@@ -42,6 +42,11 @@ val sync : src:t -> dst:t -> unit
 val clone : t -> t
 (** A deep copy with independent parameters. *)
 
+val copy_into : src:t -> dst:t -> unit
+(** {!sync} that is a physical no-op when [src == dst]: the idiom for
+    refreshing long-lived per-worker replicas (of which worker 0's may
+    alias the source net) without re-allocating clones. *)
+
 (** {1 Inference} *)
 
 val predict : t -> Pbqp.Graph.t -> next:int -> float array * float
@@ -78,7 +83,22 @@ val loss : t -> Ad.ctx -> sample -> Ad.t
 
 val train_batch : t -> Adam.t -> sample list -> float
 (** One optimizer step on the mean gradient of the batch; returns the mean
-    loss. *)
+    loss.  Gradients reach Adam in [params] order (via
+    [Grads.to_list_ordered]), the reduction order {!train_batch_parallel}
+    reproduces. *)
+
+val train_batch_parallel :
+  pool:Par.Pool.t -> replicas:t array -> t -> Adam.t -> sample list -> float
+(** {!train_batch} with per-sample forward/backward passes sharded
+    across the pool.  [replicas] must hold one net per pool worker
+    (worker 0's may alias [t]); each is refreshed from [t] via
+    {!copy_into} before the shard runs, so the same array can live for a
+    whole training run.  Per-sample gradients are merged on the calling
+    domain in ascending sample order and handed to Adam in [params]
+    order — exactly the serial reduction — so the step is bit-identical
+    to {!train_batch} for any pool size.
+    @raise Invalid_argument if [Array.length replicas] differs from the
+    pool size or a replica's config differs from [t]'s. *)
 
 (** {1 Persistence} *)
 

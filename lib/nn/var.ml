@@ -1,10 +1,10 @@
 type t = { id : int; name : string; value : Tensor.t }
 
-let counter = ref 0
+(* Atomic: per-worker net replicas are built on worker domains. *)
+let counter = Atomic.make 0
 
 let create ~name value =
-  incr counter;
-  { id = !counter; name; value }
+  { id = Atomic.fetch_and_add counter 1 + 1; name; value }
 
 let numel v = Tensor.numel v.value
 

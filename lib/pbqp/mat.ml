@@ -2,12 +2,12 @@ type t = { id : int; rows : int; cols : int; data : float array }
 
 (* Unique ids let callers (the GCN encoder) memoize derived data by
    physical matrix; every constructor mints a fresh id, and no operation
-   ever mutates [data] of an existing matrix except the explicit [set]. *)
+   ever mutates [data] of an existing matrix except the explicit [set].
+   Atomic: matrices are minted concurrently from self-play worker
+   domains, and a torn increment would hand two matrices one cache key. *)
 let next_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
 let make ~rows ~cols c =
   if rows <= 0 || cols <= 0 then invalid_arg "Mat.make: non-positive shape";

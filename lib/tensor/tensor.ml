@@ -111,28 +111,26 @@ let matmul_naive a b =
    tile, a B tile and an out row-block coexist in a 32 KB L1. *)
 let block = 32
 
-let matmul_into out a b =
-  let ra, ca = dims2 a and rb, cb = dims2 b in
-  if ca <> rb then invalid_arg "Tensor.matmul_into: inner dims differ";
-  let ro, co = dims2 out in
-  if ro <> ra || co <> cb then
-    invalid_arg "Tensor.matmul_into: output shape mismatch";
-  if out.data == a.data || out.data == b.data then
-    invalid_arg "Tensor.matmul_into: output aliases an input";
-  Array.fill out.data 0 (Array.length out.data) 0.0;
-  let ad = a.data and bd = b.data and od = out.data in
-  let ib = ref 0 in
-  while !ib < ra do
-    let imax = min (!ib + block) ra in
+(* The tiled kernel restricted to output rows [lo, hi): zero-fills its
+   own row range then accumulates into it, so disjoint row ranges touch
+   disjoint slices of [od] and can run on different domains.  Splitting
+   by rows does not change any per-element accumulation order (each
+   output cell's k-sum lives entirely inside one row), so any partition
+   is bit-identical to the serial [lo=0, hi=ra] call. *)
+let matmul_rows od ad bd ~ca ~cb ~lo ~hi =
+  Array.fill od (lo * cb) ((hi - lo) * cb) 0.0;
+  let ib = ref lo in
+  while !ib < hi do
+    let imax = min (!ib + block) hi in
     let kb = ref 0 in
     while !kb < ca do
       let kmax = min (!kb + block) ca in
       let jb = ref 0 in
       while !jb < cb do
         let jmax = min (!jb + block) cb in
-        (* dims are validated above, so every index below is in range;
-           unsafe accesses drop the per-element bounds checks that
-           dominate the inner loop *)
+        (* dims are validated by the caller, so every index below is in
+           range; unsafe accesses drop the per-element bounds checks
+           that dominate the inner loop *)
         for i = !ib to imax - 1 do
           let orow = i * cb in
           for k = !kb to kmax - 1 do
@@ -153,6 +151,36 @@ let matmul_into out a b =
     done;
     ib := !ib + block
   done
+
+(* Optional pool for parallel GEMM; set once at startup by the driver.
+   Atomic so a concurrent reader sees either the old or the new pool,
+   never a torn value. *)
+let pool : Par.Pool.t option Atomic.t = Atomic.make None
+let set_pool p = Atomic.set pool p
+let get_pool () = Atomic.get pool
+
+(* Below this many multiply-adds the fork/join overhead beats the win. *)
+let par_threshold = 65536
+
+let matmul_into out a b =
+  let ra, ca = dims2 a and rb, cb = dims2 b in
+  if ca <> rb then invalid_arg "Tensor.matmul_into: inner dims differ";
+  let ro, co = dims2 out in
+  if ro <> ra || co <> cb then
+    invalid_arg "Tensor.matmul_into: output shape mismatch";
+  if out.data == a.data || out.data == b.data then
+    invalid_arg "Tensor.matmul_into: output aliases an input";
+  let ad = a.data and bd = b.data and od = out.data in
+  match Atomic.get pool with
+  | Some p
+    when Par.Pool.size p > 1 && ra > 1 && ra * ca * cb >= par_threshold ->
+      let nb = min ra (Par.Pool.size p) in
+      let per = (ra + nb - 1) / nb in
+      Par.Pool.parallel_for p ~n:nb ~chunk:1 (fun ~worker:_ blk ->
+          let lo = blk * per in
+          let hi = min ra (lo + per) in
+          if lo < hi then matmul_rows od ad bd ~ca ~cb ~lo ~hi)
+  | _ -> matmul_rows od ad bd ~ca ~cb ~lo:0 ~hi:ra
 
 let matmul a b =
   let ra, ca = dims2 a and rb, cb = dims2 b in

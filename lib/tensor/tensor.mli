@@ -73,7 +73,11 @@ val axpy : float -> t -> t -> unit
 
 val matmul : t -> t -> t
 (** rank-2 × rank-2, cache-tiled.  Bit-identical to {!matmul_naive}: both
-    accumulate each output element in ascending-[k] order. *)
+    accumulate each output element in ascending-[k] order.  When a pool
+    is installed ({!set_pool}) and the product is large enough, output
+    rows are split across the pool's domains; each output cell is still
+    written by exactly one task with the same per-cell accumulation
+    order, so the result stays bit-identical for every pool size. *)
 
 val matmul_naive : t -> t -> t
 (** The straightforward three-loop kernel — kept as the reference the
@@ -84,6 +88,15 @@ val matmul_into : t -> t -> t -> unit
     reusing the buffer instead of allocating.
     @raise Invalid_argument on shape mismatch or if [out] shares its
     buffer with [a] or [b]. *)
+
+val set_pool : Par.Pool.t option -> unit
+(** Install (or remove, with [None]) the domain pool used by {!matmul} /
+    {!matmul_into} for large products.  Global; call once at startup.
+    The pool is only consulted from the submitting domain — nested calls
+    made from inside pool tasks run the serial kernel inline. *)
+
+val get_pool : unit -> Par.Pool.t option
+(** The currently installed pool, if any. *)
 
 val mv : t -> t -> t
 (** rank-2 × rank-1 → rank-1. *)

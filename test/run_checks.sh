@@ -16,6 +16,21 @@ dune build @quick
 echo "== dune runtest =="
 dune runtest
 
+echo "== dune build @par =="
+# parallel-runtime equivalence suite: pool GEMM / train step / whole
+# training runs must be bit-identical to serial at every pool size
+dune build @par
+
+echo "== multi-domain smoke (train -j 2 --check, then certify) =="
+# a tiny end-to-end training run on the domain pool with per-episode
+# solution certification on, exercising pool self-play + the
+# data-parallel gradient step + the arena under the checker
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+dune exec bin/train.exe -- -i 1 -e 4 -j 2 -k 8 --n-mean 8 --check \
+  --batch 8 -o "$smoke_dir/smoke.ckpt"
+test -f "$smoke_dir/smoke.ckpt"
+
 echo "== pbqp_lint --self-test =="
 dune exec bin/pbqp_lint.exe -- --self-test
 
