@@ -5,7 +5,8 @@
 open Cmdliner
 
 let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
-    ate batch batch_leaves replay domains check checkpoint seed out =
+    ate batch batch_leaves incremental eval_cache replay domains check
+    checkpoint seed out =
   let instance_generator =
     if ate then
       Some
@@ -30,6 +31,8 @@ let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
       planted;
       batch_size = batch;
       batch_leaves;
+      incremental;
+      eval_cache;
       replay_capacity = replay;
       domains;
       check;
@@ -90,6 +93,20 @@ let () =
              ~doc:"MCTS leaves per batched network evaluation (1 = exact \
                    scalar search; >1 uses virtual-loss waves)")
   in
+  let incremental =
+    Arg.(value & flag
+         & info [ "incremental" ]
+             ~doc:"run episodes on the trail-based incremental state \
+                   (O(deg) apply/undo, no per-move graph copies); \
+                   bit-identical results")
+  in
+  let eval_cache =
+    Arg.(value & opt int 0
+         & info [ "eval-cache" ] ~docv:"SIZE"
+             ~doc:"per-worker LRU network-evaluation cache capacity \
+                   (0 = off); entries are invalidated by weight version, \
+                   results are unchanged")
+  in
   let replay =
     Arg.(value & opt int 20_000 & info [ "replay" ] ~doc:"paper: 200000")
   in
@@ -121,7 +138,8 @@ let () =
       (Cmd.info "train" ~doc:"Train a PBQP policy/value network by self-play")
       Term.(
         const run $ m $ iterations $ episodes $ k_train $ n_mean $ p_edge
-        $ p_inf $ zero_inf $ planted $ ate $ batch $ batch_leaves $ replay
-        $ domains $ check $ checkpoint $ seed $ out)
+        $ p_inf $ zero_inf $ planted $ ate $ batch $ batch_leaves
+        $ incremental $ eval_cache $ replay $ domains $ check $ checkpoint
+        $ seed $ out)
   in
   exit (Cmd.eval cmd)

@@ -156,6 +156,75 @@ let ate_battery ~rng =
   in
   [ schedule_case; pad_case; witness_case; graph_case; solver_case ]
 
+(* --- incremental (trail) state ----------------------------------------- *)
+
+(* Interleaved apply/undo walks on the trail state (Core.Istate): after
+   every move the live trail graph must still satisfy the graph
+   invariants and be structurally equal to the persistent State oracle
+   rebuilt from the same move sequence — the in-place push/pop/redo
+   machinery may never leave the graph in a state the persistent path
+   could not reach. *)
+let trail_battery ~rng =
+  List.map
+    (fun i ->
+      let config =
+        {
+          Generate.default with
+          n = 6 + i;
+          m = 2 + (i mod 3);
+          p_edge = 0.4;
+          p_inf = 0.1;
+          min_liberty = 1;
+        }
+      in
+      let g = Generate.erdos_renyi ~rng config in
+      let st0 = Core.State.of_graph g in
+      let ist = Core.Istate.of_state st0 in
+      let stack = ref [ st0 ] in
+      let findings = ref [] in
+      let diverged = ref 0 in
+      for _step = 1 to 40 do
+        let top = List.hd !stack in
+        let depth = List.length !stack - 1 in
+        let legal =
+          List.filter (Core.State.legal top)
+            (List.init (Core.State.m top) Fun.id)
+        in
+        (match legal with
+        | _ :: _ when depth = 0 || Random.State.bool rng ->
+            let c = List.nth legal (Random.State.int rng (List.length legal)) in
+            stack := Core.State.apply top c :: !stack;
+            Core.Istate.apply ist c
+        | _ when depth > 0 ->
+            stack := List.tl !stack;
+            Core.Istate.undo ist
+        | _ -> ());
+        (* solvability rules (arc consistency, all-infinite vectors) are
+           properties of the position — a mid-game dead end is a legal
+           state — so only the structural rules apply here *)
+        findings :=
+          List.filter
+            (fun f -> not (String.starts_with ~prefix:"pbqp-no-color" f.Diag.rule))
+            (structural_only (Invariants.graph (Core.Istate.graph ist)))
+          @ !findings;
+        if
+          not
+            (Graph.equal
+               (Core.State.graph (List.hd !stack))
+               (Core.Istate.graph ist))
+        then incr diverged
+      done;
+      if !diverged > 0 then
+        {
+          name = Printf.sprintf "trail-oracle-%d" i;
+          ok = false;
+          detail =
+            Printf.sprintf "%d position(s) diverged from the persistent oracle"
+              !diverged;
+        }
+      else clean (Printf.sprintf "trail-oracle-%d" i) !findings)
+    [ 1; 2; 3; 4 ]
+
 (* --- entry point -------------------------------------------------------- *)
 
 let run ?(graphs = 60) ?(seed = 42) () =
@@ -165,3 +234,4 @@ let run ?(graphs = 60) ?(seed = 42) () =
   @ grad_battery ()
   @ cir_battery ~rng
   @ ate_battery ~rng
+  @ trail_battery ~rng

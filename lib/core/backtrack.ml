@@ -24,26 +24,35 @@ type result = {
    position, in which preference order the rest should be taken. *)
 type level = { mutable untried : int list; mutable tried : int list }
 
-let rank_actions st (p : float array) ~excluding =
+(* State-representation adapter: the driver below runs over persistent
+   states and incremental cursors alike (legality/terminality already
+   live in the game record; these are the solver-only queries). *)
+type 'a ops = {
+  is_complete : 'a -> bool;
+  is_dead_end : 'a -> bool;
+  base_cost : 'a -> Cost.t;
+  assignment : 'a -> Solution.t;
+}
+
+let rank_actions legal st (p : float array) ~excluding =
   let legal_actions =
     List.filter
-      (fun a -> State.legal st a && not (List.mem a excluding))
+      (fun a -> legal st a && not (List.mem a excluding))
       (List.init (Array.length p) Fun.id)
   in
   (* Highest policy mass first; ties on the smaller color. *)
   List.stable_sort (fun a b -> Float.compare p.(b) p.(a)) legal_actions
 
-let solve ~net ~mode config state =
-  let m = State.m state in
-  let game = Game.make ?rollout:config.rollout ~net ~mode ~m () in
+let solve_with ~game ~ops config state =
   let tree = Mcts.create config.mcts game state in
+  let legal = game.Mcts.legal in
   let levels : (int, level) Hashtbl.t = Hashtbl.create 32 in
   let backtracks = ref 0 in
   let budget_exhausted = ref false in
   let success st =
     {
-      solution = Some (State.assignment st);
-      cost = State.base_cost st;
+      solution = Some (ops.assignment st);
+      cost = ops.base_cost st;
       nodes = Mcts.nodes_created tree;
       backtracks = !backtracks;
       budget_exhausted = false;
@@ -64,15 +73,15 @@ let solve ~net ~mode config state =
     | None ->
         Mcts.run tree;
         let p = Mcts.policy tree in
-        let l = { untried = rank_actions st p ~excluding:[]; tried = [] } in
+        let l = { untried = rank_actions legal st p ~excluding:[]; tried = [] } in
         Hashtbl.replace levels depth l;
         l
   in
   let rec step () =
     let st = Mcts.root_state tree in
-    if State.is_complete st then
-      if Cost.is_finite (State.base_cost st) then success st else backtrack ()
-    else if State.is_dead_end st then backtrack ()
+    if ops.is_complete st then
+      if Cost.is_finite (ops.base_cost st) then success st else backtrack ()
+    else if ops.is_dead_end st then backtrack ()
     else begin
       let depth = Mcts.depth tree in
       let l = level_at st depth in
@@ -106,11 +115,40 @@ let solve ~net ~mode config state =
           Mcts.run tree;
           let p = Mcts.policy tree in
           l.untried <-
-            rank_actions (Mcts.root_state tree) p ~excluding:l.tried
+            rank_actions legal (Mcts.root_state tree) p ~excluding:l.tried
       | _ -> ());
       step ()
     end
   in
   (* Dead-on-arrival instances (some vertex starts all-∞) fail without
      search. *)
-  if State.is_dead_end state then failure () else step ()
+  if ops.is_dead_end state then failure () else step ()
+
+let state_ops =
+  {
+    is_complete = State.is_complete;
+    is_dead_end = State.is_dead_end;
+    base_cost = State.base_cost;
+    assignment = State.assignment;
+  }
+
+let cursor_ops =
+  {
+    is_complete = Istate.Cursor.is_complete;
+    is_dead_end = Istate.Cursor.is_dead_end;
+    base_cost = Istate.Cursor.base_cost;
+    assignment = Istate.Cursor.assignment;
+  }
+
+let solve ?cache ~net ~mode config state =
+  let m = State.m state in
+  let game = Game.make ?rollout:config.rollout ?cache ~net ~mode ~m () in
+  solve_with ~game ~ops:state_ops config state
+
+let solve_incremental ?cache ~net ~mode config state =
+  if config.rollout <> None then
+    invalid_arg "Backtrack.solve_incremental: rollouts are unsupported";
+  let m = State.m state in
+  let ist = Istate.of_state state in
+  let game = Game.make_incremental ?cache ~net ~mode ~m () in
+  solve_with ~game ~ops:cursor_ops config (Istate.Cursor.root ist)

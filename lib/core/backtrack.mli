@@ -35,4 +35,17 @@ type result = {
 }
 
 val solve :
+  ?cache:Nn.Evalcache.t ->
   net:Nn.Pvnet.t -> mode:Game.mode -> config -> State.t -> result
+(** [cache] is forwarded to {!Game.make} — backtracking revisits tree
+    ancestors, so repeated leaf evaluations short-circuit. *)
+
+val solve_incremental :
+  ?cache:Nn.Evalcache.t ->
+  net:Nn.Pvnet.t -> mode:Game.mode -> config -> State.t -> result
+(** {!solve} over a trail state ({!Istate}): the fresh input state seeds
+    one shared mutable graph and MCTS walks it with O(deg) push/pop
+    instead of per-move graph copies.  Results (solution, cost, node and
+    backtrack counts) are bit-identical to {!solve}.  [config.rollout]
+    is unsupported here.
+    @raise Invalid_argument if [config.rollout] is set. *)

@@ -35,15 +35,24 @@ let argmax (p : float array) =
   Array.iteri (fun i pi -> if pi > p.(!best) then best := i) p;
   !best
 
-let play ?(collect = false) ?(batched = true) ~rng ~net ~mode config state =
-  let m = State.m state in
-  let game = Game.make ~batched ~net ~mode ~m () in
+(* State-representation adapter: the one loop below drives both the
+   persistent State game and the incremental cursor game. *)
+type 'a driver = {
+  game : 'a Mcts.game;
+  next_vertex : 'a -> int option;
+  sample_graph : 'a -> Pbqp.Graph.t;
+      (* snapshot for a training tuple; must outlive the episode *)
+  finish : 'a -> Pbqp.Cost.t * Pbqp.Solution.t option;
+}
+
+let play_driver ?(collect = false) ~rng driver config state =
+  let game = driver.game in
   let tree = Mcts.create config.mcts game state in
   let samples = ref [] in
   let move = ref 0 in
   let rec loop () =
     let st = Mcts.root_state tree in
-    if State.is_terminal st then ()
+    if game.Mcts.is_terminal st then ()
     else begin
       (match config.root_noise with
       | Some (epsilon, alpha) -> Mcts.add_root_noise ~rng ~epsilon ~alpha tree
@@ -51,11 +60,11 @@ let play ?(collect = false) ?(batched = true) ~rng ~net ~mode config state =
       Mcts.run tree;
       let p = Mcts.policy tree in
       (if collect then
-         match State.next_vertex st with
+         match driver.next_vertex st with
          | Some next ->
              samples :=
                {
-                 Nn.Pvnet.graph = State.graph st;
+                 Nn.Pvnet.graph = driver.sample_graph st;
                  next;
                  policy = Array.copy p;
                  value = 0.0;
@@ -72,15 +81,52 @@ let play ?(collect = false) ?(batched = true) ~rng ~net ~mode config state =
     end
   in
   loop ();
-  let final = Mcts.root_state tree in
-  let cost = Game.final_cost final in
-  let solution =
-    if State.is_complete final && Pbqp.Cost.is_finite cost then
-      Some (State.assignment final)
-    else None
-  in
+  let cost, solution = driver.finish (Mcts.root_state tree) in
   ( { solution; cost; nodes = Mcts.nodes_created tree },
     List.rev !samples )
+
+let finish_state st =
+  let cost = Game.final_cost st in
+  let solution =
+    if State.is_complete st && Pbqp.Cost.is_finite cost then
+      Some (State.assignment st)
+    else None
+  in
+  (cost, solution)
+
+let play ?collect ?(batched = true) ?cache ~rng ~net ~mode config state =
+  let m = State.m state in
+  play_driver ?collect ~rng
+    {
+      game = Game.make ~batched ?cache ~net ~mode ~m ();
+      next_vertex = State.next_vertex;
+      sample_graph = State.graph;
+      finish = finish_state;
+    }
+    config state
+
+let finish_cursor c =
+  let cost = Game.cursor_final_cost c in
+  let solution =
+    if Istate.Cursor.is_complete c && Pbqp.Cost.is_finite cost then
+      Some (Istate.Cursor.assignment c)
+    else None
+  in
+  (cost, solution)
+
+let play_incremental ?collect ?(batched = true) ?cache ~rng ~net ~mode config
+    state =
+  let m = State.m state in
+  let ist = Istate.of_state state in
+  play_driver ?collect ~rng
+    {
+      game = Game.make_incremental ~batched ?cache ~net ~mode ~m ();
+      next_vertex = Istate.Cursor.next_vertex;
+      sample_graph = Istate.Cursor.graph_snapshot;
+      finish = finish_cursor;
+    }
+    config
+    (Istate.Cursor.root ist)
 
 let set_values v samples =
   List.map (fun s -> { s with Nn.Pvnet.value = v }) samples

@@ -31,16 +31,35 @@ type outcome = {
 val play :
   ?collect:bool ->
   ?batched:bool ->
+  ?cache:Nn.Evalcache.t ->
   rng:Random.State.t ->
   net:Nn.Pvnet.t ->
   mode:Game.mode ->
   config ->
   State.t ->
   outcome * Nn.Pvnet.sample list
-(** [batched] (default [true]) is forwarded to {!Game.make}: [false]
-    forces scalar per-leaf network evaluation — the pre-batching
-    baseline used by the equivalence tests and benchmarks.  Search
-    results are bit-identical either way. *)
+(** [batched] (default [true]) and [cache] are forwarded to {!Game.make}:
+    [~batched:false] forces scalar per-leaf network evaluation — the
+    pre-batching baseline used by the equivalence tests and benchmarks —
+    and [cache] short-circuits repeated leaf evaluations.  Search results
+    are bit-identical in all four combinations. *)
+
+val play_incremental :
+  ?collect:bool ->
+  ?batched:bool ->
+  ?cache:Nn.Evalcache.t ->
+  rng:Random.State.t ->
+  net:Nn.Pvnet.t ->
+  mode:Game.mode ->
+  config ->
+  State.t ->
+  outcome * Nn.Pvnet.sample list
+(** {!play} over a trail state ({!Istate}) instead of persistent copies:
+    the given fresh state (no colored vertices — see {!Istate.of_state})
+    seeds one shared mutable graph, MCTS holds cursors into it, and each
+    simulated move costs O(deg) push/pop instead of an O(V+E) graph
+    copy.  Outcomes, node counts and collected samples (snapshotted per
+    move) are bit-identical to {!play} on the same inputs. *)
 
 val set_values : float -> Nn.Pvnet.sample list -> Nn.Pvnet.sample list
 (** Stamp the final reward on every tuple of the episode (§II-C: "all

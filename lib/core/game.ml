@@ -18,38 +18,69 @@ let reward mode cost =
 
 let final_cost st = if State.is_complete st then State.base_cost st else Cost.inf
 
-let make ?rollout ?(batched = true) ~net ~mode ~m () =
+(* The transposition cache holds the network's raw (priors, value) keyed
+   by (state hash, next vertex) and stamped with the weights version; a
+   roll-out blend is applied after lookup (it depends on the state, not
+   the weights).  Keys only repeat for bitwise-identical states, so
+   search results with and without a cache are bit-identical. *)
+let cached cache net key compute =
+  match cache with
+  | None -> compute ()
+  | Some cache -> (
+      let version = Nn.Pvnet.version net in
+      match Nn.Evalcache.find cache ~version key with
+      | Some r -> r
+      | None ->
+          let r = compute () in
+          Nn.Evalcache.store cache ~version key r;
+          r)
+
+let make ?rollout ?(batched = true) ?cache ~net ~mode ~m () =
   let blend st v =
     match rollout with Some f -> 0.5 *. (v +. f st) | None -> v
   in
   (* One network forward for a whole wave of leaves: states that still
      have a vertex to color go through [Pvnet.predict_batch] together
-     (bit-identical to per-state [predict]); the rest — complete games
-     and dead ends that slipped past [is_terminal] — get the same
-     defensive terminal reward the scalar path uses. *)
+     (bit-identical to per-state [predict]) — minus the cache hits, which
+     skip the forward entirely; the rest — complete games and dead ends
+     that slipped past [is_terminal] — get the same defensive terminal
+     reward the scalar path uses. *)
   let batched_evaluate states =
     let states = Array.of_list states in
     let out = Array.make (Array.length states) ([||], 0.0) in
-    let with_next = ref [] in
+    let version = Nn.Pvnet.version net in
+    let misses = ref [] in
     Array.iteri
       (fun i st ->
         match State.next_vertex st with
-        | Some next -> with_next := (i, st, next) :: !with_next
+        | Some next -> (
+            let key = (State.hash st, next) in
+            let hit =
+              match cache with
+              | Some cache -> Nn.Evalcache.find cache ~version key
+              | None -> None
+            in
+            match hit with
+            | Some (priors, v) -> out.(i) <- (priors, blend st v)
+            | None -> misses := (i, st, next, key) :: !misses)
         | None -> out.(i) <- (Array.make m 0.0, reward mode (final_cost st)))
       states;
-    let with_next = List.rev !with_next in
-    (match with_next with
+    let misses = List.rev !misses in
+    (match misses with
     | [] -> ()
     | _ ->
         let preds =
           Nn.Pvnet.predict_batch net
-            (List.map (fun (_, st, next) -> (State.graph st, next)) with_next)
+            (List.map (fun (_, st, next, _) -> (State.graph st, next)) misses)
         in
         List.iteri
-          (fun j (i, st, _) ->
-            let priors, v = preds.(j) in
+          (fun j (i, st, _, key) ->
+            let ((priors, v) as r) = preds.(j) in
+            (match cache with
+            | Some cache -> Nn.Evalcache.store cache ~version key r
+            | None -> ());
             out.(i) <- (priors, blend st v))
-          with_next);
+          misses);
     out
   in
   {
@@ -62,8 +93,79 @@ let make ?rollout ?(batched = true) ~net ~mode ~m () =
       (fun st ->
         match State.next_vertex st with
         | Some next ->
-            let priors, v = Nn.Pvnet.predict net (State.graph st) ~next in
+            let priors, v =
+              cached cache net (State.hash st, next) (fun () ->
+                  Nn.Pvnet.predict net (State.graph st) ~next)
+            in
             (priors, blend st v)
         | None -> (Array.make m 0.0, reward mode (final_cost st)));
+    batched_evaluate = (if batched then Some batched_evaluate else None);
+  }
+
+(* --- Incremental variant --------------------------------------------- *)
+
+let cursor_final_cost c =
+  if Istate.Cursor.is_complete c then Istate.Cursor.base_cost c else Cost.inf
+
+let make_incremental ?(batched = true) ?cache ~net ~mode ~m () =
+  (* Leaves of a wave live on one shared trail graph, so each is seeked
+     and captured as a [Pvnet.prepared] in turn; the trunk GEMMs then run
+     over the whole batch at once.  Roll-out blending is a persistent-
+     state extension and is not offered here. *)
+  let batched_evaluate cursors =
+    let cursors = Array.of_list cursors in
+    let out = Array.make (Array.length cursors) ([||], 0.0) in
+    let version = Nn.Pvnet.version net in
+    let misses = ref [] in
+    Array.iteri
+      (fun i cur ->
+        match Istate.Cursor.next_vertex cur with
+        | Some next -> (
+            let key = (Istate.Cursor.hash cur, next) in
+            let hit =
+              match cache with
+              | Some cache -> Nn.Evalcache.find cache ~version key
+              | None -> None
+            in
+            match hit with
+            | Some r -> out.(i) <- r
+            | None ->
+                let p = Nn.Pvnet.prepare net (Istate.Cursor.graph cur) ~next in
+                misses := (i, key, p) :: !misses)
+        | None ->
+            out.(i) <- (Array.make m 0.0, reward mode (cursor_final_cost cur)))
+      cursors;
+    let misses = List.rev !misses in
+    (match misses with
+    | [] -> ()
+    | _ ->
+        let preds =
+          Nn.Pvnet.predict_prepared net
+            (Array.of_list (List.map (fun (_, _, p) -> p) misses))
+        in
+        List.iteri
+          (fun j (i, key, _) ->
+            let r = preds.(j) in
+            (match cache with
+            | Some cache -> Nn.Evalcache.store cache ~version key r
+            | None -> ());
+            out.(i) <- r)
+          misses);
+    out
+  in
+  {
+    Mcts.num_actions = m;
+    is_terminal = Istate.Cursor.is_terminal;
+    terminal_value = (fun c -> reward mode (cursor_final_cost c));
+    legal = Istate.Cursor.legal;
+    apply = Istate.Cursor.apply;
+    evaluate =
+      (fun c ->
+        match Istate.Cursor.next_vertex c with
+        | Some next ->
+            cached cache net
+              (Istate.Cursor.hash c, next)
+              (fun () -> Nn.Pvnet.predict net (Istate.Cursor.graph c) ~next)
+        | None -> (Array.make m 0.0, reward mode (cursor_final_cost c)));
     batched_evaluate = (if batched then Some batched_evaluate else None);
   }

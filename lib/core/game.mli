@@ -21,6 +21,7 @@ val reward : mode -> Cost.t -> float
 val make :
   ?rollout:(State.t -> float) ->
   ?batched:bool ->
+  ?cache:Nn.Evalcache.t ->
   net:Nn.Pvnet.t ->
   mode:mode ->
   m:int ->
@@ -34,7 +35,32 @@ val make :
     {!Nn.Pvnet.predict_batch}, so searches evaluate leaf waves in one
     batched forward; results are bit-identical to the scalar path.  Pass
     [~batched:false] to force the pre-batching scalar evaluation (the
-    baseline the equivalence tests and benchmarks compare against). *)
+    baseline the equivalence tests and benchmarks compare against).
+
+    [cache] consults an {!Nn.Evalcache} before every network forward —
+    scalar and batched — keyed by [(State.hash, next vertex)] and
+    versioned by {!Nn.Pvnet.version}; hits skip the forward (and drop out
+    of a wave's batch), misses are stored.  Search results are
+    bit-identical with or without it. *)
+
+val make_incremental :
+  ?batched:bool ->
+  ?cache:Nn.Evalcache.t ->
+  net:Nn.Pvnet.t ->
+  mode:mode ->
+  m:int ->
+  unit ->
+  Istate.Cursor.t Mcts.game
+(** {!make} over incremental cursors (see {!Istate}): transitions are
+    pure O(1) cursor extensions, every query seeks the shared trail
+    state, and a batched wave captures each leaf as an
+    {!Nn.Pvnet.prepared} before the common trunk GEMMs.  All cursors in
+    one search must come from a single {!Istate.t} (MCTS guarantees this
+    by construction: children come from [apply]).  No [rollout] — that
+    extension stays on the persistent path.  Searches are node-for-node
+    identical to {!make} on the equivalent persistent states. *)
 
 val final_cost : State.t -> Cost.t
 (** [base_cost] if complete, [inf] otherwise. *)
+
+val cursor_final_cost : Istate.Cursor.t -> Cost.t

@@ -17,17 +17,30 @@ let with_exact_reduction g solve =
       Solvers.Scholz.complete reduction sol;
       (Some sol, stats)
 
+(* Route to the persistent or the trail-based driver; a positive
+   [eval_cache] gives the solve its own transposition cache (repeated
+   positions appear across backtracking replans and retreats). *)
+let backtrack_solve ~incremental ~eval_cache ~net ~mode config state =
+  let cache =
+    if eval_cache > 0 then Some (Nn.Evalcache.create ~capacity:eval_cache)
+    else None
+  in
+  if incremental then Backtrack.solve_incremental ?cache ~net ~mode config state
+  else Backtrack.solve ?cache ~net ~mode config state
+
 let solve_feasible ~net ?(mcts = Mcts.default_config)
     ?(order = Order.Decreasing_liberty) ?(backtracking = true)
     ?(replan = true) ?(max_backtracks = 100_000) ?(exact_reduce = false)
-    ?(rollouts = false) ?rng g =
+    ?(rollouts = false) ?(incremental = false) ?(eval_cache = 0) ?rng g =
+  if rollouts && incremental then
+    invalid_arg "Solver.solve_feasible: rollouts are unsupported incrementally";
   let rollout =
     if rollouts then Some (Rollout.value ~mode:Game.Feasibility) else None
   in
   let solve_on g =
     let state = make_state ?rng ~order g in
     let result =
-      Backtrack.solve ~net ~mode:Game.Feasibility
+      backtrack_solve ~incremental ~eval_cache ~net ~mode:Game.Feasibility
         { Backtrack.mcts; enabled = backtracking; replan; max_backtracks;
           rollout }
         state
@@ -46,7 +59,9 @@ let solve_feasible ~net ?(mcts = Mcts.default_config)
 
 let minimize ~net ?(mcts = Mcts.default_config) ?(order = Order.By_id)
     ?reference ?(shaping = 5.0) ?(exact_reduce = false) ?(rollouts = false)
-    ?rng g =
+    ?(incremental = false) ?(eval_cache = 0) ?rng g =
+  if rollouts && incremental then
+    invalid_arg "Solver.minimize: rollouts are unsupported incrementally";
   let reference =
     match reference with
     | Some r -> r
@@ -59,7 +74,7 @@ let minimize ~net ?(mcts = Mcts.default_config) ?(order = Order.By_id)
   let solve_on g =
     let state = make_state ?rng ~order g in
     let result =
-      Backtrack.solve ~net ~mode
+      backtrack_solve ~incremental ~eval_cache ~net ~mode
         { Backtrack.default_config with mcts; enabled = false; rollout }
         state
     in

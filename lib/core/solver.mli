@@ -24,12 +24,20 @@ val solve_feasible :
   ?max_backtracks:int ->
   ?exact_reduce:bool ->
   ?rollouts:bool ->
+  ?incremental:bool ->
+  ?eval_cache:int ->
   ?rng:Random.State.t ->
   Graph.t ->
   Solution.t option * stats
 (** Find any finite-cost solution.  Default order: decreasing liberty
     (§IV-E); default [mcts.k]: 50.  [rng] is only needed for
     [~order:Random].
+
+    [incremental] (default false) runs the search on the trail-based
+    {!Istate} — O(deg) apply/undo instead of per-move graph copies, with
+    bit-identical results; incompatible with [rollouts].  A positive
+    [eval_cache] gives the solve an LRU transposition cache of that many
+    network evaluations (see {!Nn.Evalcache}), also result-preserving.
 
     [exact_reduce] (default false) is a hybrid extension beyond the
     paper: the equivalence-preserving R0/R1/R2 reductions strip the easy
@@ -45,10 +53,13 @@ val minimize :
   ?shaping:float ->
   ?exact_reduce:bool ->
   ?rollouts:bool ->
+  ?incremental:bool ->
+  ?eval_cache:int ->
   ?rng:Random.State.t ->
   Graph.t ->
   (Solution.t * Cost.t) option * stats
-(** Minimize the cost sum.  [reference] anchors the search's terminal
+(** Minimize the cost sum.  [incremental]/[eval_cache] as in
+    {!solve_feasible}.  [reference] anchors the search's terminal
     values (defaults to the Scholz–Eckstein cost of the graph);
     [shaping] (default 5.0) smooths the comparison reward.  [rollouts]
     blends greedy roll-out values into leaf evaluation (see {!Rollout}; an

@@ -6,6 +6,7 @@ type t = {
   pos : int;
   base_cost : Cost.t;
   assignment : Solution.t;
+  hash : int;
 }
 
 let of_graph ?order g =
@@ -24,6 +25,7 @@ let of_graph ?order g =
     pos = 0;
     base_cost = Cost.zero;
     assignment = Solution.make (Graph.capacity g);
+    hash = Zhash.base ~uid:(Graph.uid g);
   }
 
 let m t = Graph.m t.graph
@@ -39,21 +41,25 @@ let legal t c =
 
 let is_complete t = t.pos >= Array.length t.order
 
+(* Shared with Istate: any yet-uncolored vertex with an all-∞ vector? *)
+let has_dead_vertex g order ~pos =
+  let n = Array.length order in
+  let rec scan i =
+    i < n && (Vec.is_all_inf (Graph.cost g order.(i)) || scan (i + 1))
+  in
+  scan pos
+
 let is_dead_end t =
-  (not (is_complete t))
-  && (let dead = ref false in
-      for i = t.pos to Array.length t.order - 1 do
-        if (not !dead) && Vec.is_all_inf (Graph.cost t.graph t.order.(i)) then
-          dead := true
-      done;
-      !dead)
+  (not (is_complete t)) && has_dead_vertex t.graph t.order ~pos:t.pos
 
 let is_terminal t = is_complete t || is_dead_end t
 let base_cost t = t.base_cost
 let assignment t = Solution.copy t.assignment
 let graph t = t.graph
+let order t = Array.copy t.order
 let colored_count t = t.pos
 let remaining t = Array.length t.order - t.pos
+let hash t = t.hash
 
 let apply t c =
   match next_vertex t with
@@ -62,11 +68,8 @@ let apply t c =
       if not (legal t c) then invalid_arg "State.apply: illegal color";
       let g = Graph.copy_shared t.graph in
       let step = Vec.get (Graph.cost g u) c in
-      List.iter
-        (fun v ->
-          let muv = Option.get (Graph.edge_ref g u v) in
-          Graph.add_to_cost g v (Mat.row muv c))
-        (Graph.neighbors g u);
+      Graph.iter_neighbors g u (fun v muv ->
+          Mat.add_row_into muv c (Graph.cost g v));
       Graph.remove_vertex g u;
       let assignment = Solution.copy t.assignment in
       Solution.set assignment u c;
@@ -76,6 +79,7 @@ let apply t c =
         pos = t.pos + 1;
         base_cost = Cost.add t.base_cost step;
         assignment;
+        hash = t.hash lxor Zhash.move ~depth:t.pos ~vertex:u ~color:c ~m:(m t);
       }
 
 let pp ppf t =

@@ -36,7 +36,13 @@ val is_complete : t -> bool
 val is_dead_end : t -> bool
 (** Some vertex still to color has an all-∞ cost vector.  Checking every
     remaining vertex (not just the next) detects failures as early as the
-    information exists, like the graph manager of §IV-B. *)
+    information exists, like the graph manager of §IV-B.  Stops at the
+    first dead vertex found. *)
+
+val has_dead_vertex : Pbqp.Graph.t -> int array -> pos:int -> bool
+(** The scan behind {!is_dead_end}, shared with the incremental state:
+    does any vertex of [order.(pos ..)] have an all-∞ cost vector in [g]?
+    Short-circuits on the first hit. *)
 
 val is_terminal : t -> bool
 (** Complete or dead end. *)
@@ -56,8 +62,17 @@ val assignment : t -> Solution.t
 val graph : t -> Graph.t
 (** The reduced graph itself (do not mutate). *)
 
+val order : t -> int array
+(** The fixed coloring order (a copy). *)
+
 val colored_count : t -> int
 
 val remaining : t -> int
+
+val hash : t -> int
+(** Incrementally maintained {!Zhash} key of (graph instance, colored
+    prefix) — equal for states reached by the same moves on copies of the
+    same instance, including [Istate] cursors.  Keys the evaluation
+    cache. *)
 
 val pp : Format.formatter -> t -> unit

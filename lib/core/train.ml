@@ -24,6 +24,8 @@ type config = {
   checkpoint : string option;
   check : bool;
   batch_leaves : int;
+  incremental : bool;
+  eval_cache : int;
 }
 
 let default_config ~m =
@@ -53,6 +55,8 @@ let default_config ~m =
     checkpoint = None;
     check = false;
     batch_leaves = 1;
+    incremental = false;
+    eval_cache = 0;
   }
 
 type progress = {
@@ -86,14 +90,15 @@ let search_mode config g =
     let reference = if Cost.is_finite ref_cost then ref_cost else Cost.inf in
     Game.Minimize { reference; shaping = config.shaping }
 
-let play_once ?(collect = false) ~rng ~net ~temperature_moves config g =
+let play_once ?(collect = false) ?cache ~rng ~net ~temperature_moves config g =
   let mode = search_mode config g in
   let state = State.of_graph g in
   (* AlphaZero-style: the training run explores with Dirichlet root noise;
      inference runs (temperature 0) play clean *)
   let root_noise = if temperature_moves > 0 then Some (0.25, 0.5) else None in
   let mcts = { config.mcts with Mcts.batch = max 1 config.batch_leaves } in
-  Episode.play ~collect ~rng ~net ~mode
+  let play = if config.incremental then Episode.play_incremental else Episode.play in
+  play ~collect ?cache ~rng ~net ~mode
     { Episode.mcts; temperature_moves; root_noise }
     state
 
@@ -169,13 +174,13 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
   (* One self-play episode: returns the stamped training tuples and
      whether the (collecting) player failed to finish.  Safe to run as a
      pool task given private net replicas and a private rng. *)
-  let one_episode ~rng ~best ~current =
+  let one_episode ~rng ~best ~current ?best_cache ?current_cache () =
     let g = random_graph ~rng config in
     let best_outcome, _ =
-      play_once ~rng ~net:best ~temperature_moves:0 config g
+      play_once ?cache:best_cache ~rng ~net:best ~temperature_moves:0 config g
     in
     let cur_outcome, samples =
-      play_once ~collect:true ~rng ~net:current
+      play_once ~collect:true ?cache:current_cache ~rng ~net:current
         ~temperature_moves:config.temperature_moves config g
     in
     certify_outcome config "best" g best_outcome;
@@ -215,6 +220,20 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
   let currents =
     Array.init nw (fun w -> if w = 0 then current else Nn.Pvnet.clone current)
   in
+  (* Per-(worker, net) evaluation caches — no locks, mirroring the
+     per-replica message caches.  Which cache an episode lands on depends
+     on scheduling, but cache hits return bitwise-identical results, so
+     run outputs stay independent of the task→worker mapping.  Version
+     stamps make entries from pre-step weights self-invalidating; the
+     promotion/reset [sync]s below copy stamps with weights, so no
+     explicit clearing is needed. *)
+  let make_caches () =
+    if config.eval_cache > 0 then
+      Some (Array.init nw (fun _ -> Nn.Evalcache.create ~capacity:config.eval_cache))
+    else None
+  in
+  let best_caches = make_caches () and current_caches = make_caches () in
+  let cache_of caches worker = Option.map (fun a -> a.(worker)) caches in
   let best_version = ref 0 and current_version = ref 0 in
   let bver = Array.make nw 0 and cver = Array.make nw 0 in
   let refresh_replicas () =
@@ -247,10 +266,12 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
         let rng = rngs.(i) in
         let g = random_graph ~rng config in
         let b, _ =
-          play_once ~rng ~net:bests.(worker) ~temperature_moves:0 config g
+          play_once ?cache:(cache_of best_caches worker) ~rng
+            ~net:bests.(worker) ~temperature_moves:0 config g
         in
         let c, _ =
-          play_once ~rng ~net:currents.(worker) ~temperature_moves:0 config g
+          play_once ?cache:(cache_of current_caches worker) ~rng
+            ~net:currents.(worker) ~temperature_moves:0 config g
         in
         compare_costs c.Episode.cost b.Episode.cost)
   in
@@ -263,7 +284,9 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
       Par.Pool.map pool (indices config.episodes_per_iteration)
         ~f:(fun ~worker i ->
           one_episode ~rng:rngs.(i) ~best:bests.(worker)
-            ~current:currents.(worker))
+            ~current:currents.(worker)
+            ?best_cache:(cache_of best_caches worker)
+            ?current_cache:(cache_of current_caches worker) ())
     in
     (* Merge in episode order: replay contents and [episodes_failed] are
        reproducible for a fixed seed regardless of scheduling. *)

@@ -79,6 +79,19 @@ type config = {
           (overrides [mcts.batch]).  1 (the default) reproduces the
           scalar search exactly; larger values trade some search
           sequentiality for evaluation throughput (see DESIGN.md). *)
+  incremental : bool;
+      (** run self-play and arena episodes on the trail-based
+          incremental state ([Istate]) instead of persistent per-move
+          graph copies — O(deg) apply/undo, far fewer allocations, and
+          runs bit-identical to the persistent path (the [@incr] test
+          alias locks this down).  Default [false]. *)
+  eval_cache : int;
+      (** capacity of the per-(worker, net) LRU evaluation caches
+          ([Nn.Evalcache]); 0 (the default) disables caching.  Entries
+          are versioned by [Nn.Pvnet.version], so optimizer steps and
+          promotions invalidate them implicitly; hits return
+          bitwise-identical results, so runs are unchanged by the cache
+          at every [domains] value. *)
 }
 
 val default_config : m:int -> config

@@ -1,0 +1,23 @@
+(* Zobrist-style incremental state hashing for the evaluation cache.
+
+   A game state is (graph instance, coloring order, sequence of chosen
+   colors); its hash is the graph's base key xor'ed with one move key per
+   colored prefix position.  Move keys depend on (depth, vertex, color),
+   so two different move sequences never share a key by commutation —
+   each depth contributes exactly once per path, making xor safe for the
+   down-only maintenance both State.apply and the Istate cursors do.
+
+   Keys come from the splitmix64 finalizer instead of a random table: no
+   per-instance setup, no table sizing, and the avalanche behavior is
+   well studied.  Truncated to OCaml's 62 positive bits. *)
+
+let mix (x : int) : int =
+  let open Int64 in
+  let z = mul (add (of_int x) 1L) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z (of_int Stdlib.max_int))
+
+let base ~uid = mix uid
+let move ~depth ~vertex ~color ~m = mix (mix ((vertex * m) + color) + depth)

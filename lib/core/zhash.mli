@@ -1,0 +1,19 @@
+(** Zobrist-style incremental hashing of PBQP game states.
+
+    [hash(state) = base ~uid:(Graph.uid g)  xor  ⊕ move keys of the
+    colored prefix], maintained in O(1) per transition by {!State} and
+    [Istate] cursors.  Keys are splitmix64-mixed (no table); including
+    the depth in each move key makes distinct color {e sequences} hash
+    differently, not just distinct multisets, so cache entries are only
+    shared between states produced by the same moves on the same instance
+    — which are bitwise equal. *)
+
+val mix : int -> int
+(** The splitmix64 finalizer, truncated to [0 .. max_int]. *)
+
+val base : uid:int -> int
+(** Base key of a graph instance ([Pbqp.Graph.uid]). *)
+
+val move : depth:int -> vertex:int -> color:int -> m:int -> int
+(** Key of "the [depth]-th move colored [vertex] with [color]" ([m] =
+    number of colors, making [(vertex, color)] encodings disjoint). *)

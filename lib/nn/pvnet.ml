@@ -18,6 +18,11 @@ type t = {
   msg_cache : (int, Tensor.t) Hashtbl.t;
       (* message matrices memoized by Mat.id — matrices are immutable and
          shared across MCTS states, so this stays hot through a search *)
+  mutable version : int;
+      (* weights-identity stamp for the evaluation cache: every weight
+         mutation (an optimizer step, a load) installs a globally fresh
+         stamp, and [sync] copies the stamp with the weights — so equal
+         stamps imply bitwise-equal weights, across replicas included *)
   gcn : gcn_layer array;
   trunk_in : Layer.Linear.t;
   trunk : Layer.Residual.t array;
@@ -26,6 +31,12 @@ type t = {
   value_head : Layer.Linear.t;
 }
 
+(* Atomic: replicas are refreshed from worker domains' results while the
+   trainer mints new stamps. *)
+let next_version =
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
+
 let create ~rng config =
   if config.m <= 0 then invalid_arg "Pvnet.create: m <= 0";
   if config.gcn_layers < 1 then invalid_arg "Pvnet.create: gcn_layers < 1";
@@ -33,6 +44,7 @@ let create ~rng config =
   {
     config;
     msg_cache = Hashtbl.create 1024;
+    version = next_version ();
     gcn =
       Array.init config.gcn_layers (fun l ->
           let name k = Printf.sprintf "gcn%d.%s" l k in
@@ -76,6 +88,9 @@ let params t =
 
 let param_count t = List.fold_left (fun acc v -> acc + Var.numel v) 0 (params t)
 
+let version t = t.version
+let bump_version t = t.version <- next_version ()
+
 let sync ~src ~dst =
   if src.config <> dst.config then invalid_arg "Pvnet.sync: config mismatch";
   List.iter2
@@ -83,7 +98,8 @@ let sync ~src ~dst =
       if a.Var.name <> b.Var.name then invalid_arg "Pvnet.sync: param mismatch";
       Array.blit (Tensor.data a.Var.value) 0 (Tensor.data b.Var.value) 0
         (Tensor.numel a.Var.value))
-    (params src) (params dst)
+    (params src) (params dst);
+  dst.version <- src.version
 
 let clone t =
   let t' = create ~rng:(Random.State.make [| 0 |]) t.config in
@@ -325,30 +341,32 @@ let readout_row t g ~next =
   Tensor.concat1
     [ Hashtbl.find h next; global; vertex_features t (Graph.cost g next) ]
 
-let predict_batch t states =
-  match states with
-  | [] -> [||]
+(* A state's whole contribution to a batched forward, captured while its
+   graph is live: the 3m readout row plus a private copy of the next
+   vertex's cost vector (the post-trunk mask).  Incremental search states
+   share one mutating graph, so a batch materializes each leaf in turn as
+   a [prepared] and only then runs the trunk GEMMs. *)
+type prepared = { p_row : Tensor.t; p_mask : Vec.t }
+
+let prepare t g ~next =
+  if Graph.m g <> t.config.m then invalid_arg "Pvnet.prepare: m mismatch";
+  if not (Graph.is_alive g next) then
+    invalid_arg "Pvnet.prepare: next vertex not alive";
+  { p_row = readout_row t g ~next; p_mask = Vec.copy (Graph.cost g next) }
+
+let predict_prepared t preps =
+  match preps with
+  | [||] -> [||]
   | _ ->
-      let states = Array.of_list states in
-      Array.iter
-        (fun (g, next) ->
-          if Graph.m g <> t.config.m then
-            invalid_arg "Pvnet.predict_batch: m mismatch";
-          if not (Graph.is_alive g next) then
-            invalid_arg "Pvnet.predict_batch: next vertex not alive")
-        states;
-      let rows =
-        Array.to_list
-          (Array.map (fun (g, next) -> readout_row t g ~next) states)
-      in
+      let rows = Array.to_list (Array.map (fun p -> p.p_row) preps) in
       let x = relu_t (linear_rows t.trunk_in (Tensor.stack_rows rows)) in
       let x = Array.fold_left (fun x blk -> residual_rows blk x) x t.trunk in
       let x = layernorm_rows t.trunk_ln x in
       let logits = linear_rows t.policy_head x in
       let values = linear_rows t.value_head x in
       Array.mapi
-        (fun i (g, next) ->
-          let cost_vec = Graph.cost g next in
+        (fun i p ->
+          let cost_vec = p.p_mask in
           let masked =
             Tensor.init1 t.config.m (fun c ->
                 if Cost.is_inf (Vec.get cost_vec c) then neg_infinity
@@ -359,7 +377,19 @@ let predict_batch t states =
             else Tensor.to_array1 (Ad.softmax masked)
           in
           (priors, Float.tanh (Tensor.get2 values i 0)))
-        states
+        preps
+
+let predict_batch t states =
+  match states with
+  | [] -> [||]
+  | _ ->
+      List.iter
+        (fun (g, _) ->
+          if Graph.m g <> t.config.m then
+            invalid_arg "Pvnet.predict_batch: m mismatch")
+        states;
+      predict_prepared t
+        (Array.of_list (List.map (fun (g, next) -> prepare t g ~next) states))
 
 (* --- Training -------------------------------------------------------- *)
 
@@ -405,6 +435,7 @@ let train_batch t opt samples =
           Grads.add_from_ctx grads ctx vars)
         samples;
       Adam.step opt (Grads.to_list_ordered grads ~vars);
+      bump_version t;
       !total /. float_of_int (List.length samples)
 
 (* Data-parallel training step.  Each sample's forward/backward is an
@@ -462,6 +493,7 @@ let train_batch_parallel ~pool ~replicas t opt samples =
         | None -> ()
       done;
       Adam.step opt !grads;
+      bump_version t;
       !total /. float_of_int n
 
 (* --- Persistence ------------------------------------------------------ *)
@@ -552,4 +584,5 @@ let load path =
                | _ -> invalid_arg "Pvnet.load: malformed line")
          done
        with Exit -> ());
+      bump_version t;
       t)

@@ -47,6 +47,18 @@ val copy_into : src:t -> dst:t -> unit
     refreshing long-lived per-worker replicas (of which worker 0's may
     alias the source net) without re-allocating clones. *)
 
+val version : t -> int
+(** The weights-identity stamp that versions {!Evalcache} entries.
+    Globally fresh at {!create}/{!load} and after every optimizer step
+    ({!train_batch}/{!train_batch_parallel} bump it); {!sync} copies the
+    source's stamp along with the weights.  Equal stamps therefore imply
+    bitwise-equal weights — a cache entry stamped with a stale version is
+    never served. *)
+
+val bump_version : t -> unit
+(** Install a globally fresh stamp — for callers that mutate parameters
+    directly (the training functions call this themselves). *)
+
 (** {1 Inference} *)
 
 val predict : t -> Pbqp.Graph.t -> next:int -> float array * float
@@ -66,6 +78,21 @@ val predict_batch :
     test suite asserts agreement to ≤1e-9; in practice the floats are
     equal).  Duplicate states and states from different graphs may mix
     in one batch.  [[]] maps to [[||]]. *)
+
+type prepared
+(** One state's contribution to a batched forward, captured while its
+    graph was live: the GCN readout row and a private copy of the next
+    vertex's cost vector (the output mask). *)
+
+val prepare : t -> Pbqp.Graph.t -> next:int -> prepared
+(** The per-state stage of {!predict_batch}.  Safe to call on a graph
+    that is subsequently mutated (the incremental-search pattern: seek
+    the shared trail graph to each leaf, prepare, move on).
+    @raise Invalid_argument as {!predict}. *)
+
+val predict_prepared : t -> prepared array -> (float array * float) array
+(** The batched trunk/heads stage: [predict_batch] is literally [prepare]
+    per state followed by this, so mixing the two APIs is bit-identical. *)
 
 (** {1 Training} *)
 

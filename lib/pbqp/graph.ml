@@ -1,4 +1,5 @@
 type t = {
+  uid : int;
   m : int;
   n : int;
   alive : bool array;
@@ -8,10 +9,18 @@ type t = {
          as rows.  Symmetric: adj.(v) holds the transpose. *)
 }
 
+(* Instance identities survive copies (both [copy] flavors use [{ g with
+   ... }]), so all states derived from one problem share the uid.  Atomic:
+   graphs are minted concurrently from self-play worker domains. *)
+let next_uid =
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
+
 let create ~m ~n =
   if m <= 0 then invalid_arg "Graph.create: m <= 0";
   if n < 0 then invalid_arg "Graph.create: n < 0";
   {
+    uid = next_uid ();
     m;
     n;
     alive = Array.make n true;
@@ -19,6 +28,7 @@ let create ~m ~n =
     adj = Array.init n (fun _ -> Hashtbl.create 4);
   }
 
+let uid g = g.uid
 let m g = g.m
 let capacity g = g.n
 
@@ -88,6 +98,10 @@ let neighbors g u =
   Hashtbl.fold (fun v _ acc -> v :: acc) g.adj.(u) []
   |> List.sort Int.compare
 
+let iter_neighbors g u f =
+  check_vertex g u "iter_neighbors";
+  Hashtbl.iter f g.adj.(u)
+
 let degree g u =
   check_vertex g u "degree";
   Hashtbl.length g.adj.(u)
@@ -97,6 +111,50 @@ let remove_vertex g u =
   Hashtbl.iter (fun v _ -> Hashtbl.remove g.adj.(v) u) g.adj.(u);
   Hashtbl.reset g.adj.(u);
   g.alive.(u) <- false
+
+(* --- Trail primitives (incremental apply/undo) ----------------------- *)
+
+let swap_cost g u v =
+  check_vertex g u "swap_cost";
+  if Vec.length v <> g.m then invalid_arg "Graph.swap_cost: wrong length";
+  let old = g.costs.(u) in
+  g.costs.(u) <- v;
+  old
+
+type detached = { d_vertex : int; d_adj : (int * Mat.t * Mat.t) list }
+
+let detach_vertex g u =
+  check_vertex g u "detach_vertex";
+  let entries =
+    Hashtbl.fold
+      (fun v muv acc -> (v, muv, Hashtbl.find g.adj.(v) u) :: acc)
+      g.adj.(u) []
+  in
+  List.iter (fun (v, _, _) -> Hashtbl.remove g.adj.(v) u) entries;
+  Hashtbl.reset g.adj.(u);
+  g.alive.(u) <- false;
+  { d_vertex = u; d_adj = entries }
+
+(* Detach again a vertex previously detached and reattached: the record
+   already lists the incident edges, so no list is rebuilt — the
+   allocation-free redo counterpart of [detach_vertex]. *)
+let redetach_vertex g d =
+  let u = d.d_vertex in
+  check_vertex g u "redetach_vertex";
+  List.iter (fun (v, _, _) -> Hashtbl.remove g.adj.(v) u) d.d_adj;
+  Hashtbl.reset g.adj.(u);
+  g.alive.(u) <- false
+
+let reattach_vertex g d =
+  let u = d.d_vertex in
+  if u < 0 || u >= g.n then invalid_arg "Graph.reattach_vertex: out of range";
+  if g.alive.(u) then invalid_arg "Graph.reattach_vertex: vertex is alive";
+  g.alive.(u) <- true;
+  List.iter
+    (fun (v, muv, mvu) ->
+      Hashtbl.replace g.adj.(u) v muv;
+      Hashtbl.replace g.adj.(v) u mvu)
+    d.d_adj
 
 let liberty g u = Vec.liberty (cost g u)
 

@@ -20,6 +20,12 @@ val create : m:int -> n:int -> t
 (** [create ~m ~n] is a graph with [n] live vertices, zero cost vectors and
     no edges. @raise Invalid_argument if [m <= 0] or [n < 0]. *)
 
+val uid : t -> int
+(** A process-unique {e instance} identity, minted by {!create} and
+    preserved by {!copy} and {!copy_shared} — every state derived from one
+    problem instance shares it.  Used to key per-instance memoization
+    (the evaluation cache's Zobrist base). *)
+
 val m : t -> int
 (** Number of colors. *)
 
@@ -63,10 +69,51 @@ val remove_edge : t -> int -> int -> unit
 val neighbors : t -> int -> int list
 (** Live neighbors, increasing. *)
 
+val iter_neighbors : t -> int -> (int -> Mat.t -> unit) -> unit
+(** [iter_neighbors g u f] calls [f v muv] for every live neighbor [v] of
+    [u] with the stored matrix oriented [u]-rows, in unspecified order and
+    without allocating the sorted {!neighbors} list.  The matrices are the
+    graph's own — do not mutate.  [f] must not add or remove edges of [u]
+    (it iterates the live adjacency table). *)
+
 val degree : t -> int -> int
 
 val remove_vertex : t -> int -> unit
 (** Kills the vertex and detaches all its edges. *)
+
+(** {1 Trail primitives}
+
+    Constant-bookkeeping mutators for incremental apply/undo states
+    (see [Core.Istate]): a move detaches a vertex keeping enough to put it
+    back, and swaps neighbor cost vectors wholesale so undo restores the
+    {e original} float contents bit for bit (never by subtracting). *)
+
+val swap_cost : t -> int -> Vec.t -> Vec.t
+(** [swap_cost g u v] installs [v] as [u]'s cost vector {e without
+    copying} and returns the previous vector.  The caller owns the
+    returned vector and must not mutate [v] afterwards.
+    @raise Invalid_argument on a dead vertex or length mismatch. *)
+
+type detached
+(** Undo record of one {!detach_vertex}: the vertex and its incident
+    matrix pairs (physical, both orientations). *)
+
+val detach_vertex : t -> int -> detached
+(** Like {!remove_vertex} but returns the undo record, in O(deg). *)
+
+val redetach_vertex : t -> detached -> unit
+(** Detach again a vertex previously detached with {!detach_vertex} and
+    restored with {!reattach_vertex}: the record already lists the
+    incident edges, so the redo builds no list — O(deg), allocation-free.
+    Only valid when the graph is back in the exact state the record was
+    made in.  @raise Invalid_argument on a dead vertex. *)
+
+val reattach_vertex : t -> detached -> unit
+(** Restores a detached vertex and its edges, re-installing the {e same}
+    physical matrices (so [Mat.id]-keyed caches stay hot).  Only valid on
+    the graph that produced the record, with the neighbors alive again —
+    i.e. undo in LIFO order.  @raise Invalid_argument if the vertex is
+    alive. *)
 
 val liberty : t -> int -> int
 (** Number of admissible colors of a vertex (finite cost-vector entries). *)

@@ -53,6 +53,14 @@ let add_into dst src =
     invalid_arg "Mat.add_into: shape mismatch";
   Array.iteri (fun k x -> dst.data.(k) <- dst.data.(k) +. x) src.data
 
+let add_row_into m i (v : Vec.t) =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.add_row_into: row out of range";
+  if Vec.length v <> m.cols then invalid_arg "Mat.add_row_into: length mismatch";
+  let base = i * m.cols in
+  for j = 0 to m.cols - 1 do
+    Vec.set v j (Vec.get v j +. m.data.(base + j))
+  done
+
 let is_zero m = Array.for_all (fun x -> x = 0.0) m.data
 let has_inf m = Array.exists Cost.is_inf m.data
 let min_value m = Array.fold_left Cost.min Cost.inf m.data

@@ -46,6 +46,12 @@ val add : t -> t -> t
 
 val add_into : t -> t -> unit
 
+val add_row_into : t -> int -> Vec.t -> unit
+(** [add_row_into m i v] accumulates row [i] of [m] into [v] in place,
+    entry by entry in ascending column order — the same float additions
+    as [Vec.add_into v (Mat.row m i)], without allocating the row.
+    @raise Invalid_argument on a bad row index or length mismatch. *)
+
 val is_zero : t -> bool
 (** True iff every entry is exactly [0.] — the edge carries no constraint. *)
 

@@ -21,14 +21,22 @@ echo "== dune build @par =="
 # training runs must be bit-identical to serial at every pool size
 dune build @par
 
-echo "== multi-domain smoke (train -j 2 --check, then certify) =="
+echo "== dune build @incr =="
+# incremental-state/evaluation-cache equivalence suite: trail apply/undo
+# and cursor seeks vs the persistent State oracle (bitwise), Evalcache
+# LRU/version semantics, and episode/solver/training equivalence across
+# {persistent, incremental} x {cache off, on}
+dune build @incr
+
+echo "== multi-domain smoke (train -j 2 --incremental --eval-cache --check) =="
 # a tiny end-to-end training run on the domain pool with per-episode
-# solution certification on, exercising pool self-play + the
-# data-parallel gradient step + the arena under the checker
+# solution certification on, exercising pool self-play on the trail
+# state with per-worker evaluation caches + the data-parallel gradient
+# step + the arena under the checker
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 dune exec bin/train.exe -- -i 1 -e 4 -j 2 -k 8 --n-mean 8 --check \
-  --batch 8 -o "$smoke_dir/smoke.ckpt"
+  --incremental --eval-cache 512 --batch 8 -o "$smoke_dir/smoke.ckpt"
 test -f "$smoke_dir/smoke.ckpt"
 
 echo "== pbqp_lint --self-test =="
