@@ -32,17 +32,20 @@ type row = {
   r_minor : float;  (** minor-heap words per op (main domain) *)
   r_major : float;  (** major-heap + promoted words per op *)
   r_hit : float option;  (** evaluation-cache hit rate, when applicable *)
+  r_cache : Nn.Evalcache.stats option;
+      (** evaluation-cache counters (hits/misses/evictions/size), when a
+          cache was in play *)
 }
 
 let json_out : string option ref = ref None
 let json_results : row list ref = ref []
 
 let record ?(minor_words_per_op = 0.0) ?(major_words_per_op = 0.0) ?hit_rate
-    ~group ~name ~iters ~ns_per_op ~allocs_per_op () =
+    ?cache_stats ~group ~name ~iters ~ns_per_op ~allocs_per_op () =
   json_results :=
     { r_group = group; r_name = name; r_iters = iters; r_ns = ns_per_op;
       r_allocs = allocs_per_op; r_minor = minor_words_per_op;
-      r_major = major_words_per_op; r_hit = hit_rate }
+      r_major = major_words_per_op; r_hit = hit_rate; r_cache = cache_stats }
     :: !json_results
 
 let json_escape s =
@@ -74,9 +77,16 @@ let write_json path =
              \"minor_words_per_op\": %.1f, \"major_words_per_op\": %.1f%s}%s\n"
             (json_escape r.r_group) (json_escape r.r_name) r.r_iters r.r_ns
             r.r_allocs r.r_minor r.r_major
-            (match r.r_hit with
+            ((match r.r_hit with
+             | None -> ""
+             | Some h -> Printf.sprintf ", \"hit_rate\": %.4f" h)
+            ^
+            match r.r_cache with
             | None -> ""
-            | Some h -> Printf.sprintf ", \"hit_rate\": %.4f" h)
+            | Some (s : Nn.Evalcache.stats) ->
+                Printf.sprintf
+                  ", \"cache_hits\": %d, \"cache_misses\": %d,                    \"cache_evictions\": %d, \"cache_size\": %d"
+                  s.Nn.Evalcache.hits s.misses s.evictions s.size)
             (if i = List.length results - 1 then "" else ","))
         results;
       Printf.fprintf oc "  ]\n}\n")
@@ -827,10 +837,19 @@ let par_bench () =
 
 let incr_bench () =
   section "Incremental state & evaluation cache";
-  let show ?hit_rate ~name m =
+  let show ?cache_stats ~name m =
+    (* hit rate derived from the cache's own counters (Evalcache.stats)
+       rather than recomputed ad hoc *)
+    let hit_rate =
+      Option.map
+        (fun (s : Nn.Evalcache.stats) ->
+          let total = s.Nn.Evalcache.hits + s.misses in
+          if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total)
+        cache_stats
+    in
     record ~group:"incr" ~name ~iters:m.m_iters ~ns_per_op:m.m_ns
       ~allocs_per_op:m.m_allocs ~minor_words_per_op:m.m_minor
-      ~major_words_per_op:m.m_major ?hit_rate ();
+      ~major_words_per_op:m.m_major ?hit_rate ?cache_stats ();
     Printf.printf "  %-44s %12.1f ns/op  %10.0f w/op%s\n%!" name m.m_ns
       m.m_allocs
       (match hit_rate with
@@ -899,14 +918,16 @@ let incr_bench () =
      the trail eliminates.  This cached pair is the headline >= 30%
      allocation-reduction comparison. *)
   let cached_pair incremental =
-    let cache = Nn.Evalcache.create ~capacity:4096 in
+    let cache = Nn.Cache.local ~capacity:4096 in
     let mm = measure (episode ~cache ~incremental) in
-    (mm, Nn.Evalcache.hit_rate cache)
+    (mm, Nn.Cache.stats cache)
   in
-  let p_cached, p_hit = cached_pair false in
-  show ~hit_rate:p_hit ~name:"episode k=12, persistent + cache 4096" p_cached;
-  let i_cached, i_hit = cached_pair true in
-  show ~hit_rate:i_hit ~name:"episode k=12, incremental + cache 4096" i_cached;
+  let p_cached, p_stats = cached_pair false in
+  show ~cache_stats:p_stats ~name:"episode k=12, persistent + cache 4096"
+    p_cached;
+  let i_cached, i_stats = cached_pair true in
+  show ~cache_stats:i_stats ~name:"episode k=12, incremental + cache 4096"
+    i_cached;
   Printf.printf "  -> allocations: %.0f -> %.0f w/episode (%.0f%% fewer)\n%!"
     p_cached.m_allocs i_cached.m_allocs
     (100. *. (1. -. (i_cached.m_allocs /. p_cached.m_allocs)));
@@ -915,19 +936,213 @@ let incr_bench () =
      capacities. *)
   List.iter
     (fun capacity ->
-      let cache = Nn.Evalcache.create ~capacity in
+      let cache = Nn.Cache.local ~capacity in
       let run = episode ~cache ~incremental:true in
       run ();
       let m = measure ~min_time:0.0 ~min_iters:2 run in
-      show ~hit_rate:(Nn.Evalcache.hit_rate cache)
+      show ~cache_stats:(Nn.Cache.stats cache)
         ~name:(Printf.sprintf "episode k=12, cache sweep cap=%d" capacity)
         m)
     [ 64; 256; 1024; 4096 ]
 
 (* ------------------------------------------------------------------ *)
+(* Inference-service benchmarks: the zero-allocation scratch-arena
+   forward against the allocating baseline, then self-play episode
+   throughput with per-worker batching vs the cross-worker coalescing
+   service at 1/2/4/8 domains, normalized to ns per network leaf
+   evaluation (counted by Pvnet.eval_count, summed over replicas).
+   Service and per-worker episodes are bit-identical at every
+   (j, batch, wait) setting — the @serve test alias asserts it — so
+   leaf-eval throughput is the only variable.  GC words are main-domain
+   only, as in the par group. *)
+
+let serve_bench () =
+  section "Cross-worker inference service (Nn.Infer) at 1/2/4/8 domains";
+  Printf.printf
+    "host reports %d recommended domain(s); on a 1-core host the pool rows\n\
+     measure oversubscription, so the meaningful comparison is service vs\n\
+     per-worker at the SAME j, not across j.\n\n"
+    (Domain.recommended_domain_count ());
+  let show ?(leaves = 1.0) ~name m =
+    (* per-leaf numbers, so --compare tracks leaf-eval throughput *)
+    record ~group:"serve" ~name ~iters:m.m_iters ~ns_per_op:(m.m_ns /. leaves)
+      ~allocs_per_op:(m.m_allocs /. leaves)
+      ~minor_words_per_op:(m.m_minor /. leaves)
+      ~major_words_per_op:(m.m_major /. leaves) ();
+    Printf.printf "  %-46s %9.1f ns/leaf  %9.0f leaf/s  %7.1f minor w/leaf\n%!"
+      name (m.m_ns /. leaves)
+      (1e9 /. (m.m_ns /. leaves))
+      (m.m_minor /. leaves)
+  in
+  let m = 13 in
+  let net = Nn.Pvnet.create ~rng:(rng 1) (Nn.Pvnet.default_config ~m) in
+  (* Scratch-arena ablation: one coalesced 32-leaf forward, allocating
+     vs arena-backed.  Runs on the main domain, so the minor-word
+     counters are exact — this is the headline fewer-GC-words-per-leaf
+     comparison. *)
+  let gbig =
+    Pbqp.Generate.erdos_renyi ~rng:(rng 2)
+      { Pbqp.Generate.default with n = 40; m; p_edge = 0.15 }
+  in
+  let preps =
+    Array.map
+      (fun v -> Nn.Pvnet.prepare net gbig ~next:v)
+      (Array.of_list
+         (List.filteri (fun i _ -> i < 32) (Pbqp.Graph.vertices gbig)))
+  in
+  let b = float_of_int (Array.length preps) in
+  show ~leaves:b ~name:"predict_prepared b=32, allocating"
+    (measure (fun () ->
+         ignore (Nn.Pvnet.predict_prepared ~scratch:false net preps)));
+  show ~leaves:b ~name:"predict_prepared b=32, scratch arena"
+    (measure (fun () -> ignore (Nn.Pvnet.predict_prepared net preps)));
+  (* Episode throughput: 8 fixed incremental self-play episodes per op,
+     farmed over the pool, per-worker batching vs the service. *)
+  let episodes = 8 in
+  let graphs =
+    Array.init episodes (fun i ->
+        Pbqp.Generate.erdos_renyi ~rng:(rng (40 + i))
+          { Pbqp.Generate.default with n = 20; m; p_edge = 0.25 })
+  in
+  let cfg =
+    {
+      Core.Episode.default_config with
+      Core.Episode.mcts = { Mcts.default_config with k = 12; batch = 8 };
+    }
+  in
+  let run pool replicas serve () =
+    ignore
+      (Par.Pool.map pool (Array.init episodes Fun.id) ~f:(fun ~worker i ->
+           Core.Episode.play_incremental ?serve ~rng:(rng (70 + i))
+             ~net:replicas.(worker) ~mode:Core.Game.Feasibility cfg
+             (Core.State.of_graph graphs.(i))))
+  in
+  List.iter
+    (fun j ->
+      let pool = Par.Pool.create ~domains:j in
+      let nw = Par.Pool.size pool in
+      let replicas =
+        Array.init nw (fun w -> if w = 0 then net else Nn.Pvnet.clone net)
+      in
+      (* episodes are deterministic, so one counted run fixes the
+         per-op leaf total for both variants at every j *)
+      Array.iter Nn.Pvnet.reset_eval_count replicas;
+      run pool replicas None ();
+      let leaves =
+        float_of_int
+          (Array.fold_left (fun a r -> a + Nn.Pvnet.eval_count r) 0 replicas)
+      in
+      show ~leaves
+        ~name:(Printf.sprintf "episodes x%d j=%d per-worker (b=8)" episodes j)
+        (measure (run pool replicas None));
+      let srv = Nn.Infer.create ~max_batch:32 ~wait_us:200 ~workers:nw () in
+      show ~leaves
+        ~name:(Printf.sprintf "episodes x%d j=%d service (b<=32)" episodes j)
+        (measure (run pool replicas (Some srv)));
+      let s = Nn.Infer.stats srv in
+      if s.Nn.Infer.batches > 0 then
+        Printf.printf
+          "      service: %d batches (%d full, %d timeout), %.1f rows/batch, \
+           largest %d\n%!"
+          s.Nn.Infer.batches s.Nn.Infer.full_flushes s.Nn.Infer.timeout_flushes
+          (float_of_int s.Nn.Infer.rows /. float_of_int s.Nn.Infer.batches)
+          s.Nn.Infer.max_batch_rows;
+      Par.Pool.shutdown pool)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* --compare OLD.json: after the selected groups have run, diff the
+   freshly recorded rows against a previous --json file (matched by
+   (group, name)) and exit non-zero on any >25% ns/op regression.  The
+   parser is line-based over the bench's own output format — no JSON
+   dependency. *)
+
+let find_sub s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let str_field line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  Option.map
+    (fun i ->
+      let start = i + String.length pat in
+      String.sub line start (String.index_from line start '"' - start))
+    (find_sub line pat)
+
+let num_field line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  Option.map
+    (fun i ->
+      let start = i + String.length pat in
+      let stop = ref start in
+      while
+        !stop < String.length line
+        && not (String.contains ",}" line.[!stop])
+      do
+        incr stop
+      done;
+      float_of_string (String.trim (String.sub line start (!stop - start))))
+    (find_sub line pat)
+
+let parse_bench_rows path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rows = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match (str_field line "group", str_field line "name",
+                  num_field line "ns_per_op")
+           with
+           | Some g, Some n, Some ns -> rows := ((g, n), ns) :: !rows
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      List.rev !rows)
+
+let compare_against path =
+  let old_rows = parse_bench_rows path in
+  section (Printf.sprintf "compare vs %s (fail on ns/op > 1.25x)" path);
+  let regressed = ref 0 and matched = ref 0 in
+  List.iter
+    (fun r ->
+      match List.assoc_opt (r.r_group, r.r_name) old_rows with
+      | Some old_ns when old_ns > 0.0 && r.r_ns > 0.0 ->
+          incr matched;
+          let ratio = r.r_ns /. old_ns in
+          if ratio > 1.25 then begin
+            incr regressed;
+            Printf.printf "  %-52s %12.1f -> %12.1f ns/op  %.2fx REGRESSION\n"
+              (r.r_group ^ "/" ^ r.r_name)
+              old_ns r.r_ns ratio
+          end
+          else
+            Printf.printf "  %-52s %12.1f -> %12.1f ns/op  %.2fx\n"
+              (r.r_group ^ "/" ^ r.r_name)
+              old_ns r.r_ns ratio
+      | _ -> ())
+    (List.rev !json_results);
+  if !matched = 0 then
+    Printf.printf "  (no rows of this run matched %s)\n" path;
+  if !regressed > 0 then begin
+    Printf.eprintf "%d throughput regression(s) > 25%% vs %s\n" !regressed path;
+    exit 1
+  end
+  else Printf.printf "  ok: no regression > 25%% across %d matched row(s)\n"
+      !matched
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let which = ref "all" in
+  let compare_ref = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -935,6 +1150,12 @@ let () =
         parse rest
     | [ "--json" ] ->
         Printf.eprintf "--json needs a PATH argument\n";
+        exit 1
+    | "--compare" :: path :: rest ->
+        compare_ref := Some path;
+        parse rest
+    | [ "--compare" ] ->
+        Printf.eprintf "--compare needs an OLD.json argument\n";
         exit 1
     | a :: rest ->
         which := a;
@@ -958,6 +1179,7 @@ let () =
   | "batch" -> batching ()
   | "par" -> par_bench ()
   | "incr" -> incr_bench ()
+  | "serve" -> serve_bench ()
   | "all" ->
       e1 ();
       e2 ();
@@ -969,15 +1191,20 @@ let () =
       micro ();
       batching ();
       par_bench ();
-      incr_bench ()
+      incr_bench ();
+      serve_bench ()
   | other ->
       Printf.eprintf
-        "unknown experiment %S (e1..e6, ext, micro, batch, par, incr, all)\n"
+        "unknown experiment %S (e1..e6, ext, micro, batch, par, incr, serve, \
+         all)\n"
         other;
       exit 1);
   (match !json_out with
   | Some path ->
       write_json path;
       Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match !compare_ref with
+  | Some path -> compare_against path
   | None -> ());
   Printf.printf "\ntotal wall time: %.0fs\n" (Unix.gettimeofday () -. t0)

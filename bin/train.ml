@@ -5,8 +5,8 @@
 open Cmdliner
 
 let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
-    ate batch batch_leaves incremental eval_cache replay domains check
-    checkpoint seed out =
+    ate batch batch_leaves incremental eval_cache serve_batch serve_wait_us
+    cache_stripes replay domains check checkpoint seed out =
   let instance_generator =
     if ate then
       Some
@@ -33,6 +33,9 @@ let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
       batch_leaves;
       incremental;
       eval_cache;
+      serve_batch;
+      serve_wait_us;
+      cache_stripes;
       replay_capacity = replay;
       domains;
       check;
@@ -103,9 +106,29 @@ let () =
   let eval_cache =
     Arg.(value & opt int 0
          & info [ "eval-cache" ] ~docv:"SIZE"
-             ~doc:"per-worker LRU network-evaluation cache capacity \
-                   (0 = off); entries are invalidated by weight version, \
-                   results are unchanged")
+             ~doc:"total network-evaluation cache capacity, shared across \
+                   workers (0 = off); entries are invalidated by weight \
+                   version, results are unchanged")
+  in
+  let serve_batch =
+    Arg.(value & opt int 0
+         & info [ "serve-batch" ] ~docv:"N"
+             ~doc:"coalesce MCTS leaf waves from all workers through a \
+                   dynamic-batching inference service into batched \
+                   forwards of up to N leaves (0 = per-worker batching); \
+                   results are bit-identical either way")
+  in
+  let serve_wait_us =
+    Arg.(value & opt int 200
+         & info [ "serve-wait-us" ] ~docv:"US"
+             ~doc:"microseconds a partial service batch may wait for more \
+                   leaves before it is flushed")
+  in
+  let cache_stripes =
+    Arg.(value & opt int 8
+         & info [ "cache-stripes" ] ~docv:"N"
+             ~doc:"mutex-guarded shards of the shared evaluation cache \
+                   (rounded up to a power of two)")
   in
   let replay =
     Arg.(value & opt int 20_000 & info [ "replay" ] ~doc:"paper: 200000")
@@ -139,7 +162,7 @@ let () =
       Term.(
         const run $ m $ iterations $ episodes $ k_train $ n_mean $ p_edge
         $ p_inf $ zero_inf $ planted $ ate $ batch $ batch_leaves
-        $ incremental $ eval_cache $ replay $ domains $ check $ checkpoint
-        $ seed $ out)
+        $ incremental $ eval_cache $ serve_batch $ serve_wait_us
+        $ cache_stripes $ replay $ domains $ check $ checkpoint $ seed $ out)
   in
   exit (Cmd.eval cmd)

@@ -140,15 +140,17 @@ let cursor_ops =
     assignment = Istate.Cursor.assignment;
   }
 
-let solve ?cache ~net ~mode config state =
+let solve ?cache ?serve ~net ~mode config state =
   let m = State.m state in
-  let game = Game.make ?rollout:config.rollout ?cache ~net ~mode ~m () in
+  let game =
+    Game.make ?rollout:config.rollout ?cache ?serve ~net ~mode ~m ()
+  in
   solve_with ~game ~ops:state_ops config state
 
-let solve_incremental ?cache ~net ~mode config state =
+let solve_incremental ?cache ?serve ~net ~mode config state =
   if config.rollout <> None then
     invalid_arg "Backtrack.solve_incremental: rollouts are unsupported";
   let m = State.m state in
   let ist = Istate.of_state state in
-  let game = Game.make_incremental ?cache ~net ~mode ~m () in
+  let game = Game.make_incremental ?cache ?serve ~net ~mode ~m () in
   solve_with ~game ~ops:cursor_ops config (Istate.Cursor.root ist)

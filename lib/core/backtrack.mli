@@ -35,13 +35,16 @@ type result = {
 }
 
 val solve :
-  ?cache:Nn.Evalcache.t ->
+  ?cache:Nn.Cache.t ->
+  ?serve:Nn.Infer.t ->
   net:Nn.Pvnet.t -> mode:Game.mode -> config -> State.t -> result
-(** [cache] is forwarded to {!Game.make} — backtracking revisits tree
-    ancestors, so repeated leaf evaluations short-circuit. *)
+(** [cache] and [serve] are forwarded to {!Game.make} — backtracking
+    revisits tree ancestors, so repeated leaf evaluations short-circuit,
+    and wave evaluations can coalesce across pool workers. *)
 
 val solve_incremental :
-  ?cache:Nn.Evalcache.t ->
+  ?cache:Nn.Cache.t ->
+  ?serve:Nn.Infer.t ->
   net:Nn.Pvnet.t -> mode:Game.mode -> config -> State.t -> result
 (** {!solve} over a trail state ({!Istate}): the fresh input state seeds
     one shared mutable graph and MCTS walks it with O(deg) push/pop

@@ -94,11 +94,12 @@ let finish_state st =
   in
   (cost, solution)
 
-let play ?collect ?(batched = true) ?cache ~rng ~net ~mode config state =
+let play ?collect ?(batched = true) ?cache ?serve ~rng ~net ~mode config state
+    =
   let m = State.m state in
   play_driver ?collect ~rng
     {
-      game = Game.make ~batched ?cache ~net ~mode ~m ();
+      game = Game.make ~batched ?cache ?serve ~net ~mode ~m ();
       next_vertex = State.next_vertex;
       sample_graph = State.graph;
       finish = finish_state;
@@ -114,13 +115,13 @@ let finish_cursor c =
   in
   (cost, solution)
 
-let play_incremental ?collect ?(batched = true) ?cache ~rng ~net ~mode config
-    state =
+let play_incremental ?collect ?(batched = true) ?cache ?serve ~rng ~net ~mode
+    config state =
   let m = State.m state in
   let ist = Istate.of_state state in
   play_driver ?collect ~rng
     {
-      game = Game.make_incremental ~batched ?cache ~net ~mode ~m ();
+      game = Game.make_incremental ~batched ?cache ?serve ~net ~mode ~m ();
       next_vertex = Istate.Cursor.next_vertex;
       sample_graph = Istate.Cursor.graph_snapshot;
       finish = finish_cursor;

@@ -31,23 +31,26 @@ type outcome = {
 val play :
   ?collect:bool ->
   ?batched:bool ->
-  ?cache:Nn.Evalcache.t ->
+  ?cache:Nn.Cache.t ->
+  ?serve:Nn.Infer.t ->
   rng:Random.State.t ->
   net:Nn.Pvnet.t ->
   mode:Game.mode ->
   config ->
   State.t ->
   outcome * Nn.Pvnet.sample list
-(** [batched] (default [true]) and [cache] are forwarded to {!Game.make}:
-    [~batched:false] forces scalar per-leaf network evaluation — the
-    pre-batching baseline used by the equivalence tests and benchmarks —
-    and [cache] short-circuits repeated leaf evaluations.  Search results
-    are bit-identical in all four combinations. *)
+(** [batched] (default [true]), [cache] and [serve] are forwarded to
+    {!Game.make}: [~batched:false] forces scalar per-leaf network
+    evaluation — the pre-batching baseline used by the equivalence tests
+    and benchmarks — [cache] short-circuits repeated leaf evaluations,
+    and [serve] coalesces wave evaluations across pool workers.  Search
+    results are bit-identical in every combination. *)
 
 val play_incremental :
   ?collect:bool ->
   ?batched:bool ->
-  ?cache:Nn.Evalcache.t ->
+  ?cache:Nn.Cache.t ->
+  ?serve:Nn.Infer.t ->
   rng:Random.State.t ->
   net:Nn.Pvnet.t ->
   mode:Game.mode ->

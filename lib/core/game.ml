@@ -28,14 +28,24 @@ let cached cache net key compute =
   | None -> compute ()
   | Some cache -> (
       let version = Nn.Pvnet.version net in
-      match Nn.Evalcache.find cache ~version key with
+      match Nn.Cache.find cache ~version key with
       | Some r -> r
       | None ->
           let r = compute () in
-          Nn.Evalcache.store cache ~version key r;
+          Nn.Cache.store cache ~version key r;
           r)
 
-let make ?rollout ?(batched = true) ?cache ~net ~mode ~m () =
+(* A wave's cache misses in one coalesced forward: through the
+   cross-worker inference service when one is installed, directly on the
+   caller's replica otherwise.  [Infer.submit] is bitwise identical to
+   the direct call (row independence of the batched GEMMs), so the two
+   paths are interchangeable result-wise. *)
+let run_batch serve net preps =
+  match serve with
+  | Some srv -> Nn.Infer.submit srv ~net preps
+  | None -> Nn.Pvnet.predict_prepared net preps
+
+let make ?rollout ?(batched = true) ?cache ?serve ~net ~mode ~m () =
   let blend st v =
     match rollout with Some f -> 0.5 *. (v +. f st) | None -> v
   in
@@ -57,7 +67,7 @@ let make ?rollout ?(batched = true) ?cache ~net ~mode ~m () =
             let key = (State.hash st, next) in
             let hit =
               match cache with
-              | Some cache -> Nn.Evalcache.find cache ~version key
+              | Some cache -> Nn.Cache.find cache ~version key
               | None -> None
             in
             match hit with
@@ -70,14 +80,18 @@ let make ?rollout ?(batched = true) ?cache ~net ~mode ~m () =
     | [] -> ()
     | _ ->
         let preds =
-          Nn.Pvnet.predict_batch net
-            (List.map (fun (_, st, next, _) -> (State.graph st, next)) misses)
+          run_batch serve net
+            (Array.of_list
+               (List.map
+                  (fun (_, st, next, _) ->
+                    Nn.Pvnet.prepare net (State.graph st) ~next)
+                  misses))
         in
         List.iteri
           (fun j (i, st, _, key) ->
             let ((priors, v) as r) = preds.(j) in
             (match cache with
-            | Some cache -> Nn.Evalcache.store cache ~version key r
+            | Some cache -> Nn.Cache.store cache ~version key r
             | None -> ());
             out.(i) <- (priors, blend st v))
           misses);
@@ -107,7 +121,7 @@ let make ?rollout ?(batched = true) ?cache ~net ~mode ~m () =
 let cursor_final_cost c =
   if Istate.Cursor.is_complete c then Istate.Cursor.base_cost c else Cost.inf
 
-let make_incremental ?(batched = true) ?cache ~net ~mode ~m () =
+let make_incremental ?(batched = true) ?cache ?serve ~net ~mode ~m () =
   (* Leaves of a wave live on one shared trail graph, so each is seeked
      and captured as a [Pvnet.prepared] in turn; the trunk GEMMs then run
      over the whole batch at once.  Roll-out blending is a persistent-
@@ -124,7 +138,7 @@ let make_incremental ?(batched = true) ?cache ~net ~mode ~m () =
             let key = (Istate.Cursor.hash cur, next) in
             let hit =
               match cache with
-              | Some cache -> Nn.Evalcache.find cache ~version key
+              | Some cache -> Nn.Cache.find cache ~version key
               | None -> None
             in
             match hit with
@@ -140,14 +154,14 @@ let make_incremental ?(batched = true) ?cache ~net ~mode ~m () =
     | [] -> ()
     | _ ->
         let preds =
-          Nn.Pvnet.predict_prepared net
+          run_batch serve net
             (Array.of_list (List.map (fun (_, _, p) -> p) misses))
         in
         List.iteri
           (fun j (i, key, _) ->
             let r = preds.(j) in
             (match cache with
-            | Some cache -> Nn.Evalcache.store cache ~version key r
+            | Some cache -> Nn.Cache.store cache ~version key r
             | None -> ());
             out.(i) <- r)
           misses);

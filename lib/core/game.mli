@@ -21,7 +21,8 @@ val reward : mode -> Cost.t -> float
 val make :
   ?rollout:(State.t -> float) ->
   ?batched:bool ->
-  ?cache:Nn.Evalcache.t ->
+  ?cache:Nn.Cache.t ->
+  ?serve:Nn.Infer.t ->
   net:Nn.Pvnet.t ->
   mode:mode ->
   m:int ->
@@ -37,15 +38,21 @@ val make :
     [~batched:false] to force the pre-batching scalar evaluation (the
     baseline the equivalence tests and benchmarks compare against).
 
-    [cache] consults an {!Nn.Evalcache} before every network forward —
-    scalar and batched — keyed by [(State.hash, next vertex)] and
-    versioned by {!Nn.Pvnet.version}; hits skip the forward (and drop out
-    of a wave's batch), misses are stored.  Search results are
-    bit-identical with or without it. *)
+    [cache] consults an {!Nn.Cache} (single-owner or striped-shared)
+    before every network forward — scalar and batched — keyed by
+    [(State.hash, next vertex)] and versioned by {!Nn.Pvnet.version};
+    hits skip the forward (and drop out of a wave's batch), misses are
+    stored.  Search results are bit-identical with or without it.
+
+    [serve] routes each wave's cache misses through the cross-worker
+    {!Nn.Infer} service instead of a direct [predict_prepared] — same
+    bits, coalesced GEMMs (the scalar [evaluate] path stays direct; it
+    only runs when waves are off). *)
 
 val make_incremental :
   ?batched:bool ->
-  ?cache:Nn.Evalcache.t ->
+  ?cache:Nn.Cache.t ->
+  ?serve:Nn.Infer.t ->
   net:Nn.Pvnet.t ->
   mode:mode ->
   m:int ->

@@ -22,7 +22,7 @@ let with_exact_reduction g solve =
    positions appear across backtracking replans and retreats). *)
 let backtrack_solve ~incremental ~eval_cache ~net ~mode config state =
   let cache =
-    if eval_cache > 0 then Some (Nn.Evalcache.create ~capacity:eval_cache)
+    if eval_cache > 0 then Some (Nn.Cache.local ~capacity:eval_cache)
     else None
   in
   if incremental then Backtrack.solve_incremental ?cache ~net ~mode config state

@@ -26,6 +26,9 @@ type config = {
   batch_leaves : int;
   incremental : bool;
   eval_cache : int;
+  serve_batch : int;
+  serve_wait_us : int;
+  cache_stripes : int;
 }
 
 let default_config ~m =
@@ -57,6 +60,9 @@ let default_config ~m =
     batch_leaves = 1;
     incremental = false;
     eval_cache = 0;
+    serve_batch = 0;
+    serve_wait_us = 200;
+    cache_stripes = 8;
   }
 
 type progress = {
@@ -90,7 +96,8 @@ let search_mode config g =
     let reference = if Cost.is_finite ref_cost then ref_cost else Cost.inf in
     Game.Minimize { reference; shaping = config.shaping }
 
-let play_once ?(collect = false) ?cache ~rng ~net ~temperature_moves config g =
+let play_once ?(collect = false) ?cache ?serve ~rng ~net ~temperature_moves
+    config g =
   let mode = search_mode config g in
   let state = State.of_graph g in
   (* AlphaZero-style: the training run explores with Dirichlet root noise;
@@ -98,7 +105,7 @@ let play_once ?(collect = false) ?cache ~rng ~net ~temperature_moves config g =
   let root_noise = if temperature_moves > 0 then Some (0.25, 0.5) else None in
   let mcts = { config.mcts with Mcts.batch = max 1 config.batch_leaves } in
   let play = if config.incremental then Episode.play_incremental else Episode.play in
-  play ~collect ?cache ~rng ~net ~mode
+  play ~collect ?cache ?serve ~rng ~net ~mode
     { Episode.mcts; temperature_moves; root_noise }
     state
 
@@ -174,14 +181,16 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
   (* One self-play episode: returns the stamped training tuples and
      whether the (collecting) player failed to finish.  Safe to run as a
      pool task given private net replicas and a private rng. *)
-  let one_episode ~rng ~best ~current ?best_cache ?current_cache () =
+  let one_episode ~rng ~best ~current ?best_cache ?current_cache ?best_serve
+      ?current_serve () =
     let g = random_graph ~rng config in
     let best_outcome, _ =
-      play_once ?cache:best_cache ~rng ~net:best ~temperature_moves:0 config g
+      play_once ?cache:best_cache ?serve:best_serve ~rng ~net:best
+        ~temperature_moves:0 config g
     in
     let cur_outcome, samples =
-      play_once ~collect:true ?cache:current_cache ~rng ~net:current
-        ~temperature_moves:config.temperature_moves config g
+      play_once ~collect:true ?cache:current_cache ?serve:current_serve ~rng
+        ~net:current ~temperature_moves:config.temperature_moves config g
     in
     certify_outcome config "best" g best_outcome;
     certify_outcome config "current" g cur_outcome;
@@ -220,20 +229,41 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
   let currents =
     Array.init nw (fun w -> if w = 0 then current else Nn.Pvnet.clone current)
   in
-  (* Per-(worker, net) evaluation caches — no locks, mirroring the
-     per-replica message caches.  Which cache an episode lands on depends
-     on scheduling, but cache hits return bitwise-identical results, so
-     run outputs stay independent of the task→worker mapping.  Version
-     stamps make entries from pre-step weights self-invalidating; the
-     promotion/reset [sync]s below copy stamps with weights, so no
+  (* One shared evaluation cache per net role, striped over mutex-guarded
+     shards when the pool has several workers (plain single-owner LRU at
+     nw = 1) — a position solved by one worker is a hit for every other.
+     Sharing cannot perturb results: hits return bitwise what the network
+     would compute under the same weights version, so only the hit/miss
+     counters — never run outputs — depend on the task→worker mapping.
+     Version stamps make entries from pre-step weights self-invalidating;
+     the promotion/reset [sync]s below copy stamps with weights, so no
      explicit clearing is needed. *)
-  let make_caches () =
+  let make_cache () =
     if config.eval_cache > 0 then
-      Some (Array.init nw (fun _ -> Nn.Evalcache.create ~capacity:config.eval_cache))
+      Some
+        (if nw > 1 then
+           Nn.Cache.striped
+             ~stripes:(max 1 config.cache_stripes)
+             ~capacity:config.eval_cache
+         else Nn.Cache.local ~capacity:config.eval_cache)
     else None
   in
-  let best_caches = make_caches () and current_caches = make_caches () in
-  let cache_of caches worker = Option.map (fun a -> a.(worker)) caches in
+  let best_cache = make_cache () and current_cache = make_cache () in
+  (* Two inference services, one per net role, so a coalesced batch never
+     mixes best-player and candidate leaves: within a pool region each
+     role's tickets all carry the same weights version (versions only
+     move between regions), which is what lets the server drain a FIFO
+     prefix.  Workers' waves coalesce into larger trunk/head GEMMs; the
+     floating-server protocol (Nn.Infer) keeps results bit-identical to
+     per-worker batching. *)
+  let make_serve () =
+    if config.serve_batch > 0 then
+      Some
+        (Nn.Infer.create ~max_batch:config.serve_batch
+           ~wait_us:config.serve_wait_us ~workers:nw ())
+    else None
+  in
+  let best_serve = make_serve () and current_serve = make_serve () in
   let best_version = ref 0 and current_version = ref 0 in
   let bver = Array.make nw 0 and cver = Array.make nw 0 in
   let refresh_replicas () =
@@ -266,11 +296,11 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
         let rng = rngs.(i) in
         let g = random_graph ~rng config in
         let b, _ =
-          play_once ?cache:(cache_of best_caches worker) ~rng
+          play_once ?cache:best_cache ?serve:best_serve ~rng
             ~net:bests.(worker) ~temperature_moves:0 config g
         in
         let c, _ =
-          play_once ?cache:(cache_of current_caches worker) ~rng
+          play_once ?cache:current_cache ?serve:current_serve ~rng
             ~net:currents.(worker) ~temperature_moves:0 config g
         in
         compare_costs c.Episode.cost b.Episode.cost)
@@ -284,9 +314,8 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
       Par.Pool.map pool (indices config.episodes_per_iteration)
         ~f:(fun ~worker i ->
           one_episode ~rng:rngs.(i) ~best:bests.(worker)
-            ~current:currents.(worker)
-            ?best_cache:(cache_of best_caches worker)
-            ?current_cache:(cache_of current_caches worker) ())
+            ~current:currents.(worker) ?best_cache ?current_cache ?best_serve
+            ?current_serve ())
     in
     (* Merge in episode order: replay contents and [episodes_failed] are
        reproducible for a fixed seed regardless of scheduling. *)

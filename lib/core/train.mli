@@ -86,12 +86,28 @@ type config = {
           runs bit-identical to the persistent path (the [@incr] test
           alias locks this down).  Default [false]. *)
   eval_cache : int;
-      (** capacity of the per-(worker, net) LRU evaluation caches
-          ([Nn.Evalcache]); 0 (the default) disables caching.  Entries
-          are versioned by [Nn.Pvnet.version], so optimizer steps and
-          promotions invalidate them implicitly; hits return
-          bitwise-identical results, so runs are unchanged by the cache
-          at every [domains] value. *)
+      (** total capacity of the shared per-net-role evaluation cache
+          ([Nn.Cache]: a striped [Nn.Stripedcache] when [domains > 1],
+          a single-owner [Nn.Evalcache] otherwise); 0 (the default)
+          disables caching.  Entries are versioned by [Nn.Pvnet.version],
+          so optimizer steps and promotions invalidate them implicitly;
+          hits return bitwise-identical results, so runs are unchanged by
+          the cache at every [domains] value. *)
+  serve_batch : int;
+      (** row budget of the cross-worker dynamic-batching inference
+          service ([Nn.Infer]): each net role gets a service that
+          coalesces MCTS waves from all pool workers into single batched
+          forwards of up to this many leaves.  0 (the default) keeps
+          per-worker batching.  Coalescing is scheduling-dependent;
+          results are not (row independence of the batched GEMMs), so
+          runs stay bit-identical for every setting. *)
+  serve_wait_us : int;
+      (** microseconds a partial service batch may age before some
+          submitter flushes it (only meaningful with [serve_batch > 0]). *)
+  cache_stripes : int;
+      (** number of mutex-guarded shards of the shared striped cache
+          (rounded up to a power of two; only meaningful with
+          [eval_cache > 0] and [domains > 1]). *)
 }
 
 val default_config : m:int -> config

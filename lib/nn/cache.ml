@@ -1,0 +1,31 @@
+(* Evaluation-cache handle: either a single-domain LRU (owned by one
+   worker, lock-free) or the shared striped cache.  Callers in core
+   dispatch through this so the episode/backtracking/search plumbing is
+   oblivious to which flavour the training loop picked. *)
+
+type t = Local of Evalcache.t | Striped of Stripedcache.t
+
+let local ~capacity = Local (Evalcache.create ~capacity)
+let striped ~stripes ~capacity = Striped (Stripedcache.create ~stripes ~capacity)
+
+let find t ~version key =
+  match t with
+  | Local c -> Evalcache.find c ~version key
+  | Striped c -> Stripedcache.find c ~version key
+
+let store t ~version key v =
+  match t with
+  | Local c -> Evalcache.store c ~version key v
+  | Striped c -> Stripedcache.store c ~version key v
+
+let stats = function
+  | Local c -> Evalcache.stats c
+  | Striped c -> Stripedcache.stats c
+
+let hit_rate = function
+  | Local c -> Evalcache.hit_rate c
+  | Striped c -> Stripedcache.hit_rate c
+
+let clear = function
+  | Local c -> Evalcache.clear c
+  | Striped c -> Stripedcache.clear c

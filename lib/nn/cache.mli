@@ -1,0 +1,16 @@
+(** Evaluation-cache handle used by the core game/episode plumbing:
+    either a single-owner {!Evalcache} (lock-free, the PR-4 discipline)
+    or the shared {!Stripedcache} visible to every pool worker.  Both
+    flavours preserve bitwise episode results; they differ only in who
+    sees whose entries. *)
+
+type t = Local of Evalcache.t | Striped of Stripedcache.t
+
+val local : capacity:int -> t
+val striped : stripes:int -> capacity:int -> t
+
+val find : t -> version:int -> Evalcache.key -> (float array * float) option
+val store : t -> version:int -> Evalcache.key -> float array * float -> unit
+val stats : t -> Evalcache.stats
+val hit_rate : t -> float
+val clear : t -> unit

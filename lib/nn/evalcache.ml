@@ -25,6 +25,7 @@ type t = {
   mutable oldest : entry option;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ~capacity =
@@ -36,6 +37,7 @@ let create ~capacity =
     oldest = None;
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let capacity c = c.capacity
@@ -95,7 +97,8 @@ let store c ~version key (priors, value) =
         match c.oldest with
         | Some old ->
             unlink c old;
-            Hashtbl.remove c.table old.key
+            Hashtbl.remove c.table old.key;
+            c.evictions <- c.evictions + 1
         | None -> ()
 
 let clear c =
@@ -103,4 +106,15 @@ let clear c =
   c.newest <- None;
   c.oldest <- None;
   c.hits <- 0;
-  c.misses <- 0
+  c.misses <- 0;
+  c.evictions <- 0
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let stats (c : t) =
+  {
+    hits = c.hits;
+    misses = c.misses;
+    evictions = c.evictions;
+    size = Hashtbl.length c.table;
+  }

@@ -34,6 +34,12 @@ val length : t -> int
 val hits : t -> int
 val misses : t -> int
 
+type stats = { hits : int; misses : int; evictions : int; size : int }
+(** Counter snapshot: lifetime hits/misses/LRU-evictions plus the current
+    entry count. *)
+
+val stats : t -> stats
+
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 before any lookup. *)
 

@@ -1,0 +1,230 @@
+(* Cross-worker dynamic-batching inference service.
+
+   Each pool worker's MCTS wave is small (≤ config.batch leaves), so
+   per-worker [Pvnet.predict_prepared] calls run the trunk/heads GEMMs
+   far below the batch sizes where the tiled kernel pays off.  The
+   service coalesces waves across workers: a submitter enqueues its
+   prepared leaves as a *ticket* and blocks; whichever submitter first
+   observes a full batch (>= max_batch rows pending) or an expired wait
+   (head ticket older than wait_us) takes the floating *server* role,
+   drains a version-uniform FIFO prefix of tickets, runs ONE coalesced
+   [predict_prepared] over the concatenated leaves, and hands each
+   ticket its result slice.  No domain is dedicated to serving — with
+   j workers all j keep doing search work, and the role costs exactly
+   the predict the worker was going to block on anyway.
+
+   Determinism.  Every output row of the batched trunk/heads GEMMs and
+   per-row LayerNorms depends only on its own input row, so a leaf's
+   (priors, value) is bitwise identical whether it is evaluated alone,
+   inside its own worker's wave, or sandwiched between strangers' leaves
+   in a coalesced batch.  Batch *composition* is scheduling-dependent;
+   batch results are not — which is why episodes stay bit-exact for
+   every (workers, max_batch, wait_us) setting (test_serve locks this
+   down).
+
+   Which net runs the batch: tickets carry the submitter's replica and
+   its weights version; a batch only groups tickets of equal version,
+   and equal versions imply bitwise-equal weights (the Pvnet.version
+   contract), so the server simply uses the first ticket's net.  That
+   replica's owning worker is blocked in [submit] while its ticket is in
+   flight, so the server has exclusive use of its scratch arena.
+
+   Blocking.  OCaml's Condition has no timed wait, so a submitter that
+   cannot yet serve sleeps in short slices (cpu_relax first, then
+   microsleeps bounded by the remaining wait) and rechecks; once a
+   server is active, waiters park in Condition.wait and are woken by the
+   server's broadcast.  An exception in the server marks every ticket of
+   the batch failed and each submitter re-raises it — first-exn
+   semantics like Par.Pool. *)
+
+type ticket = {
+  t_preps : Pvnet.prepared array;
+  t_version : int;
+  t_net : Pvnet.t;
+  t_enqueued : float;
+  mutable t_result : (float array * float) array option;
+  mutable t_failed : (exn * Printexc.raw_backtrace) option;
+}
+
+type stats = {
+  batches : int;
+  rows : int;
+  full_flushes : int;
+  timeout_flushes : int;
+  max_batch_rows : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : ticket Queue.t;
+  max_batch : int;
+  wait_s : float;
+  workers : int;
+  mutable pending_rows : int;
+  mutable serving : bool;
+  mutable s_batches : int;
+  mutable s_rows : int;
+  mutable s_full : int;
+  mutable s_timeout : int;
+  mutable s_max_rows : int;
+}
+
+let create ?(max_batch = 32) ?(wait_us = 200) ~workers () =
+  if max_batch <= 0 then invalid_arg "Infer.create: max_batch <= 0";
+  if wait_us < 0 then invalid_arg "Infer.create: wait_us < 0";
+  if workers <= 0 then invalid_arg "Infer.create: workers <= 0";
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    queue = Queue.create ();
+    max_batch;
+    wait_s = float_of_int wait_us /. 1e6;
+    workers;
+    pending_rows = 0;
+    serving = false;
+    s_batches = 0;
+    s_rows = 0;
+    s_full = 0;
+    s_timeout = 0;
+    s_max_rows = 0;
+  }
+
+let workers t = t.workers
+let max_batch t = t.max_batch
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      batches = t.s_batches;
+      rows = t.s_rows;
+      full_flushes = t.s_full;
+      timeout_flushes = t.s_timeout;
+      max_batch_rows = t.s_max_rows;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+(* Called with the lock held.  Pops the FIFO prefix of tickets sharing
+   the head's weights version, up to [max_batch] rows — always at least
+   the head ticket, even if it alone exceeds the budget (a submitter's
+   wave is never split). *)
+let drain_batch t =
+  let head = Queue.peek t.queue in
+  let batch = ref [] and brows = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match Queue.peek_opt t.queue with
+    | Some tk
+      when tk.t_version = head.t_version
+           && (!brows = 0 || !brows + Array.length tk.t_preps <= t.max_batch)
+      ->
+        ignore (Queue.pop t.queue);
+        batch := tk :: !batch;
+        brows := !brows + Array.length tk.t_preps
+    | _ -> continue_ := false
+  done;
+  t.pending_rows <- t.pending_rows - !brows;
+  (List.rev !batch, !brows)
+
+(* Called with the lock held; returns with the lock held.  Runs one
+   coalesced batch (the network call itself happens unlocked). *)
+let serve t ~full =
+  let batch, brows = drain_batch t in
+  t.serving <- true;
+  t.s_batches <- t.s_batches + 1;
+  t.s_rows <- t.s_rows + brows;
+  if full then t.s_full <- t.s_full + 1 else t.s_timeout <- t.s_timeout + 1;
+  if brows > t.s_max_rows then t.s_max_rows <- brows;
+  Mutex.unlock t.mutex;
+  let outcome =
+    try
+      let all = Array.concat (List.map (fun tk -> tk.t_preps) batch) in
+      let net = (List.hd batch).t_net in
+      Ok (Pvnet.predict_prepared net all)
+    with e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock t.mutex;
+  (match outcome with
+  | Ok results ->
+      let off = ref 0 in
+      List.iter
+        (fun tk ->
+          let n = Array.length tk.t_preps in
+          tk.t_result <- Some (Array.sub results !off n);
+          off := !off + n)
+        batch
+  | Error err -> List.iter (fun tk -> tk.t_failed <- Some err) batch);
+  t.serving <- false;
+  Condition.broadcast t.cond
+
+let submit t ~net preps =
+  if Array.length preps = 0 then [||]
+  else if t.workers <= 1 then
+    (* degenerate service: no other worker will ever coalesce with us,
+       so skip the queue and run the batch directly *)
+    Pvnet.predict_prepared net preps
+  else begin
+    let tk =
+      {
+        t_preps = preps;
+        t_version = Pvnet.version net;
+        t_net = net;
+        t_enqueued = Unix.gettimeofday ();
+        t_result = None;
+        t_failed = None;
+      }
+    in
+    Mutex.lock t.mutex;
+    Queue.add tk t.queue;
+    t.pending_rows <- t.pending_rows + Array.length preps;
+    let rec loop spin =
+      match tk.t_result with
+      | Some r ->
+          Mutex.unlock t.mutex;
+          r
+      | None -> (
+          match tk.t_failed with
+          | Some (e, bt) ->
+              Mutex.unlock t.mutex;
+              Printexc.raise_with_backtrace e bt
+          | None ->
+              if t.serving then begin
+                (* a server is running; it broadcasts when done *)
+                Condition.wait t.cond t.mutex;
+                loop spin
+              end
+              else begin
+                let full = t.pending_rows >= t.max_batch in
+                let now = Unix.gettimeofday () in
+                let timed_out =
+                  match Queue.peek_opt t.queue with
+                  | Some head -> now -. head.t_enqueued >= t.wait_s
+                  | None -> false
+                in
+                if (full || timed_out) && not (Queue.is_empty t.queue) then begin
+                  serve t ~full;
+                  loop spin
+                end
+                else begin
+                  (* nothing to serve yet: sleep a slice bounded by the
+                     remaining wait, then recheck (no timed Condition
+                     wait in OCaml); a newly arriving submitter that
+                     fills the batch will serve it itself *)
+                  let remaining =
+                    match Queue.peek_opt t.queue with
+                    | Some head -> t.wait_s -. (now -. head.t_enqueued)
+                    | None -> t.wait_s
+                  in
+                  Mutex.unlock t.mutex;
+                  if spin < 32 then Domain.cpu_relax ()
+                  else Unix.sleepf (Float.max 1e-6 (Float.min remaining 5e-5));
+                  Mutex.lock t.mutex;
+                  loop (spin + 1)
+                end
+              end)
+    in
+    loop 0
+  end

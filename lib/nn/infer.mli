@@ -1,0 +1,52 @@
+(** Cross-worker dynamic-batching inference service.
+
+    Pool workers submit their wave of {!Pvnet.prepared} leaves as a
+    ticket and block; whichever submitter first observes a full batch
+    ([max_batch] pending rows) or an expired wait ([wait_us] since the
+    head ticket was enqueued) takes the {e floating server role}: it
+    drains a version-uniform FIFO prefix of tickets, runs one coalesced
+    {!Pvnet.predict_prepared} over the concatenated leaves, and
+    distributes result slices back through the tickets.  No domain is
+    dedicated to serving.
+
+    Per-sample results are bitwise identical to a direct
+    [predict_prepared] call regardless of batch composition (row
+    independence of the batched GEMMs/LayerNorms), so episodes stay
+    bit-exact for every (workers, batch, wait) schedule.  An exception
+    raised while serving a batch is re-raised in every submitter whose
+    ticket was in it (first-exn semantics, like [Par.Pool]). *)
+
+type t
+
+val create : ?max_batch:int -> ?wait_us:int -> workers:int -> unit -> t
+(** [max_batch] (default 32) is the row budget per coalesced call — a
+    single oversized wave still runs whole, never split.  [wait_us]
+    (default 200) bounds how long a partial batch may age before some
+    submitter flushes it.  [workers] is the number of domains that will
+    submit; with [workers <= 1] {!submit} degenerates to a direct
+    [predict_prepared] with no queue or locking.
+    @raise Invalid_argument on non-positive [max_batch]/[workers] or
+    negative [wait_us]. *)
+
+val submit : t -> net:Pvnet.t -> Pvnet.prepared array -> (float array * float) array
+(** Evaluate the caller's leaves, possibly coalesced with other
+    workers' tickets.  Blocks until the result is available; the caller
+    may end up serving the batch itself.  [net] must be the calling
+    worker's own replica (the server may run the batch on it — safe,
+    because the owner is parked right here while its ticket is in
+    flight).  Returns [[||]] for [[||]]. *)
+
+val workers : t -> int
+val max_batch : t -> int
+
+type stats = {
+  batches : int;  (** coalesced [predict_prepared] calls served *)
+  rows : int;  (** total leaf rows across all batches *)
+  full_flushes : int;  (** batches triggered by a full row budget *)
+  timeout_flushes : int;  (** batches triggered by [wait_us] expiry *)
+  max_batch_rows : int;  (** largest coalesced batch observed *)
+}
+
+val stats : t -> stats
+(** Counter snapshot (taken under the service lock).  Note: the direct
+    [workers <= 1] fast path bypasses the queue and counts nothing. *)

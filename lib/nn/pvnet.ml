@@ -13,16 +13,45 @@ let default_config ~m =
 
 type gcn_layer = { w_self : Layer.Linear.t; w_msg : Layer.Linear.t }
 
+(* Scratch buffers for one batch size of the coalesced trunk/heads
+   forward.  Tensors carry exact shapes (matmul_into validates them), so
+   buffers are keyed by the batch row count rather than grown in place;
+   the set of distinct batch sizes a search produces is small (wave
+   sizes, service batch sizes), and the table is reset if it ever grows
+   past a bound, giving geometric-growth behaviour without views. *)
+type buffers = {
+  sx0 : Tensor.t;  (* B × 3m   stacked readout rows *)
+  sx : Tensor.t;  (* B × w    trunk activations, updated in place *)
+  sb1 : Tensor.t;  (* B × w    layernorm / fc2 scratch *)
+  sb2 : Tensor.t;  (* B × w    fc1 scratch *)
+  slogits : Tensor.t;  (* B × m *)
+  svalues : Tensor.t;  (* B × 1 *)
+}
+
+type arena = {
+  bufs : (int, buffers) Hashtbl.t;  (* batch rows ↦ buffer set *)
+  trans : (string, Tensor.t) Hashtbl.t;
+      (* param name ↦ transposed weight matrix, valid for [trans_version] *)
+  mutable trans_version : int;
+}
+
 type t = {
   config : config;
   msg_cache : (int, Tensor.t) Hashtbl.t;
       (* message matrices memoized by Mat.id — matrices are immutable and
          shared across MCTS states, so this stays hot through a search *)
+  arena : arena;
+      (* per-replica like msg_cache: the batched forward reuses these
+         buffers call over call, so steady-state inference allocates only
+         the per-sample result arrays *)
   mutable version : int;
       (* weights-identity stamp for the evaluation cache: every weight
          mutation (an optimizer step, a load) installs a globally fresh
          stamp, and [sync] copies the stamp with the weights — so equal
          stamps imply bitwise-equal weights, across replicas included *)
+  mutable evals : int;
+      (* lifetime count of leaf evaluations served by this replica
+         (scalar predicts count 1, batched predicts count their rows) *)
   gcn : gcn_layer array;
   trunk_in : Layer.Linear.t;
   trunk : Layer.Residual.t array;
@@ -44,7 +73,10 @@ let create ~rng config =
   {
     config;
     msg_cache = Hashtbl.create 1024;
+    arena =
+      { bufs = Hashtbl.create 8; trans = Hashtbl.create 8; trans_version = -1 };
     version = next_version ();
+    evals = 0;
     gcn =
       Array.init config.gcn_layers (fun l ->
           let name k = Printf.sprintf "gcn%d.%s" l k in
@@ -90,6 +122,8 @@ let param_count t = List.fold_left (fun acc v -> acc + Var.numel v) 0 (params t)
 
 let version t = t.version
 let bump_version t = t.version <- next_version ()
+let eval_count t = t.evals
+let reset_eval_count t = t.evals <- 0
 
 let sync ~src ~dst =
   if src.config <> dst.config then invalid_arg "Pvnet.sync: config mismatch";
@@ -196,6 +230,7 @@ let forward t ctx g ~next =
 (* --- Inference ------------------------------------------------------- *)
 
 let predict t g ~next =
+  t.evals <- t.evals + 1;
   let ctx = Ad.ctx () in
   let logits, value = forward t ctx g ~next in
   let cost_vec = Graph.cost g next in
@@ -225,9 +260,16 @@ let predict t g ~next =
 
 let relu_t x = Tensor.map (fun v -> if v > 0.0 then v else 0.0) x
 
-(* rows(x) ↦ rows(x) Wᵀ + b, one GEMM for the whole stack *)
-let linear_rows (lin : Layer.Linear.t) x =
-  let y = Tensor.matmul x (Tensor.transpose lin.Layer.Linear.w.Var.value) in
+(* in-place relu, arithmetically identical to [relu_t] *)
+let relu_into x =
+  let d = Tensor.data x in
+  for k = 0 to Array.length d - 1 do
+    let v = Array.unsafe_get d k in
+    Array.unsafe_set d k (if v > 0.0 then v else 0.0)
+  done
+
+(* y ← y + 1b, per row *)
+let add_bias_rows (lin : Layer.Linear.t) y =
   let r, c = Tensor.dims2 y in
   let yd = Tensor.data y and bd = Tensor.data lin.Layer.Linear.b.Var.value in
   for i = 0 to r - 1 do
@@ -235,18 +277,50 @@ let linear_rows (lin : Layer.Linear.t) x =
     for j = 0 to c - 1 do
       yd.(base + j) <- yd.(base + j) +. bd.(j)
     done
-  done;
+  done
+
+(* rows(x) ↦ rows(x) Wᵀ + b, one GEMM for the whole stack *)
+let linear_rows (lin : Layer.Linear.t) x =
+  let y = Tensor.matmul x (Tensor.transpose lin.Layer.Linear.w.Var.value) in
+  add_bias_rows lin y;
   y
 
-(* per-row LayerNorm mirroring Ad.layernorm's arithmetic term for term *)
-let layernorm_rows (ln : Layer.Layernorm.t) x =
+(* Wᵀ memoized per weights version: transposition is pure data movement,
+   so cached transposes cannot perturb results; the table resets lazily
+   whenever the version stamp moves (optimizer step, sync, load). *)
+let transposed t (lin : Layer.Linear.t) =
+  let a = t.arena in
+  if a.trans_version <> t.version then begin
+    Hashtbl.reset a.trans;
+    a.trans_version <- t.version
+  end;
+  let name = lin.Layer.Linear.w.Var.name in
+  match Hashtbl.find_opt a.trans name with
+  | Some w -> w
+  | None ->
+      let w = Tensor.transpose lin.Layer.Linear.w.Var.value in
+      Hashtbl.replace a.trans name w;
+      w
+
+(* [linear_rows] into a caller-owned buffer: matmul_into zero-fills the
+   rows it writes, so dirty buffers are fine *)
+let linear_rows_into t (lin : Layer.Linear.t) x out =
+  Tensor.matmul_into out x (transposed t lin);
+  add_bias_rows lin out
+
+(* per-row LayerNorm mirroring Ad.layernorm's arithmetic term for term;
+   the [_into] form overwrites every cell of [out], so dirty scratch
+   buffers are fine *)
+let layernorm_rows_into (ln : Layer.Layernorm.t) x out =
   let eps = 1e-5 in
   let r, c = Tensor.dims2 x in
+  let ro, co = Tensor.dims2 out in
+  if ro <> r || co <> c then
+    invalid_arg "Pvnet.layernorm_rows_into: shape mismatch";
   let nf = float_of_int c in
   let xd = Tensor.data x in
   let gd = Tensor.data ln.Layer.Layernorm.gain.Var.value in
   let bd = Tensor.data ln.Layer.Layernorm.bias.Var.value in
-  let out = Tensor.zeros [| r; c |] in
   let od = Tensor.data out in
   for i = 0 to r - 1 do
     let base = i * c in
@@ -266,7 +340,12 @@ let layernorm_rows (ln : Layer.Layernorm.t) x =
       let xhat = (xd.(base + j) -. mu) /. sigma in
       od.(base + j) <- (gd.(j) *. xhat) +. bd.(j)
     done
-  done;
+  done
+
+let layernorm_rows (ln : Layer.Layernorm.t) x =
+  let r, c = Tensor.dims2 x in
+  let out = Tensor.zeros [| r; c |] in
+  layernorm_rows_into ln x out;
   out
 
 let residual_rows (blk : Layer.Residual.t) x =
@@ -286,8 +365,10 @@ let readout_row t g ~next =
     verts;
   Array.iter
     (fun layer ->
-      (* self transform: all vertices in one GEMM *)
-      let hmat = Tensor.stack_rows (List.map (fun v -> Hashtbl.find h v) verts) in
+      (* self transform: all vertices in one GEMM (rows blitted straight
+         from the feature table, no intermediate row list) *)
+      let hmat = Tensor.zeros [| List.length verts; m |] in
+      List.iteri (fun i v -> Tensor.blit_row_into (Hashtbl.find h v) i hmat) verts;
       let selfs = linear_rows layer.w_self hmat in
       (* neighbor messages: the mean replicates Ad.mean_list (accumulate
          in neighbor order, then scale), the transform is one GEMM over
@@ -354,16 +435,74 @@ let prepare t g ~next =
     invalid_arg "Pvnet.prepare: next vertex not alive";
   { p_row = readout_row t g ~next; p_mask = Vec.copy (Graph.cost g next) }
 
-let predict_prepared t preps =
+(* Scratch buffers for a batch of [b] rows, reused call over call.  The
+   64-size-class bound exists only to keep pathological callers from
+   pinning unbounded memory; a search loop settles on a handful of batch
+   sizes, so in steady state this allocates nothing. *)
+let buffers t b =
+  let a = t.arena in
+  match Hashtbl.find_opt a.bufs b with
+  | Some bu -> bu
+  | None ->
+      if Hashtbl.length a.bufs > 64 then Hashtbl.reset a.bufs;
+      let m = t.config.m and w = t.config.trunk_width in
+      let bu =
+        {
+          sx0 = Tensor.zeros [| b; 3 * m |];
+          sx = Tensor.zeros [| b; w |];
+          sb1 = Tensor.zeros [| b; w |];
+          sb2 = Tensor.zeros [| b; w |];
+          slogits = Tensor.zeros [| b; m |];
+          svalues = Tensor.zeros [| b; 1 |];
+        }
+      in
+      Hashtbl.replace a.bufs b bu;
+      bu
+
+(* The coalesced trunk/heads forward.  With [scratch] (the default) the
+   whole pass runs in the replica's arena: rows are blitted into a
+   reusable stack, every GEMM lands in a preallocated buffer via
+   [matmul_into], activations/residual adds mutate in place, and the
+   transposed weight matrices are memoized per weights version — in
+   steady state nothing is allocated but the per-sample result arrays.
+   Every in-place step computes the same IEEE expressions in the same
+   order as the allocating path ([relu_into]/[relu_t],
+   [linear_rows_into]/[linear_rows], [add_into]/[add]), so the two paths
+   are bit-identical; [~scratch:false] keeps the allocating path alive as
+   the benchmark baseline and the equivalence-test oracle. *)
+let predict_prepared ?(scratch = true) t preps =
   match preps with
   | [||] -> [||]
   | _ ->
-      let rows = Array.to_list (Array.map (fun p -> p.p_row) preps) in
-      let x = relu_t (linear_rows t.trunk_in (Tensor.stack_rows rows)) in
-      let x = Array.fold_left (fun x blk -> residual_rows blk x) x t.trunk in
-      let x = layernorm_rows t.trunk_ln x in
-      let logits = linear_rows t.policy_head x in
-      let values = linear_rows t.value_head x in
+      let n = Array.length preps in
+      t.evals <- t.evals + n;
+      let logits, values =
+        if scratch then begin
+          let bu = buffers t n in
+          Array.iteri (fun i p -> Tensor.blit_row_into p.p_row i bu.sx0) preps;
+          linear_rows_into t t.trunk_in bu.sx0 bu.sx;
+          relu_into bu.sx;
+          Array.iter
+            (fun (blk : Layer.Residual.t) ->
+              layernorm_rows_into blk.Layer.Residual.ln bu.sx bu.sb1;
+              linear_rows_into t blk.Layer.Residual.fc1 bu.sb1 bu.sb2;
+              relu_into bu.sb2;
+              linear_rows_into t blk.Layer.Residual.fc2 bu.sb2 bu.sb1;
+              Tensor.add_into bu.sx bu.sb1)
+            t.trunk;
+          layernorm_rows_into t.trunk_ln bu.sx bu.sb1;
+          linear_rows_into t t.policy_head bu.sb1 bu.slogits;
+          linear_rows_into t t.value_head bu.sb1 bu.svalues;
+          (bu.slogits, bu.svalues)
+        end
+        else begin
+          let rows = Array.to_list (Array.map (fun p -> p.p_row) preps) in
+          let x = relu_t (linear_rows t.trunk_in (Tensor.stack_rows rows)) in
+          let x = Array.fold_left (fun x blk -> residual_rows blk x) x t.trunk in
+          let x = layernorm_rows t.trunk_ln x in
+          (linear_rows t.policy_head x, linear_rows t.value_head x)
+        end
+      in
       Array.mapi
         (fun i p ->
           let cost_vec = p.p_mask in

@@ -90,9 +90,32 @@ val prepare : t -> Pbqp.Graph.t -> next:int -> prepared
     the shared trail graph to each leaf, prepare, move on).
     @raise Invalid_argument as {!predict}. *)
 
-val predict_prepared : t -> prepared array -> (float array * float) array
+val predict_prepared :
+  ?scratch:bool -> t -> prepared array -> (float array * float) array
 (** The batched trunk/heads stage: [predict_batch] is literally [prepare]
-    per state followed by this, so mixing the two APIs is bit-identical. *)
+    per state followed by this, so mixing the two APIs is bit-identical.
+
+    With [scratch] (default [true]) the pass runs in the net's reusable
+    scratch arena — rows blitted into a persistent stack, GEMMs via
+    [matmul_into] into preallocated buffers, activations in place,
+    transposed weights memoized per {!version} — allocating nothing in
+    steady state beyond the result arrays.  Every output row of the
+    batched GEMMs and the per-row LayerNorms depends only on its own
+    input row, and the in-place steps compute the same IEEE expressions
+    in the same order as the allocating path, so results are bit-exact
+    for every batch composition and for both [scratch] settings
+    ([~scratch:false] preserves the allocating path as a baseline).
+
+    Not thread-safe (the arena, like the message cache, belongs to the
+    replica's owning worker) — but safe for {!Infer}'s floating server
+    to run on a submitter's replica, because the owner blocks for the
+    result while its ticket is in flight. *)
+
+val eval_count : t -> int
+(** Lifetime number of leaf evaluations this net (replica) has served:
+    {!predict} counts 1, the batched paths count their rows. *)
+
+val reset_eval_count : t -> unit
 
 (** {1 Training} *)
 

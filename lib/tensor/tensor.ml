@@ -189,6 +189,17 @@ let matmul a b =
   matmul_into out a b;
   out
 
+let blit_row_into src i dst =
+  let c = dim1 src in
+  let r, cd = dims2 dst in
+  if cd <> c then invalid_arg "Tensor.blit_row_into: width mismatch";
+  if i < 0 || i >= r then invalid_arg "Tensor.blit_row_into: row out of bounds";
+  let sd = src.data and dd = dst.data in
+  let base = i * c in
+  for j = 0 to c - 1 do
+    Array.unsafe_set dd (base + j) (Array.unsafe_get sd j)
+  done
+
 let stack_rows rows =
   match rows with
   | [] -> invalid_arg "Tensor.stack_rows: empty"
@@ -199,7 +210,7 @@ let stack_rows rows =
       List.iteri
         (fun i r ->
           if dim1 r <> c then invalid_arg "Tensor.stack_rows: ragged rows";
-          Array.blit r.data 0 out.data (i * c) c)
+          blit_row_into r i out)
         rows;
       out
 

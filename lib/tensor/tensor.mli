@@ -131,8 +131,14 @@ val xavier : rng:Random.State.t -> fan_in:int -> fan_out:int -> int array -> t
 val concat1 : t list -> t
 (** Concatenation of rank-1 tensors. *)
 
+val blit_row_into : t -> int -> t -> unit
+(** [blit_row_into src i dst] copies the rank-1 tensor [src] into row [i]
+    of the rank-2 tensor [dst] in place (unsafe inner loop, no allocation).
+    @raise Invalid_argument on a width mismatch or row out of bounds. *)
+
 val stack_rows : t list -> t
-(** Stack rank-1 tensors of equal length as the rows of a rank-2 tensor.
+(** Stack rank-1 tensors of equal length as the rows of a rank-2 tensor
+    (a thin wrapper over {!blit_row_into}).
     @raise Invalid_argument on an empty list or ragged lengths. *)
 
 val row : t -> int -> t

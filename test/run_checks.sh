@@ -28,16 +28,43 @@ echo "== dune build @incr =="
 # {persistent, incremental} x {cache off, on}
 dune build @incr
 
+echo "== dune build @serve =="
+# inference-service equivalence suite: the Nn.Infer ticket protocol
+# (coalescing, timeout flushes, first-exn), striped-cache consistency
+# under domains, and bitwise episodes/training runs across
+# {direct, service} x pool sizes x {cache off, on}
+dune build @serve
+
 echo "== multi-domain smoke (train -j 2 --incremental --eval-cache --check) =="
 # a tiny end-to-end training run on the domain pool with per-episode
 # solution certification on, exercising pool self-play on the trail
-# state with per-worker evaluation caches + the data-parallel gradient
-# step + the arena under the checker
+# state with the shared striped evaluation cache + the data-parallel
+# gradient step + the arena under the checker
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 dune exec bin/train.exe -- -i 1 -e 4 -j 2 -k 8 --n-mean 8 --check \
   --incremental --eval-cache 512 --batch 8 -o "$smoke_dir/smoke.ckpt"
 test -f "$smoke_dir/smoke.ckpt"
+
+echo "== service smoke (train -j 2 --serve-batch 16) =="
+# the same tiny run with the cross-worker inference service coalescing
+# leaf evaluations across both workers (still under the checker)
+dune exec bin/train.exe -- -i 1 -e 4 -j 2 -k 8 --n-mean 8 --check \
+  --incremental --eval-cache 512 --serve-batch 16 --batch 8 \
+  -o "$smoke_dir/serve.ckpt"
+test -f "$smoke_dir/serve.ckpt"
+
+echo "== bench --compare vs checked-in trajectory (serve group) =="
+# perf-regression gate: rerun the serve bench group and fail on any
+# >25% ns/op regression against the checked-in BENCH_serve.json (the
+# other BENCH_*.json groups are far slower to rerun; serve covers the
+# coalesced-inference and scratch-arena hot paths this gate protects).
+# One retry: on a 1-core host a background blip can push a row past the
+# threshold; a real regression fails both runs.
+dune exec bench/main.exe -- serve --compare BENCH_serve.json || {
+  echo "-- retrying once (transient load can trip the 25% threshold) --"
+  dune exec bench/main.exe -- serve --compare BENCH_serve.json
+}
 
 echo "== pbqp_lint --self-test =="
 dune exec bin/pbqp_lint.exe -- --self-test

@@ -289,14 +289,15 @@ let test_episode_equivalence =
       let net = tiny_net ~m:spec.m () in
       check_episode_pair ~msg:"scalar" ~batched:false g net;
       check_episode_pair ~msg:"batched" ~batched:true g net;
-      let cache = Nn.Evalcache.create ~capacity:512 in
+      let ec = Nn.Evalcache.create ~capacity:512 in
+      let cache = Nn.Cache.Local ec in
       check_episode_pair ~msg:"cache on incremental side" ~cache_b:cache
         ~batched:true g net;
       (* second run with the now-warm cache: hits must not change play *)
       check_episode_pair ~msg:"warm cache" ~cache_b:cache ~batched:true g net;
-      if Nn.Evalcache.hits cache = 0 then
+      if Nn.Evalcache.hits ec = 0 then
         Alcotest.fail "warm cache saw no hits";
-      let cache_p = Nn.Evalcache.create ~capacity:512 in
+      let cache_p = Nn.Cache.local ~capacity:512 in
       check_episode_pair ~msg:"cache on persistent side" ~cache_a:cache_p
         ~batched:true g net;
       true)

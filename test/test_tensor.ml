@@ -127,6 +127,24 @@ let test_stack_rows_row_roundtrip () =
   (Tensor.data r3).(2) <- 123.0;
   Alcotest.(check bool) "row is a copy" false (Tensor.get2 m 3 2 = 123.0)
 
+let test_blit_row_into () =
+  let rng = rng 13 in
+  let m = random_matrix rng 4 6 in
+  let src = random_matrix rng 1 6 in
+  let src = Tensor.row src 0 in
+  let expect =
+    Tensor.init2 4 6 (fun i j ->
+        if i = 2 then Tensor.get1 src j else Tensor.get2 m i j)
+  in
+  Tensor.blit_row_into src 2 m;
+  Alcotest.check t_bits "row 2 overwritten, others untouched" expect m;
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Tensor.blit_row_into: width mismatch") (fun () ->
+      Tensor.blit_row_into (Tensor.zeros [| 5 |]) 0 m);
+  Alcotest.check_raises "row out of bounds"
+    (Invalid_argument "Tensor.blit_row_into: row out of bounds") (fun () ->
+      Tensor.blit_row_into (Tensor.zeros [| 6 |]) 4 m)
+
 let test_stack_rows_errors () =
   Alcotest.check_raises "empty" (Invalid_argument "Tensor.stack_rows: empty")
     (fun () -> ignore (Tensor.stack_rows []));
@@ -156,6 +174,7 @@ let () =
         [
           Alcotest.test_case "stack_rows/row roundtrip" `Quick
             test_stack_rows_row_roundtrip;
+          Alcotest.test_case "blit_row_into" `Quick test_blit_row_into;
           Alcotest.test_case "stack_rows errors" `Quick test_stack_rows_errors;
         ] );
     ]
