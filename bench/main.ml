@@ -1051,6 +1051,35 @@ let serve_bench () =
     [ 1; 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* Static analysis over the repo's own sources (lib/analyze): the wall
+   cost of the @analyze CI gate — parse every .ml under lib/ and bin/,
+   build the symbol registry and run all three rule families.  Skipped
+   when the source tree is not visible from the cwd. *)
+
+let analyze_bench () =
+  section "Static analysis (pbqp_analyze over lib/ + bin/)";
+  if not (Sys.file_exists "lib" && Sys.file_exists "bin") then
+    Printf.printf "  skipped: ./lib and ./bin not visible from the cwd\n"
+  else begin
+    let roots = [ "lib"; "bin" ] in
+    let warm = Analyze.run ~roots in
+    let iters = 5 in
+    let (), dt =
+      time_it (fun () ->
+          for _ = 1 to iters do
+            ignore (Analyze.run ~roots)
+          done)
+    in
+    let ns = dt /. float_of_int iters *. 1e9 in
+    record ~group:"analyze" ~name:"whole-repo pass (lib+bin)" ~iters
+      ~ns_per_op:ns ~allocs_per_op:0.0 ();
+    Printf.printf "  %d files, %d findings, %.1f ms per pass (%d passes)\n%!"
+      warm.Analyze.files
+      (List.length warm.Analyze.findings)
+      (ns /. 1e6) iters
+  end
+
+(* ------------------------------------------------------------------ *)
 (* --compare OLD.json: after the selected groups have run, diff the
    freshly recorded rows against a previous --json file (matched by
    (group, name)) and exit non-zero on any >25% ns/op regression.  The
@@ -1180,6 +1209,7 @@ let () =
   | "par" -> par_bench ()
   | "incr" -> incr_bench ()
   | "serve" -> serve_bench ()
+  | "analyze" -> analyze_bench ()
   | "all" ->
       e1 ();
       e2 ();
@@ -1192,11 +1222,12 @@ let () =
       batching ();
       par_bench ();
       incr_bench ();
-      serve_bench ()
+      serve_bench ();
+      analyze_bench ()
   | other ->
       Printf.eprintf
         "unknown experiment %S (e1..e6, ext, micro, batch, par, incr, serve, \
-         all)\n"
+         analyze, all)\n"
         other;
       exit 1);
   (match !json_out with

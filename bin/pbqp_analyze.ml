@@ -1,0 +1,76 @@
+(* CLI: run the repo's own static analysis (lib/analyze) over OCaml
+   source trees.  Exit 0 when every finding is baselined, 1 otherwise —
+   this is the CI gate wired into run_checks.sh and the @analyze alias.
+
+     pbqp_analyze lib bin                 # human-readable report
+     pbqp_analyze --json lib bin          # machine-readable
+     pbqp_analyze --baseline ANALYZE_BASELINE lib bin
+     pbqp_analyze --write-baseline ANALYZE_BASELINE lib bin  # accept current *)
+
+open Cmdliner
+
+let main roots json baseline write_baseline =
+  let roots = if roots = [] then [ "lib"; "bin" ] else roots in
+  let result = Analyze.run ~roots in
+  if write_baseline then begin
+    Analyze.Baseline.write baseline result.Analyze.findings;
+    Printf.printf "wrote %d baseline entr%s to %s\n"
+      (List.length result.Analyze.findings)
+      (if List.length result.Analyze.findings = 1 then "y" else "ies")
+      baseline;
+    `Ok ()
+  end
+  else begin
+    let entries = Analyze.Baseline.load baseline in
+    let applied = Analyze.Baseline.apply entries result.Analyze.findings in
+    if json then
+      print_string
+        (Analyze.Report.to_json ~baselined:applied.Analyze.Baseline.suppressed
+           ~files:result.Analyze.files applied.Analyze.Baseline.fresh)
+    else begin
+      print_string (Analyze.Report.to_string applied.Analyze.Baseline.fresh);
+      if applied.Analyze.Baseline.suppressed > 0 then
+        Printf.printf "(%d baselined finding%s suppressed)\n"
+          applied.Analyze.Baseline.suppressed
+          (if applied.Analyze.Baseline.suppressed = 1 then "" else "s");
+      List.iter
+        (fun e ->
+          Printf.printf "stale baseline entry (no longer fires): %s\n"
+            (Analyze.Baseline.entry_key e))
+        applied.Analyze.Baseline.stale
+    end;
+    if applied.Analyze.Baseline.fresh <> [] then exit 1;
+    `Ok ()
+  end
+
+let () =
+  let roots =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"ROOTS"
+             ~doc:"directories (or single .ml files) to analyze; default: \
+                   lib bin")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"emit the findings as JSON (pbqp-analyze-v1)")
+  in
+  let baseline =
+    Arg.(value & opt string "ANALYZE_BASELINE"
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"known-findings baseline; findings whose rule|file|symbol \
+                   key appears in FILE do not fail the run")
+  in
+  let write_baseline =
+    Arg.(value & flag
+         & info [ "write-baseline" ]
+             ~doc:"overwrite the baseline file with the current findings \
+                   and exit 0")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "pbqp_analyze"
+         ~doc:"Concurrency, determinism and hot-path lints over the repo's \
+               own OCaml sources")
+      Term.(ret (const main $ roots $ json $ baseline $ write_baseline))
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,31 @@
+(* Top-level driver: load sources, build the symbol registry, run the
+   three rule families, merge and sort.  This module is the library's
+   public face — bin/pbqp_analyze, test_analyze and the bench harness
+   all go through [run]. *)
+
+module Report = Report
+module Baseline = Baseline
+module Source = Source
+
+type result = {
+  findings : Report.t list;  (* sorted by (file, line, rule) *)
+  files : int;  (* files successfully parsed *)
+}
+
+let parse_error_finding (e : Source.parse_error) =
+  Report.make ~rule:"parse-error" ~severity:Check.Diag.Error ~file:e.pe_path
+    ~line:e.pe_line ~symbol:"-"
+    (Printf.sprintf "file does not parse: %s" e.pe_msg)
+
+let run ~roots =
+  let files, parse_errors = Source.load_roots roots in
+  let symtab = Symtab.build files in
+  let conc = List.map (Concurrency.check_file symtab) files in
+  let findings =
+    List.map parse_error_finding parse_errors
+    @ List.concat_map fst conc
+    @ List.concat_map Determinism.check_file files
+    @ List.concat_map (Hotpath.check_file symtab) files
+    @ Lockgraph.check (List.concat_map snd conc)
+  in
+  { findings = List.sort Report.compare findings; files = List.length files }

@@ -1,0 +1,60 @@
+(* The annotation vocabulary the analyzer understands, and where each
+   annotation physically lands in the Parsetree:
+
+   - [@guarded_by "lock"]       record fields ([pld_attributes]) and
+                                module-level bindings ([pvb_attributes])
+   - [@@requires_lock "lock"]   functions entered with the lock held
+   - [@@hot]                    allocation-free function contract
+   - [@analyze.ok "why"]        expression/binding: suppress every rule
+                                in the subtree
+   - [@analyze.order_insensitive "why"]
+                                expression/binding: bless unordered
+                                iteration (order rules only)
+   - [@@analyze.unshared "why"] module-level mutable opt-out (value is
+                                provably confined to one domain)
+
+   The payload-bearing forms require a string literal; a bare
+   [@guarded_by] or non-string payload is itself reported upstream as a
+   malformed annotation. *)
+
+open Parsetree
+
+let name (a : attribute) = a.attr_name.txt
+
+let string_payload (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let find nm attrs = List.find_opt (fun a -> name a = nm) attrs
+let has nm attrs = List.exists (fun a -> name a = nm) attrs
+
+(* [Some (Ok lock)] when present with a string payload, [Some (Error nm)]
+   when present but malformed, [None] when absent. *)
+let payload nm attrs =
+  match find nm attrs with
+  | None -> None
+  | Some a -> (
+      match string_payload a with
+      | Some s -> Some (Ok s)
+      | None -> Some (Error nm))
+
+let guarded_by attrs = payload "guarded_by" attrs
+let requires_lock attrs = payload "requires_lock" attrs
+let is_hot attrs = has "hot" attrs
+let suppressed attrs = has "analyze.ok" attrs
+let order_insensitive attrs = has "analyze.order_insensitive" attrs
+let unshared attrs = has "analyze.unshared" attrs
+
+(* A record field's attribute may be written before or after the type
+   expression; the parser files the two spellings in different places. *)
+let field_attrs (ld : label_declaration) =
+  ld.pld_attributes @ ld.pld_type.ptyp_attributes

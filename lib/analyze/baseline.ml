@@ -1,0 +1,73 @@
+(* Known-findings baseline.  Each non-comment line is a finding key
+   ("rule|file|symbol" — no line numbers, so edits that only move code
+   don't invalidate entries).  The CI gate fails on findings NOT in the
+   baseline; stale entries (baselined keys that no longer fire) are
+   reported so the file shrinks over time instead of rotting. *)
+
+type entry = { rule : string; file : string; symbol : string }
+
+let entry_key e = Printf.sprintf "%s|%s|%s" e.rule e.file e.symbol
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.split_on_char '|' line with
+    | [ rule; file; symbol ] ->
+        Some { rule = String.trim rule; file = String.trim file; symbol = String.trim symbol }
+    | _ -> None
+
+let of_string text =
+  String.split_on_char '\n' text |> List.filter_map parse_line
+
+let load path =
+  if Sys.file_exists path then
+    of_string (In_channel.with_open_text path In_channel.input_all)
+  else []
+
+(* Split findings into (fresh, baselined-count); also report which
+   baseline entries never matched. *)
+type applied = {
+  fresh : Report.t list;
+  suppressed : int;
+  stale : entry list;  (* baselined keys with no matching finding *)
+}
+
+let apply entries findings =
+  let keys = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace keys (entry_key e) 0) entries;
+  let fresh =
+    List.filter
+      (fun f ->
+        let k = Report.key f in
+        match Hashtbl.find_opt keys k with
+        | Some n ->
+            Hashtbl.replace keys k (n + 1);
+            false
+        | None -> true)
+      findings
+  in
+  let stale =
+    List.filter (fun e -> Hashtbl.find keys (entry_key e) = 0) entries
+  in
+  { fresh; suppressed = List.length findings - List.length fresh; stale }
+
+let to_string findings =
+  let keys =
+    List.sort_uniq String.compare (List.map Report.key findings)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "# pbqp_analyze known-findings baseline.  One key per line:\n\
+     #   rule|file|symbol\n\
+     # Regenerate with: pbqp_analyze --write-baseline <this file>\n";
+  List.iter
+    (fun k ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\n')
+    keys;
+  Buffer.contents buf
+
+let write path findings =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string findings))

@@ -1,0 +1,189 @@
+(* Determinism lints.  Self-play, training and the eval caches are all
+   required to replay bit-identically from a seed (see DESIGN.md), so
+   two whole classes of nondeterminism are banned at the source level:
+
+   - [hashtbl-order] (warning): iterating a hash table (or the graph's
+     raw adjacency) in physical order.  The order depends on insertion
+     and deletion history and the hash seed, so anything accumulated
+     across iterations can differ between runs.  Blessed per site with
+     [@analyze.order_insensitive "why"] when every per-entry action
+     commutes.
+
+   - [unordered-float-reduce] (error): the same iteration, but the
+     closure visibly accumulates floats (+. -. *. /. or Cost.add).
+     Float addition is not associative, so the result depends on hash
+     order — this is how irreproducible solution costs and gradients
+     happen, and it is never blessable by the order attribute alone
+     (restructure to a sorted iteration like Graph.fold_edges instead;
+     [@analyze.ok] remains the explicit last-resort override).
+
+   - [random-global] / [random-self-init] (error): the global [Random]
+     stream or any self_init seeding.  All randomness must flow through
+     an explicitly seeded [Random.State] threaded from the run
+     configuration. *)
+
+open Parsetree
+
+let unordered_iterators =
+  [
+    [ "Hashtbl"; "iter" ];
+    [ "Hashtbl"; "fold" ];
+    [ "Graph"; "iter_adjacency" ];
+    [ "Graph"; "iter_neighbors" ];
+  ]
+
+let is_unordered_iterator head =
+  List.exists
+    (fun pat ->
+      let lp = List.length pat and lh = List.length head in
+      lh >= lp
+      &&
+      let tail =
+        List.filteri (fun i _ -> i >= lh - lp) head
+      in
+      tail = pat)
+    unordered_iterators
+
+let float_ops = [ "+."; "-."; "*."; "/." ]
+
+(* Does the expression contain a direct float-accumulation operator (or
+   Cost.add) at any depth?  Syntactic, not type-driven: a closure that
+   sums via a helper function escapes to the weaker hashtbl-order
+   warning, which is the documented limit of the rule. *)
+let accumulates_floats expr =
+  let found = ref false in
+  let check e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match Longident.flatten txt with
+        | [ op ] -> if List.mem op float_ops then found := true
+        | [ "Cost"; "add" ] -> found := true
+        | _ -> ())
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          check e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it expr;
+  !found
+
+type env = {
+  file : string;
+  findings : Report.t list ref;
+  mutable symbol : string;
+}
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let report env ~severity ~rule ~line fmt =
+  Printf.ksprintf
+    (fun message ->
+      env.findings :=
+        Report.make ~rule ~severity ~file:env.file ~line ~symbol:env.symbol
+          message
+        :: !(env.findings))
+    fmt
+
+let head_path expr =
+  match expr.pexp_desc with
+  | Pexp_ident { txt; _ } -> Longident.flatten txt
+  | _ -> []
+
+let check_apply env ~order_ok ~line f args =
+  let head = head_path f in
+  (if is_unordered_iterator head then
+     let closure_accumulates =
+       List.exists (fun (_, a) -> accumulates_floats a) args
+     in
+     if closure_accumulates then
+       report env ~severity:Check.Diag.Error ~rule:"unordered-float-reduce"
+         ~line
+         "%s visits entries in hash order and the closure accumulates \
+          floats: the result depends on insertion history (restructure to \
+          a deterministic order, e.g. Graph.fold_edges)"
+         (String.concat "." head)
+     else if not order_ok then
+       report env ~severity:Check.Diag.Warning ~rule:"hashtbl-order" ~line
+         "%s iterates in nondeterministic hash order; bless with \
+          [@analyze.order_insensitive \"why\"] if every per-entry action \
+          commutes"
+         (String.concat "." head));
+  match head with
+  | "Random" :: rest -> (
+      match rest with
+      | "self_init" :: _ ->
+          report env ~severity:Check.Diag.Error ~rule:"random-self-init"
+            ~line "Random.self_init makes runs unreproducible; seed an \
+                   explicit Random.State instead"
+      | "State" :: "make_self_init" :: _ ->
+          report env ~severity:Check.Diag.Error ~rule:"random-self-init"
+            ~line "Random.State.make_self_init makes runs unreproducible; \
+                   use Random.State.make with a configured seed"
+      | "State" :: _ | [] -> ()
+      | f :: _ ->
+          report env ~severity:Check.Diag.Error ~rule:"random-global" ~line
+            "Random.%s draws from the global stream; thread a seeded \
+             Random.State through the call instead"
+            f)
+  | _ -> ()
+
+let rec walk env ~order_ok expr =
+  if Attr.suppressed expr.pexp_attributes then ()
+  else
+    let order_ok =
+      order_ok || Attr.order_insensitive expr.pexp_attributes
+    in
+    let line = line_of expr.pexp_loc in
+    (match expr.pexp_desc with
+    | Pexp_apply (f, args) -> check_apply env ~order_ok ~line f args
+    | _ -> ());
+    iter_children env ~order_ok expr
+
+and iter_children env ~order_ok expr =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ e -> walk env ~order_ok e);
+    }
+  in
+  Ast_iterator.default_iterator.expr it expr
+
+let walk_binding env vb =
+  (match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> env.symbol <- txt
+  | _ -> env.symbol <- "_");
+  if not (Attr.suppressed vb.pvb_attributes) then
+    walk env
+      ~order_ok:(Attr.order_insensitive vb.pvb_attributes)
+      vb.pvb_expr
+
+let rec walk_structure env str =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) -> List.iter (walk_binding env) vbs
+      | Pstr_eval (e, _) ->
+          env.symbol <- "_";
+          walk env ~order_ok:false e
+      | Pstr_module mb -> walk_module env mb
+      | Pstr_recmodule mbs -> List.iter (walk_module env) mbs
+      | _ -> ())
+    str
+
+and walk_module env mb =
+  match mb.pmb_expr.pmod_desc with
+  | Pmod_structure str
+  | Pmod_constraint ({ pmod_desc = Pmod_structure str; _ }, _) ->
+      walk_structure env str
+  | _ -> ()
+
+let check_file (f : Source.file) =
+  let env = { file = f.path; findings = ref []; symbol = "-" } in
+  walk_structure env f.str;
+  List.rev !(env.findings)

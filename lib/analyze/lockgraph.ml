@@ -1,0 +1,186 @@
+(* Global lock-acquisition order graph.
+
+   Nodes are qualified locks ("File.lock").  A directed edge a -> b
+   means "somewhere, b is acquired while a is held" — either directly
+   ([Mutex.lock b] with a in the held set) or transitively (a call made
+   with a held reaches a function whose acquires-set contains b).  The
+   acquires-set of each function is the least fixpoint over the call
+   summaries collected by [Concurrency].
+
+   Any cycle in the graph is a deadlock risk: two domains can enter the
+   cycle at different points and wait on each other forever.  Each
+   strongly connected component with more than one lock (or a self
+   edge) is reported once, with a witness acquisition site.
+
+   A callee marked [@@requires_lock "l"] is entered with [l] held by
+   contract and is allowed to unlock/relock it; its re-acquisitions of
+   [l] are therefore not edges out of [l] at its call sites (the
+   [c_held]-membership filter below). *)
+
+type edge = {
+  e_from : string;
+  e_to : string;
+  e_file : string;
+  e_line : int;
+  e_via : string;  (* function whose acquisition created the edge *)
+}
+
+module SS = Set.Make (String)
+
+let fixpoint_acquires (summaries : Concurrency.summary list) =
+  let acq = Hashtbl.create 64 in
+  let direct s =
+    List.fold_left
+      (fun set (a : Concurrency.acq) -> SS.add a.a_lock set)
+      SS.empty s.Concurrency.sum_acquires
+  in
+  List.iter (fun s -> Hashtbl.replace acq s.Concurrency.sum_fn (direct s)) summaries;
+  let lookup fn = Option.value ~default:SS.empty (Hashtbl.find_opt acq fn) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (s : Concurrency.summary) ->
+        let cur = lookup s.sum_fn in
+        let next =
+          List.fold_left
+            (fun set (c : Concurrency.callsite) ->
+              SS.union set (lookup c.c_callee))
+            cur s.sum_calls
+        in
+        if not (SS.equal next cur) then begin
+          Hashtbl.replace acq s.sum_fn next;
+          changed := true
+        end)
+      summaries
+  done;
+  lookup
+
+let edges_of summaries =
+  let acquires = fixpoint_acquires summaries in
+  let out = ref [] in
+  let add e = out := e :: !out in
+  List.iter
+    (fun (s : Concurrency.summary) ->
+      List.iter
+        (fun (a : Concurrency.acq) ->
+          List.iter
+            (fun h ->
+              if h <> a.a_lock then
+                add
+                  {
+                    e_from = h;
+                    e_to = a.a_lock;
+                    e_file = s.sum_file;
+                    e_line = a.a_line;
+                    e_via = s.sum_fn;
+                  })
+            a.a_held)
+        s.sum_acquires;
+      List.iter
+        (fun (c : Concurrency.callsite) ->
+          SS.iter
+            (fun l ->
+              List.iter
+                (fun h ->
+                  if h <> l && not (List.mem l c.c_held) then
+                    add
+                      {
+                        e_from = h;
+                        e_to = l;
+                        e_file = s.sum_file;
+                        e_line = c.c_line;
+                        e_via = c.c_callee;
+                      })
+                c.c_held)
+            (acquires c.c_callee))
+        s.sum_calls)
+    summaries;
+  List.rev !out
+
+(* Tarjan over the lock nodes. *)
+let sccs edges =
+  let succs = Hashtbl.create 16 in
+  let nodes = ref SS.empty in
+  List.iter
+    (fun e ->
+      nodes := SS.add e.e_from (SS.add e.e_to !nodes);
+      let cur = Option.value ~default:[] (Hashtbl.find_opt succs e.e_from) in
+      if not (List.mem e.e_to cur) then Hashtbl.replace succs e.e_from (e.e_to :: cur))
+    edges;
+  let index = Hashtbl.create 16
+  and lowlink = Hashtbl.create 16
+  and on_stack = Hashtbl.create 16 in
+  let stack = ref [] and counter = ref 0 and out = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Option.value ~default:[] (Hashtbl.find_opt succs v));
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: tl ->
+            stack := tl;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  SS.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) !nodes;
+  !out
+
+let check summaries =
+  let edges = edges_of summaries in
+  let findings = ref [] in
+  List.iter
+    (fun component ->
+      let comp = SS.of_list component in
+      let internal =
+        List.filter
+          (fun e -> SS.mem e.e_from comp && SS.mem e.e_to comp)
+          edges
+      in
+      let cyclic =
+        match component with
+        | [] -> false
+        | [ v ] -> List.exists (fun e -> e.e_from = v && e.e_to = v) internal
+        | _ -> true
+      in
+      if cyclic then
+        let witness =
+          match internal with
+          | e :: _ -> e
+          | [] -> assert false
+        in
+        let arcs =
+          internal
+          |> List.map (fun e -> Printf.sprintf "%s -> %s (via %s)" e.e_from e.e_to e.e_via)
+          |> List.sort_uniq String.compare
+          |> String.concat "; "
+        in
+        findings :=
+          Report.make ~rule:"lock-order-cycle" ~severity:Check.Diag.Error
+            ~file:witness.e_file ~line:witness.e_line ~symbol:witness.e_via
+            (Printf.sprintf
+               "locks {%s} are acquired in inconsistent orders (deadlock \
+                risk): %s"
+               (String.concat ", " (List.sort String.compare component))
+               arcs)
+          :: !findings)
+    (sccs edges);
+  List.rev !findings

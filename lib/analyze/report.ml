@@ -1,0 +1,101 @@
+(* Analyzer findings: a thin layer over [Check.Diag] that adds the
+   source coordinates (file, line, enclosing top-level symbol) every
+   static-analysis rule needs, plus the text and JSON renderings the
+   CLI emits. *)
+
+type t = {
+  rule : string;
+  severity : Check.Diag.severity;
+  file : string;
+  line : int;
+  symbol : string;  (* enclosing top-level binding, or "-" *)
+  message : string;
+}
+
+let make ~rule ~severity ~file ~line ~symbol message =
+  { rule; severity; file; line; symbol; message }
+
+let to_diag t =
+  {
+    Check.Diag.severity = t.severity;
+    rule = t.rule;
+    location = Check.Diag.Src (t.file, t.line);
+    message = Printf.sprintf "(%s) %s" t.symbol t.message;
+  }
+
+(* Stable identity for baselining: line numbers churn with every edit,
+   so the key is (rule, file, symbol). *)
+let key t = Printf.sprintf "%s|%s|%s" t.rule t.file t.symbol
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else String.compare a.rule b.rule
+
+let severity_order = function
+  | Check.Diag.Error -> 0
+  | Check.Diag.Warning -> 1
+  | Check.Diag.Info -> 2
+
+let errors ts = List.filter (fun t -> t.severity = Check.Diag.Error) ts
+
+let pp_finding ppf t =
+  Format.fprintf ppf "%s[%s] %s:%d (%s): %s"
+    (Check.Diag.severity_string t.severity)
+    t.rule t.file t.line t.symbol t.message
+
+let pp_report ppf ts =
+  let ts = List.sort compare ts in
+  List.iter (fun t -> Format.fprintf ppf "%a@." pp_finding t) ts;
+  let e = List.length (errors ts) and n = List.length ts in
+  Format.fprintf ppf "%d finding%s (%d error%s)@." n
+    (if n = 1 then "" else "s")
+    e
+    (if e = 1 then "" else "s")
+
+let to_string ts = Format.asprintf "%a" pp_report ts
+
+(* --- JSON (matches the hand-rolled style of bench/main.ml) ----------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_json t =
+  Printf.sprintf
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"symbol":"%s","message":"%s"}|}
+    (json_escape t.rule)
+    (Check.Diag.severity_string t.severity)
+    (json_escape t.file) t.line (json_escape t.symbol) (json_escape t.message)
+
+let to_json ?(baselined = 0) ~files ts =
+  let ts = List.sort compare ts in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"pbqp-analyze-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"files\": %d,\n" files);
+  Buffer.add_string buf (Printf.sprintf "  \"baselined\": %d,\n" baselined);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"errors\": %d,\n" (List.length (errors ts)));
+  Buffer.add_string buf "  \"findings\": [";
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (finding_json t))
+    ts;
+  if ts <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,71 @@
+(* Source loader: find .ml files under the analysis roots and parse
+   them with the compiler's own parser (compiler-libs) into Parsetree
+   structures.  The analyzer is purely syntactic — it never runs the
+   typer — so a file only has to parse, which lets the fixture corpus
+   reference modules that do not exist. *)
+
+type file = {
+  path : string;  (* as discovered, relative to the analysis cwd *)
+  modname : string;  (* capitalized basename, OCaml's module naming *)
+  str : Parsetree.structure;
+}
+
+type parse_error = { pe_path : string; pe_line : int; pe_msg : string }
+
+let modname_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let parse_string ~path text =
+  let lb = Lexing.from_string text in
+  Location.init lb path;
+  match Parse.implementation lb with
+  | str -> Ok { path; modname = modname_of_path path; str }
+  | exception exn ->
+      let line =
+        match Location.error_of_exn exn with
+        | Some (`Ok (e : Location.error)) ->
+            e.main.loc.loc_start.Lexing.pos_lnum
+        | _ -> lb.Lexing.lex_curr_p.Lexing.pos_lnum
+      in
+      Error { pe_path = path; pe_line = line; pe_msg = Printexc.to_string exn }
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string ~path text
+  | exception Sys_error msg -> Error { pe_path = path; pe_line = 0; pe_msg = msg }
+
+(* Every .ml under [dir], recursively; skips _build and dot
+   directories.  Sorted so runs are reproducible no matter what order
+   the OS lists directory entries in. *)
+let rec ml_files_under dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc name ->
+          let path = Filename.concat dir name in
+          if String.length name > 0 && name.[0] = '.' then acc
+          else if Sys.is_directory path then
+            if name = "_build" then acc else acc @ ml_files_under path
+          else if Filename.check_suffix name ".ml" then acc @ [ path ]
+          else acc)
+        [] entries
+
+let load_roots roots =
+  let paths =
+    List.concat_map
+      (fun root ->
+        if Sys.file_exists root && Sys.is_directory root then
+          ml_files_under root
+        else [ root ])
+      roots
+  in
+  let paths = List.sort_uniq String.compare paths in
+  List.fold_left
+    (fun (files, errs) path ->
+      match parse_file path with
+      | Ok f -> (f :: files, errs)
+      | Error e -> (files, e :: errs))
+    ([], []) paths
+  |> fun (files, errs) -> (List.rev files, List.rev errs)

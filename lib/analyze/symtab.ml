@@ -1,0 +1,154 @@
+(* Whole-repo symbol registry, built in one pass before any rule runs:
+
+   - every top-level function (including those in nested [module X =
+     struct ... end]) keyed by qualified name "File.Inner.f", with its
+     syntactic arity and analyzer attributes ([@@hot],
+     [@@requires_lock]);
+   - every [@guarded_by]-annotated record field, keyed by field name;
+   - every [@guarded_by]-annotated module-level binding, keyed by
+     qualified name.
+
+   Reference resolution is purely lexical: a use site inside module
+   path [P] tries [P @ parts] for every prefix of [P] (innermost
+   first), then falls back to dropping leading components of [parts]
+   (so [Nn.Pvnet.predict] seen from another library resolves to the
+   registry key "Pvnet.predict").  That is deliberately loose — the
+   analyzer has no typer — but collisions only soften the lints (a
+   wrong arity just mutes a partial-application warning). *)
+
+open Parsetree
+
+type fninfo = {
+  fn_name : string;  (* qualified: "File.Inner.f" *)
+  fn_arity : int;  (* leading fun-parameter count; 0 = not a function *)
+  fn_hot : bool;
+  fn_requires : string option;  (* lock the caller must hold *)
+  fn_file : string;
+  fn_line : int;
+}
+
+type t = {
+  fns : (string, fninfo) Hashtbl.t;
+  guarded_fields : (string, string) Hashtbl.t;  (* field -> lock *)
+  guarded_globals : (string, string) Hashtbl.t;  (* "File.x" -> lock *)
+}
+
+let create () =
+  {
+    fns = Hashtbl.create 256;
+    guarded_fields = Hashtbl.create 16;
+    guarded_globals = Hashtbl.create 16;
+  }
+
+let qualify modpath name = String.concat "." (modpath @ [ name ])
+
+(* Count the leading parameter chain of a binding's expression.  A
+   [function]-style body counts as one parameter and ends the chain.
+   Labelled/optional parameters make positional arity counting at call
+   sites unreliable (optional arguments erase silently), so such
+   functions report arity 0, which disables the partial-application
+   lint for them — conservative in the "fewer findings" direction. *)
+let rec arity_of expr =
+  match expr.pexp_desc with
+  | Pexp_fun (Asttypes.Nolabel, _, _, body) ->
+      let rest = arity_of body in
+      if rest < 0 then rest else 1 + rest
+  | Pexp_fun (_, _, _, _) -> -1
+  | Pexp_function _ -> 1
+  | Pexp_newtype (_, body) -> arity_of body
+  | Pexp_constraint (e, _) -> arity_of e
+  | _ -> 0
+
+let arity_of expr = max 0 (arity_of expr)
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let ok_payload = function Some (Ok s) -> Some s | _ -> None
+
+let register_binding t ~file ~modpath vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt = name; _ } ->
+      let qname = qualify modpath name in
+      let attrs = vb.pvb_attributes in
+      Hashtbl.replace t.fns qname
+        {
+          fn_name = qname;
+          fn_arity = arity_of vb.pvb_expr;
+          fn_hot = Attr.is_hot attrs;
+          fn_requires = ok_payload (Attr.requires_lock attrs);
+          fn_file = file;
+          fn_line = line_of vb.pvb_loc;
+        };
+      (match ok_payload (Attr.guarded_by attrs) with
+      | Some lock -> Hashtbl.replace t.guarded_globals qname lock
+      | None -> ())
+  | _ -> ()
+
+let register_type t decl =
+  match decl.ptype_kind with
+  | Ptype_record fields ->
+      List.iter
+        (fun ld ->
+          match ok_payload (Attr.guarded_by (Attr.field_attrs ld)) with
+          | Some lock -> Hashtbl.replace t.guarded_fields ld.pld_name.txt lock
+          | None -> ())
+        fields
+  | _ -> ()
+
+let rec register_structure t ~file ~modpath str =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter (register_binding t ~file ~modpath) vbs
+      | Pstr_type (_, decls) -> List.iter (register_type t) decls
+      | Pstr_module mb -> register_module t ~file ~modpath mb
+      | Pstr_recmodule mbs ->
+          List.iter (register_module t ~file ~modpath) mbs
+      | _ -> ())
+    str
+
+and register_module t ~file ~modpath mb =
+  match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+  | Some name, Pmod_structure str ->
+      register_structure t ~file ~modpath:(modpath @ [ name ]) str
+  | Some name, Pmod_constraint ({ pmod_desc = Pmod_structure str; _ }, _) ->
+      register_structure t ~file ~modpath:(modpath @ [ name ]) str
+  | _ -> ()
+
+let build (files : Source.file list) =
+  let t = create () in
+  List.iter
+    (fun (f : Source.file) ->
+      register_structure t ~file:f.path ~modpath:[ f.modname ] f.str)
+    files;
+  t
+
+(* Resolve [parts] (a flattened Longident) as seen from inside module
+   path [modpath]. *)
+let resolve_in tbl ~modpath parts =
+  let rec try_prefixes prefix =
+    let key = String.concat "." (prefix @ parts) in
+    match Hashtbl.find_opt tbl key with
+    | Some v -> Some v
+    | None -> (
+        match List.rev prefix with
+        | [] -> None
+        | _ :: outer_rev -> try_prefixes (List.rev outer_rev))
+  in
+  match try_prefixes modpath with
+  | Some v -> Some v
+  | None ->
+      (* cross-library references: drop leading path components *)
+      let rec drop = function
+        | [] -> None
+        | _ :: tl as parts -> (
+            match Hashtbl.find_opt tbl (String.concat "." parts) with
+            | Some v -> Some v
+            | None -> drop tl)
+      in
+      drop parts
+
+let find_fn t ~modpath parts = resolve_in t.fns ~modpath parts
+let guarded_global t ~modpath parts = resolve_in t.guarded_globals ~modpath parts
+let guarded_field t name = Hashtbl.find_opt t.guarded_fields name

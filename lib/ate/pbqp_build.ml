@@ -70,9 +70,12 @@ let build machine info =
       end
     done
   done;
-  Hashtbl.iter
-    (fun (u, v) () -> Graph.add_edge g (vx u) (vx v) (Mat.interference m))
-    diff_pairs;
+  (Hashtbl.iter
+     (fun (u, v) () -> Graph.add_edge g (vx u) (vx v) (Mat.interference m))
+     diff_pairs
+   [@analyze.order_insensitive
+     "distinct keys touch distinct graph edges and Graph.add_edge is \
+      commutative across them"]);
   (* pairing constraints: sources of binary ALU ops *)
   let pairing =
     Mat.init ~rows:m ~cols:m (fun i j ->

@@ -15,7 +15,11 @@ let default_eps = 1e-6
 
 (* Independent recomputation over the raw representation: vertex terms for
    every live vertex, each symmetric edge counted once via the u < v
-   orientation. *)
+   orientation.  Edges are visited in ascending (u, v) order — NOT in
+   raw adjacency (hash-table) order — so the float accumulation has one
+   fixed order and the certified cost is reproducible across runs and
+   checkpoint reloads (pbqp_analyze's unordered-reduction lint flagged
+   the previous Graph.iter_adjacency version). *)
 let recompute g s =
   let acc = ref Cost.zero in
   let add x = acc := Cost.add !acc x in
@@ -25,15 +29,19 @@ let recompute g s =
       if cu = Solution.unassigned then add Cost.inf
       else add (Vec.get (Graph.cost g u) cu))
     (Graph.vertices g);
-  Graph.iter_adjacency
-    (fun u v muv ->
-      if u < v && Graph.is_alive g u && Graph.is_alive g v then begin
-        let cu = Solution.get s u and cv = Solution.get s v in
-        if cu = Solution.unassigned || cv = Solution.unassigned then
-          add Cost.inf
-        else add (Mat.get muv cu cv)
-      end)
-    g;
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          if u < v then begin
+            let muv = Option.get (Graph.edge_ref g u v) in
+            let cu = Solution.get s u and cv = Solution.get s v in
+            if cu = Solution.unassigned || cv = Solution.unassigned then
+              add Cost.inf
+            else add (Mat.get muv cu cv)
+          end)
+        (Graph.neighbors g u))
+    (Graph.vertices g);
   !acc
 
 let solution ?(eps = default_eps) ?reported g s =

@@ -1,0 +1,63 @@
+(** Solution certifier: accepts a solver's output only after recomputing
+    everything from the original graph with its own (deliberately
+    independent) cost loop — a bug in [Pbqp.Solution.cost] or in a
+    solver's incremental bookkeeping shows up as a certification
+    failure here. *)
+
+val default_eps : float
+
+(** Independent cost recomputation over the raw representation: vertex
+    terms for every live vertex, each symmetric edge counted once via
+    the [u < v] orientation, accumulated in a fixed ascending
+    [(u, v)] order so the float sum is reproducible. *)
+val recompute : Pbqp.Graph.t -> Pbqp.Solution.t -> Pbqp.Cost.t
+
+(** Well-formedness + admissibility of a claimed solution; with
+    [?reported], also recomputed-vs-reported cost agreement within a
+    relative [eps]. *)
+val solution :
+  ?eps:float ->
+  ?reported:Pbqp.Cost.t ->
+  Pbqp.Graph.t ->
+  Pbqp.Solution.t ->
+  Diag.finding list
+
+(** [valid g s] iff [solution g s] has no errors. *)
+val valid : Pbqp.Graph.t -> Pbqp.Solution.t -> bool
+
+type brute_verdict =
+  | Optimal of Pbqp.Cost.t  (** exhaustive search completed *)
+  | Budget_exhausted
+  | Infeasible
+
+val brute_optimum : ?max_states:int -> Pbqp.Graph.t -> brute_verdict
+
+(** A reported cost may not beat the brute-force optimum (when the
+    search completes within budget). *)
+val against_brute :
+  ?max_states:int ->
+  ?eps:float ->
+  Pbqp.Graph.t ->
+  reported:Pbqp.Cost.t ->
+  Diag.finding list
+
+type solver_run = {
+  solver : string;
+  cost : Pbqp.Cost.t option;  (** [None]: solver found no solution *)
+  findings : Diag.finding list;
+}
+
+(** Run the four classic solvers; certify every claimed solution, and
+    when the brute-force search completes within budget, cross-check
+    the heuristic costs against the optimum and the feasibility claims
+    against each other. *)
+val classic_solvers :
+  ?max_states:int ->
+  ?brute_max:int ->
+  Pbqp.Graph.t ->
+  solver_run list * Diag.finding list
+
+(** [classic_solvers] flattened into one finding list, each rule
+    prefixed with the solver's name. *)
+val classic_findings :
+  ?max_states:int -> ?brute_max:int -> Pbqp.Graph.t -> Diag.finding list

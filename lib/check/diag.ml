@@ -14,6 +14,7 @@ type location =
   | Block of int  (* CIR basic block *)
   | Param of string  (* network parameter by name *)
   | Line of int  (* line of a text input *)
+  | Src of string * int  (* source file and line, for static analysis *)
 
 type finding = {
   severity : severity;
@@ -79,6 +80,7 @@ let location_string = function
   | Block b -> Printf.sprintf "b%d" b
   | Param p -> p
   | Line l -> Printf.sprintf "line %d" l
+  | Src (f, l) -> Printf.sprintf "%s:%d" f l
 
 let pp_finding ppf f =
   let loc = location_string f.location in

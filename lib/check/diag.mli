@@ -1,0 +1,89 @@
+(** Findings shared by every checker in [lib/check] (and by the static
+    analyzer in [lib/analyze]): a severity, a stable kebab-case rule
+    name, a location in whatever layer the checker inspects, and a human
+    message.  Checkers collect findings instead of raising so that one
+    pass reports everything it can see. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Global
+  | Vertex of int  (** PBQP vertex *)
+  | Edge of int * int  (** PBQP edge *)
+  | Vreg of int  (** virtual register, CIR or ATE *)
+  | Instr of int  (** linear instruction position *)
+  | Block of int  (** CIR basic block *)
+  | Param of string  (** network parameter by name *)
+  | Line of int  (** line of a text input *)
+  | Src of string * int  (** source file and line, for static analysis *)
+
+type finding = {
+  severity : severity;
+  rule : string;
+  location : location;
+  message : string;
+}
+
+val severity_rank : severity -> int
+
+(** [finding sev rule loc fmt ...] builds a finding with a printf-style
+    message. *)
+val finding :
+  severity -> string -> location -> ('a, unit, string, finding) format4 -> 'a
+
+val error : string -> location -> ('a, unit, string, finding) format4 -> 'a
+val warning : string -> location -> ('a, unit, string, finding) format4 -> 'a
+val info : string -> location -> ('a, unit, string, finding) format4 -> 'a
+
+(** Accumulator used by the checkers; findings come back in insertion
+    order. *)
+type collector
+
+val collector : unit -> collector
+val add : collector -> finding -> unit
+
+val addf :
+  collector ->
+  severity ->
+  string ->
+  location ->
+  ('a, unit, string, unit) format4 ->
+  'a
+
+val errorf :
+  collector -> string -> location -> ('a, unit, string, unit) format4 -> 'a
+
+val warningf :
+  collector -> string -> location -> ('a, unit, string, unit) format4 -> 'a
+
+val infof :
+  collector -> string -> location -> ('a, unit, string, unit) format4 -> 'a
+
+(** Findings in insertion order. *)
+val report : collector -> finding list
+
+(** Errors added so far (cheaper than filtering [report]). *)
+val error_count_in : collector -> int
+
+val count : severity -> finding list -> int
+val has_errors : finding list -> bool
+val errors_only : finding list -> finding list
+
+(** Stable sort, most severe first. *)
+val by_severity : finding list -> finding list
+
+val severity_string : severity -> string
+val location_string : location -> string
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> finding list -> unit
+val to_string : finding list -> string
+
+(** ["%d error(s), %d warning(s), %d info"]. *)
+val summary : finding list -> string
+
+(** Prefix every finding's message with [ctx ^ ": "], used by batteries
+    that aggregate several sub-checks under one namespace. *)
+val with_context : string -> finding list -> finding list
+
+(** 1 when any finding is an [Error], 0 otherwise. *)
+val exit_code : finding list -> int

@@ -1,0 +1,32 @@
+(** Numerical gradient checker: central finite differences against the
+    reverse-mode gradients of [nn/ad.ml].  Exposed both as a primitive
+    ([scalar]) for tests and as ready-made batteries over every layer
+    type and the full policy/value network. *)
+
+val default_eps : float
+val default_tol : float
+
+(** Check [d(f)/d(var)] for every var; findings name the offending
+    parameter and component.  [f] must build a scalar from a fresh
+    [Nn.Ad] context. *)
+val scalar :
+  ?eps:float ->
+  ?tol:float ->
+  name:string ->
+  Nn.Var.t list ->
+  (Nn.Ad.ctx -> Nn.Ad.t) ->
+  Diag.finding list
+
+(** One gradient check per layer kind (linear, relu, tanh, layernorm,
+    residual) on fixed probe inputs away from the ReLU kink. *)
+val layer_battery : ?eps:float -> ?tol:float -> unit -> Diag.finding list
+
+(** Check the training-loss gradient of every parameter of [net] on one
+    sample: exercises the GCN message passing, trunk, heads, and the
+    loss itself. *)
+val pvnet :
+  ?eps:float -> ?tol:float -> Nn.Pvnet.t -> Nn.Pvnet.sample -> Diag.finding list
+
+(** Self-contained [pvnet] run: a tiny network over a 2-vertex graph,
+    so the finite-difference sweep over every parameter stays fast. *)
+val pvnet_battery : ?eps:float -> ?tol:float -> unit -> Diag.finding list

@@ -89,7 +89,10 @@ let check_adjacency c (g : Graph.t) =
   let m = Graph.m g in
   (* materialize the raw adjacency into per-vertex entry lists *)
   let entries = Array.make (max n 1) [] in
-  Graph.iter_adjacency (fun u v muv -> entries.(u) <- (v, muv) :: entries.(u)) g;
+  (Graph.iter_adjacency (fun u v muv -> entries.(u) <- (v, muv) :: entries.(u)) g
+   [@analyze.order_insensitive
+     "bucketing into per-vertex lists; validation below is per-entry \
+      with no accumulation"]);
   Array.iteri
     (fun u es ->
       if u < n && not (Graph.is_alive g u) then begin

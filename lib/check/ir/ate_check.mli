@@ -1,0 +1,26 @@
+(** ATE schedule and register-assignment validator.
+
+    Sanitizer-style counterpart of [Ate.Validate.check] /
+    [Ate.Program.check_schedulable]: the same machine rules, but every
+    violation is reported as a located finding instead of failing on
+    the first. *)
+
+(** Schedulability of a program under a machine's cycle rules; when it
+    fails, an extra info finding reports how many nops
+    [Ate.Schedule.pad] would insert. *)
+val schedule : Ate.Machine.t -> Ate.Ast.program -> Check.Diag.finding list
+
+(** [Ate.Schedule.pad] must yield a schedulable program that differs
+    from the input only by inserted [Nop]s (same instructions in order,
+    same labels). *)
+val padded : Ate.Machine.t -> Ate.Ast.program -> Check.Diag.finding list
+
+(** A register assignment against the machine rules: completeness,
+    register ranges, class membership, pair compatibility, interference
+    freedom, major-cycle write-once / read-before-write discipline —
+    cross-checked against the repo's own fail-fast validator. *)
+val assignment :
+  Ate.Machine.t ->
+  Ate.Program.info ->
+  assignment:(int -> int option) ->
+  Check.Diag.finding list

@@ -1,0 +1,36 @@
+(** CIR allocation verifier.
+
+    Three layers of checks over the compiler backend: structural IR
+    sanity plus a must-define (definite-assignment) forward dataflow,
+    a [Cir.Regalloc.allocation] against the liveness facts, and
+    spill-slot consistency of the rewritten VCPU code. *)
+
+(** Structural sanity of one function, then (if structurally clean) the
+    must-define dataflow: every use must be dominated by a definition
+    along all paths. *)
+val func : Cir.Ir.func -> Check.Diag.finding list
+
+(** [Cir.Ir.check] plus [func] for every function, findings prefixed
+    with the function name. *)
+val program : Cir.Ir.program -> Check.Diag.finding list
+
+(** An allocation against the liveness facts: register ranges,
+    class/constraint membership, interference, and agreement with the
+    repo's own fail-fast [Cir.Regalloc.validate]. *)
+val allocation :
+  Cir.Liveness.t -> Cir.Regalloc.allocation -> Check.Diag.finding list
+
+(** Spill-slot consistency of rewritten VCPU code: slot ranges,
+    scratch-register discipline, physical register ranges, and the
+    callee-saved book-keeping. *)
+val machine_func : Cir.Mach.mfunc -> Check.Diag.finding list
+
+type alloc_kind = Fast | Basic | Greedy | Pbqp
+
+val alloc_kind_name : alloc_kind -> string
+
+(** Compile MiniC source and push every function through IR checks, the
+    allocator under [kind] (default [Pbqp]), allocation certification,
+    spill rewriting and machine-code checks.  For the PBQP allocator the
+    built graph is also linted with the base well-formedness analyzer. *)
+val check_source : ?kind:alloc_kind -> string -> Check.Diag.finding list

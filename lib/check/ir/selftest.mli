@@ -1,0 +1,15 @@
+(** The deterministic battery behind [pbqp_lint --self-test]: positive
+    properties (generated instances are well-formed, classic-solver
+    solutions certify, gradients match finite differences, the CIR and
+    ATE pipelines verify end to end, the trail state tracks the
+    persistent oracle) and negative properties (hand-crafted malformed
+    graphs/solutions are rejected). *)
+
+type case = { name : string; ok : bool; detail : string }
+
+(** All cases pass. *)
+val ok : case list -> bool
+
+(** Run the full battery; [graphs] scales the generated-instance sweep,
+    [seed] fixes the random stream. *)
+val run : ?graphs:int -> ?seed:int -> unit -> case list

@@ -129,9 +129,10 @@ let copy_propagate (f : Ir.func) =
       let kill v =
         Hashtbl.remove copies v;
         (* and any copy reading v *)
-        Hashtbl.iter
-          (fun d s -> if s = v then Hashtbl.remove copies d)
-          (Hashtbl.copy copies)
+        (Hashtbl.iter
+           (fun d s -> if s = v then Hashtbl.remove copies d)
+           (Hashtbl.copy copies)
+         [@analyze.order_insensitive "commuting removals of distinct keys"])
       in
       let subst value =
         match value with

@@ -97,6 +97,24 @@ let is_terminal t = is_complete t || is_dead_end t
    old one with the selected matrix row folded in, ascending), O(deg(u)),
    memoized on the node.  Redo: swap the memoized post-move vectors back
    in — no recomputation, no allocation, bitwise the same objects. *)
+(* Allocation-free walks over a memo's neighbor list: top-level
+   recursive functions instead of per-call [List.iter] closures, so the
+   redo/undo hot paths allocate nothing (found by pbqp_analyze's [@hot]
+   closure lint). *)
+let rec swap_in_post g = function
+  | [] -> ()
+  | (v, _, nw) :: tl ->
+      ignore (Graph.swap_cost g v nw);
+      swap_in_post g tl
+[@@hot]
+
+let rec swap_in_pre g = function
+  | [] -> ()
+  | (v, old, _) :: tl ->
+      ignore (Graph.swap_cost g v old);
+      swap_in_pre g tl
+[@@hot]
+
 let push_node t node =
   let c = node.p_color in
   (match next_vertex t with
@@ -107,31 +125,32 @@ let push_node t node =
       let memo =
         match node.p_memo with
         | Some memo ->
-            List.iter
-              (fun (v, _, nw) -> ignore (Graph.swap_cost g v nw))
-              memo.m_vecs;
+            swap_in_post g memo.m_vecs;
             Graph.redetach_vertex g memo.m_detached;
             memo
         | None ->
-            let step = Vec.get (Graph.cost g u) c in
-            let vecs = ref [] in
-            Graph.iter_neighbors g u (fun v muv ->
-                let fresh = Vec.copy (Graph.cost g v) in
-                Mat.add_row_into muv c fresh;
-                vecs := (v, Graph.swap_cost g v fresh, fresh) :: !vecs);
-            let detached = Graph.detach_vertex g u in
-            let memo =
-              { m_prev_base = t.base_cost;
-                m_new_base = Cost.add t.base_cost step;
-                m_detached = detached; m_vecs = !vecs }
-            in
-            node.p_memo <- Some memo;
-            memo
+            (let step = Vec.get (Graph.cost g u) c in
+             let vecs = ref [] in
+             Graph.iter_neighbors g u (fun v muv ->
+                 let fresh = Vec.copy (Graph.cost g v) in
+                 Mat.add_row_into muv c fresh;
+                 vecs := (v, Graph.swap_cost g v fresh, fresh) :: !vecs);
+             let detached = Graph.detach_vertex g u in
+             let memo =
+               { m_prev_base = t.base_cost;
+                 m_new_base = Cost.add t.base_cost step;
+                 m_detached = detached; m_vecs = !vecs }
+             in
+             node.p_memo <- Some memo;
+             memo)
+            [@analyze.ok
+              "first traversal of a tree edge memoizes: these                allocations happen once per edge by design; every redo                takes the allocation-free branch above"]
       in
       Solution.set t.assignment u c;
       t.base_cost <- memo.m_new_base;
       t.pos <- t.pos + 1);
   t.cur <- node
+[@@hot]
 
 let pop t =
   match (t.cur.p_parent, t.cur.p_memo) with
@@ -140,12 +159,11 @@ let pop t =
       let u = t.order.(t.pos) in
       Solution.set t.assignment u Solution.unassigned;
       Graph.reattach_vertex t.graph memo.m_detached;
-      List.iter
-        (fun (v, old, _) -> ignore (Graph.swap_cost t.graph v old))
-        memo.m_vecs;
+      swap_in_pre t.graph memo.m_vecs;
       t.base_cost <- memo.m_prev_base;
       t.cur <- parent
   | _ -> invalid_arg "Istate.undo: at the root"
+[@@hot]
 
 let extend_path t p c =
   let u = t.order.(p.p_depth) in

@@ -68,8 +68,11 @@ let apply t c =
       if not (legal t c) then invalid_arg "State.apply: illegal color";
       let g = Graph.copy_shared t.graph in
       let step = Vec.get (Graph.cost g u) c in
-      Graph.iter_neighbors g u (fun v muv ->
-          Mat.add_row_into muv c (Graph.cost g v));
+      (Graph.iter_neighbors g u (fun v muv ->
+           Mat.add_row_into muv c (Graph.cost g v))
+       [@analyze.order_insensitive
+         "each neighbor's cost vector is updated independently; no \
+          cross-neighbor accumulation"]);
       Graph.remove_vertex g u;
       let assignment = Solution.copy t.assignment in
       Solution.set assignment u c;

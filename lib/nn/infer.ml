@@ -42,8 +42,10 @@ type ticket = {
   t_version : int;
   t_net : Pvnet.t;
   t_enqueued : float;
-  mutable t_result : (float array * float) array option;
-  mutable t_failed : (exn * Printexc.raw_backtrace) option;
+  mutable t_result : (float array * float) array option
+      [@guarded_by "mutex"];
+  mutable t_failed : (exn * Printexc.raw_backtrace) option
+      [@guarded_by "mutex"];
 }
 
 type stats = {
@@ -61,13 +63,13 @@ type t = {
   max_batch : int;
   wait_s : float;
   workers : int;
-  mutable pending_rows : int;
-  mutable serving : bool;
-  mutable s_batches : int;
-  mutable s_rows : int;
-  mutable s_full : int;
-  mutable s_timeout : int;
-  mutable s_max_rows : int;
+  mutable pending_rows : int [@guarded_by "mutex"];
+  mutable serving : bool [@guarded_by "mutex"];
+  mutable s_batches : int [@guarded_by "mutex"];
+  mutable s_rows : int [@guarded_by "mutex"];
+  mutable s_full : int [@guarded_by "mutex"];
+  mutable s_timeout : int [@guarded_by "mutex"];
+  mutable s_max_rows : int [@guarded_by "mutex"];
 }
 
 let create ?(max_batch = 32) ?(wait_us = 200) ~workers () =
@@ -128,6 +130,7 @@ let drain_batch t =
   done;
   t.pending_rows <- t.pending_rows - !brows;
   (List.rev !batch, !brows)
+[@@requires_lock "mutex"]
 
 (* Called with the lock held; returns with the lock held.  Runs one
    coalesced batch (the network call itself happens unlocked). *)
@@ -159,6 +162,7 @@ let serve t ~full =
   | Error err -> List.iter (fun tk -> tk.t_failed <- Some err) batch);
   t.serving <- false;
   Condition.broadcast t.cond
+[@@requires_lock "mutex"]
 
 let submit t ~net preps =
   if Array.length preps = 0 then [||]

@@ -267,6 +267,7 @@ let relu_into x =
     let v = Array.unsafe_get d k in
     Array.unsafe_set d k (if v > 0.0 then v else 0.0)
   done
+[@@hot]
 
 (* y ← y + 1b, per row *)
 let add_bias_rows (lin : Layer.Linear.t) y =
@@ -278,6 +279,7 @@ let add_bias_rows (lin : Layer.Linear.t) y =
       yd.(base + j) <- yd.(base + j) +. bd.(j)
     done
   done
+[@@hot]
 
 (* rows(x) ↦ rows(x) Wᵀ + b, one GEMM for the whole stack *)
 let linear_rows (lin : Layer.Linear.t) x =
@@ -307,6 +309,7 @@ let transposed t (lin : Layer.Linear.t) =
 let linear_rows_into t (lin : Layer.Linear.t) x out =
   Tensor.matmul_into out x (transposed t lin);
   add_bias_rows lin out
+[@@hot]
 
 (* per-row LayerNorm mirroring Ad.layernorm's arithmetic term for term;
    the [_into] form overwrites every cell of [out], so dirty scratch
@@ -341,6 +344,7 @@ let layernorm_rows_into (ln : Layer.Layernorm.t) x out =
       od.(base + j) <- (gd.(j) *. xhat) +. bd.(j)
     done
   done
+[@@hot]
 
 let layernorm_rows (ln : Layer.Layernorm.t) x =
   let r, c = Tensor.dims2 x in

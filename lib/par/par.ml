@@ -24,9 +24,11 @@ type pool = {
   work : Condition.t;        (* signalled when tasks are enqueued / stop set *)
   done_ : Condition.t;       (* signalled when [pending] reaches 0 *)
   queue : task Queue.t;
-  mutable pending : int;     (* tasks of the current region not yet finished *)
-  mutable stop : bool;
-  mutable exn : (exn * Printexc.raw_backtrace) option; (* first task failure *)
+  mutable pending : int [@guarded_by "mutex"];
+      (* tasks of the current region not yet finished *)
+  mutable stop : bool [@guarded_by "mutex"];
+  mutable exn : (exn * Printexc.raw_backtrace) option [@guarded_by "mutex"];
+      (* first task failure *)
   mutable alive : bool;
   mutable workers : unit Domain.t array; (* the [size - 1] spawned domains *)
   size : int;

@@ -95,12 +95,16 @@ let add_edge g u v muv =
 
 let neighbors g u =
   check_vertex g u "neighbors";
-  Hashtbl.fold (fun v _ acc -> v :: acc) g.adj.(u) []
-  |> List.sort Int.compare
+  (Hashtbl.fold (fun v _ acc -> v :: acc) g.adj.(u) []
+  |> List.sort Int.compare)
+[@@analyze.order_insensitive "collected set is sorted before use"]
 
 let iter_neighbors g u f =
   check_vertex g u "iter_neighbors";
   Hashtbl.iter f g.adj.(u)
+[@@analyze.order_insensitive
+  "hot-path raw-order iteration; every caller's per-neighbor work is \
+   independent (no cross-neighbor accumulation), see Istate.push_node"]
 
 let degree g u =
   check_vertex g u "degree";
@@ -111,6 +115,7 @@ let remove_vertex g u =
   Hashtbl.iter (fun v _ -> Hashtbl.remove g.adj.(v) u) g.adj.(u);
   Hashtbl.reset g.adj.(u);
   g.alive.(u) <- false
+[@@analyze.order_insensitive "commuting removals of distinct keys"]
 
 (* --- Trail primitives (incremental apply/undo) ----------------------- *)
 
@@ -134,6 +139,9 @@ let detach_vertex g u =
   Hashtbl.reset g.adj.(u);
   g.alive.(u) <- false;
   { d_vertex = u; d_adj = entries }
+[@@analyze.order_insensitive
+  "entry-list order only sequences commuting per-neighbor \
+   detach/reattach operations"]
 
 (* Detach again a vertex previously detached and reattached: the record
    already lists the incident edges, so no list is rebuilt — the
@@ -171,15 +179,25 @@ let copy_with mat_copy g =
           tbl')
         g.adj;
   }
+[@@analyze.order_insensitive
+  "populates a fresh table keyed by neighbor id; adjacency is a map, \
+   consumers never depend on its physical order"]
 
 let copy g = copy_with Mat.copy g
 let copy_shared g = copy_with Fun.id g
 
+(* Deterministic edge order: u ascending, then v ascending within u's
+   (sorted) neighbor list — never raw hash-table order.  Callers fold
+   floats through this (Solution.cost, Stats, Liberty), so a fixed
+   visit order is what keeps summed costs reproducible across runs and
+   checkpoint reloads regardless of edge insertion/removal history. *)
 let fold_edges f g init =
   let acc = ref init in
   for u = 0 to g.n - 1 do
     if g.alive.(u) then
-      Hashtbl.iter (fun v muv -> if u < v then acc := f u v muv !acc) g.adj.(u)
+      List.iter
+        (fun v -> if u < v then acc := f u v (Hashtbl.find g.adj.(u) v) !acc)
+        (neighbors g u)
   done;
   !acc
 
@@ -187,6 +205,9 @@ let edge_count g = fold_edges (fun _ _ _ acc -> acc + 1) g 0
 
 let iter_adjacency f g =
   Array.iteri (fun u tbl -> Hashtbl.iter (fun v muv -> f u v muv) tbl) g.adj
+[@@analyze.order_insensitive
+  "raw representation scan for the checkers; callers bucket entries \
+   per vertex before order-sensitive processing"]
 
 let equal_with vec_eq mat_eq a b =
   a.m = b.m && a.n = b.n
@@ -206,6 +227,7 @@ let equal_with vec_eq mat_eq a b =
         end
       done;
       !ok)
+[@@analyze.order_insensitive "per-key membership tests only"]
 
 let equal a b = equal_with Vec.equal Mat.equal a b
 
@@ -236,6 +258,7 @@ let check g =
     else if Hashtbl.length g.adj.(u) <> 0 then
       failwith (Printf.sprintf "Graph.check: dead vertex %d has edges" u)
   done
+[@@analyze.order_insensitive "per-edge validation, no accumulation"]
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>PBQP graph: m=%d, %d live / %d vertices, %d edges" g.m

@@ -151,6 +151,7 @@ let matmul_rows od ad bd ~ca ~cb ~lo ~hi =
     done;
     ib := !ib + block
   done
+[@@hot]
 
 (* Optional pool for parallel GEMM; set once at startup by the driver.
    Atomic so a concurrent reader sees either the old or the new pool,
@@ -199,6 +200,7 @@ let blit_row_into src i dst =
   for j = 0 to c - 1 do
     Array.unsafe_set dd (base + j) (Array.unsafe_get sd j)
   done
+[@@hot]
 
 let stack_rows rows =
   match rows with

@@ -1,0 +1,27 @@
+(* Fixture: guarded-by / requires-lock violations.  Parsed by
+   test_analyze, never compiled. *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable count : int; [@guarded_by "mutex"]
+}
+
+(* entered with the lock held by contract; body is clean *)
+let bump_locked t = t.count <- t.count + 1
+[@@requires_lock "mutex"]
+
+(* write with no lock: guarded-by *)
+let bump t = t.count <- t.count + 1
+
+(* read with no lock: guarded-by *)
+let peek t = t.count
+
+(* requires_lock callee invoked outside any lock region: requires-lock *)
+let sneaky t = bump_locked t
+
+(* lock only on one branch: the branch intersection drops it, so the
+   unconditional write is a guarded-by violation *)
+let branchy t flag =
+  if flag then Mutex.lock t.mutex;
+  t.count <- 0;
+  if flag then Mutex.unlock t.mutex

@@ -1,0 +1,33 @@
+(* Fixture: every guarded access is inside its lock region — the
+   analyzer must report nothing here. *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable count : int; [@guarded_by "mutex"]
+}
+
+let bump_locked t = t.count <- t.count + 1
+[@@requires_lock "mutex"]
+
+let bump t =
+  Mutex.lock t.mutex;
+  bump_locked t;
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex
+
+let read t = Mutex.protect t.mutex (fun () -> t.count)
+
+(* Condition.wait atomically releases and reacquires: still held after *)
+let wait_zero t cond =
+  Mutex.lock t.mutex;
+  while t.count > 0 do
+    Condition.wait cond t.mutex
+  done;
+  t.count <- -1;
+  Mutex.unlock t.mutex
+
+(* both branches agree on the held set *)
+let toggle t flag =
+  Mutex.lock t.mutex;
+  (if flag then t.count <- 0 else t.count <- 1);
+  Mutex.unlock t.mutex

@@ -1,0 +1,11 @@
+(* Fixture: raw hash-order iteration (warning) and a float reduction in
+   hash order (error, not blessable by the order attribute). *)
+
+let dump tbl =
+  Hashtbl.iter (fun k v -> print_endline (k ^ string_of_int v)) tbl
+
+let total tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0
+
+(* the order attribute must NOT silence a float reduction *)
+let total_blessed tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0
+[@@analyze.order_insensitive "wishful thinking"]

@@ -1,0 +1,15 @@
+(* Fixture: blessed or restructured iteration — nothing to report. *)
+
+(* per-entry action commutes; blessed at the binding *)
+let clear_all tbl =
+  Hashtbl.iter (fun k _ -> Hashtbl.remove tbl k) (Hashtbl.copy tbl)
+[@@analyze.order_insensitive "commuting removals of distinct keys"]
+
+(* deterministic order: sort the keys first *)
+let total tbl =
+  let keys =
+    (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+    [@analyze.order_insensitive "collected set is sorted before use"])
+    |> List.sort compare
+  in
+  List.fold_left (fun acc k -> acc +. Hashtbl.find tbl k) 0.0 keys

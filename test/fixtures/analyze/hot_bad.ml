@@ -1,0 +1,27 @@
+(* Fixture: every allocation class the [@hot] lint knows. *)
+
+let add3 a b c = a + b + c
+
+(* closure literal + allocating stdlib call *)
+let scale k xs = List.map (fun x -> k * x) xs
+[@@hot]
+
+(* partial application against the registered arity of add3 *)
+let partial x = add3 x 1
+[@@hot]
+
+(* tuple construction *)
+let pair a b = (a, b)
+[@@hot]
+
+(* non-constant constructor *)
+let wrap x = Some x
+[@@hot]
+
+(* formatting *)
+let shout x = Printf.printf "%d\n" x
+[@@hot]
+
+(* string concatenation *)
+let greet name = "hello " ^ name
+[@@hot]

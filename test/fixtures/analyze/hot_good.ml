@@ -1,0 +1,32 @@
+(* Fixture: allocation-free hot code, including the idioms the lint
+   must NOT flag. *)
+
+let add3 a b c = a + b + c
+
+let sum2 a b = a + b
+[@@hot]
+
+(* local refs are the loop-counter idiom, not steady-state churn *)
+let iota n =
+  let i = ref 0 and acc = ref 0 in
+  while !i < n do
+    acc := !acc + !i;
+    incr i
+  done;
+  !acc
+[@@hot]
+
+(* a tuple as a match scrutinee is deconstructed in place *)
+let swap_order a b =
+  match (a, b) with
+  | x, y when x > y -> x - y
+  | x, y -> y - x
+[@@hot]
+
+(* full application of a known function *)
+let full x = add3 x 1 2
+[@@hot]
+
+(* explicit waiver for a deliberate allocation *)
+let blessed a b = ((a, b) [@analyze.ok "boxed once at setup, not per call"])
+[@@hot]

@@ -1,0 +1,29 @@
+(* Fixture: inconsistent lock acquisition order, one side of the cycle
+   through a call (exercises the acquires-set fixpoint), plus a
+   non-reentrant re-acquisition. *)
+
+let m1 = Mutex.create ()
+let m2 = Mutex.create ()
+
+let inner () =
+  Mutex.lock m2;
+  Mutex.unlock m2
+
+(* m1 -> m2 via the call to inner *)
+let outer () =
+  Mutex.lock m1;
+  inner ();
+  Mutex.unlock m1
+
+(* m2 -> m1 directly: closes the cycle *)
+let reversed () =
+  Mutex.lock m2;
+  Mutex.lock m1;
+  Mutex.unlock m1;
+  Mutex.unlock m2
+
+(* OCaml mutexes are not reentrant: self-deadlock *)
+let twice () =
+  Mutex.lock m1;
+  Mutex.lock m1;
+  Mutex.unlock m1

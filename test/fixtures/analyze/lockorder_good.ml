@@ -1,0 +1,17 @@
+(* Fixture: two locks, always acquired m1-then-m2 — no cycle. *)
+
+let m1 = Mutex.create ()
+let m2 = Mutex.create ()
+
+let both () =
+  Mutex.lock m1;
+  Mutex.lock m2;
+  Mutex.unlock m2;
+  Mutex.unlock m1
+
+let via_protect () =
+  Mutex.protect m1 (fun () -> Mutex.protect m2 (fun () -> ()))
+
+let just_one () =
+  Mutex.lock m2;
+  Mutex.unlock m2

@@ -1,0 +1,5 @@
+(* Fixture: global Random stream and wall-clock seeding. *)
+
+let noise () = Random.float 1.0
+let seed_clock () = Random.self_init ()
+let state_clock () = Random.State.make_self_init ()

@@ -1,0 +1,5 @@
+(* Fixture: all randomness flows through an explicitly seeded state. *)
+
+let make seed = Random.State.make [| seed |]
+let noise st = Random.State.float st 1.0
+let pick st n = Random.State.int st n

@@ -1,0 +1,12 @@
+(* Fixture: module-level mutable state with no guard, plus an unlocked
+   access to a guarded global. *)
+
+let table = Hashtbl.create 16
+let counter = ref 0
+let scratch = Array.make 8 0.0
+
+let m = Mutex.create ()
+let guarded_tbl = Hashtbl.create 16 [@@guarded_by "m"]
+
+(* guarded global touched outside its lock region: guarded-by *)
+let lookup k = Hashtbl.find_opt guarded_tbl k

@@ -1,0 +1,10 @@
+(* Fixture: module-level state that is atomic, guarded, or explicitly
+   waived — nothing to report. *)
+
+let hits = Atomic.make 0
+let m = Mutex.create ()
+let table = Hashtbl.create 16 [@@guarded_by "m"]
+let cache = Hashtbl.create 16 [@@analyze.unshared "single-domain CLI scratch"]
+
+let lookup k = Mutex.protect m (fun () -> Hashtbl.find_opt table k)
+let hit () = Atomic.incr hits

@@ -13,6 +13,17 @@ echo "== dune build @quick =="
 # full matrix follows, this just fails fast on the cheap ones
 dune build @quick
 
+echo "== dune build @analyze =="
+# the repo's own static analysis (lib/analyze): guarded-by lock regions,
+# lock-order cycles, hash-order/Random nondeterminism and the [@hot]
+# allocation lint over lib/ and bin/; any finding whose rule|file|symbol
+# key is not in ANALYZE_BASELINE fails the gate
+dune build @analyze
+
+echo "== pbqp_analyze --json =="
+# same gate, machine-readable: non-zero exit on any unbaselined finding
+dune exec bin/pbqp_analyze.exe -- --json --baseline ANALYZE_BASELINE lib bin
+
 echo "== dune runtest =="
 dune runtest
 
