@@ -12,27 +12,80 @@ let print_findings header findings =
       findings
   end
 
-(* Lint one graph (well-formedness, optionally solver certification);
-   returns its findings. *)
-let lint_graph ~certify header g =
+(* Optimality-gap report for one graph: prove the optimum with the exact
+   branch-and-bound solver, certify that the best classic claim does not
+   beat it, and print every classic solver's gap to the proven optimum. *)
+let gap_report ~max_nodes header g =
+  let scholz_cost =
+    let _, c, _ = Solvers.Scholz.solve_with_cost g in
+    if Pbqp.Cost.is_finite c then Some c else None
+  in
+  let runs =
+    [
+      ("scholz", scholz_cost);
+      ( "mrv",
+        Option.map
+          (fun s -> Pbqp.Solution.cost g s)
+          (fst (Solvers.Mrv.solve ~max_states:200_000 g)) );
+      ( "liberty",
+        Option.map
+          (fun s -> Pbqp.Solution.cost g s)
+          (fst (Solvers.Liberty.solve ~max_states:200_000 g)) );
+      ("greedy", Option.map snd (fst (Solvers.Greedy.solve g)));
+    ]
+  in
+  let best_claim =
+    List.fold_left
+      (fun acc (_, c) ->
+        match c with Some c -> Pbqp.Cost.min acc c | None -> acc)
+      Pbqp.Cost.inf runs
+  in
+  let oracle, findings =
+    Check.Certify.certify_optimal ~max_nodes g ~reported:best_claim
+  in
+  (match oracle with
+  | Check.Certify.Proven opt when Pbqp.Cost.is_finite opt ->
+      Printf.printf "%s: proven optimum %s\n" header (Pbqp.Cost.to_string opt);
+      List.iter
+        (fun (name, c) ->
+          match c with
+          | Some c ->
+              let gap =
+                (Pbqp.Cost.to_float c -. Pbqp.Cost.to_float opt)
+                /. Float.max 1.0 (Float.abs (Pbqp.Cost.to_float opt))
+              in
+              Printf.printf "  %-8s %-12s gap %+.3f%%\n" name
+                (Pbqp.Cost.to_string c) (100.0 *. gap)
+          | None -> Printf.printf "  %-8s no solution (gap inf)\n" name)
+        runs
+  | Check.Certify.Proven _ ->
+      Printf.printf "%s: proven infeasible\n" header
+  | Check.Certify.Oracle_skipped reason ->
+      Printf.printf "%s: optimum not proven (%s)\n" header reason);
+  findings
+
+(* Lint one graph (well-formedness, optionally solver certification,
+   optionally the exact optimality-gap report); returns its findings. *)
+let lint_graph ~certify ~gap ~gap_nodes header g =
   let findings =
     Check.Invariants.graph g
     @ (if certify then Check.Certify.classic_findings g else [])
+    @ if gap then gap_report ~max_nodes:gap_nodes header g else []
   in
   print_findings header findings;
   findings
 
-let run_files ~certify files =
+let run_files ~certify ~gap ~gap_nodes files =
   List.concat_map
     (fun path ->
       match Check.Invariants.parse_file path with
       | Error findings ->
           print_findings path findings;
           findings
-      | Ok g -> lint_graph ~certify path g)
+      | Ok g -> lint_graph ~certify ~gap ~gap_nodes path g)
     files
 
-let run_gen ~certify ~seed n =
+let run_gen ~certify ~gap ~gap_nodes ~seed n =
   let rng = Random.State.make [| seed |] in
   List.concat
     (List.init n (fun i ->
@@ -40,7 +93,7 @@ let run_gen ~certify ~seed n =
            { Pbqp.Generate.default with n = 4 + (i mod 6); m = 2 + (i mod 3) }
          in
          let g = Pbqp.Generate.erdos_renyi ~rng config in
-         lint_graph ~certify (Printf.sprintf "gen-%03d" i) g))
+         lint_graph ~certify ~gap ~gap_nodes (Printf.sprintf "gen-%03d" i) g))
 
 let run_cir ~kind path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -53,12 +106,17 @@ let run_cir ~kind path =
       print_findings path findings;
       findings
 
-let run_fuzz ~kind ~seed n =
+let run_fuzz ~kind ~gap_vertices ~gap_nodes ~seed n =
   let rng = Random.State.make [| seed |] in
   List.concat
     (List.init n (fun i ->
          let src = Cir.Fuzzgen.generate ~rng in
-         let findings = Check_ir.Cir_check.check_source ~kind src in
+         (* PBQP graphs of at most --gap-vertices live vertices are also
+            routed through the exact solver (certify_optimal) *)
+         let findings =
+           Check_ir.Cir_check.check_source ~kind
+             ~exact_vertices:gap_vertices ~exact_nodes:gap_nodes src
+         in
          print_findings (Printf.sprintf "fuzz-%03d" i) findings;
          findings))
 
@@ -86,7 +144,8 @@ let run_selftest ~graphs ~seed =
     (List.length cases);
   Check_ir.Selftest.ok cases
 
-let lint files certify gen cir fuzz alloc gradcheck selftest graphs seed =
+let lint files certify gap gap_vertices gap_nodes gen cir fuzz alloc gradcheck
+    selftest graphs seed =
   let kind =
     match alloc with
     | "fast" -> Ok Check_ir.Cir_check.Fast
@@ -104,10 +163,11 @@ let lint files certify gen cir fuzz alloc gradcheck selftest graphs seed =
       then `Error (true, "nothing to do: give FILES or a mode flag")
       else begin
         let findings =
-          run_files ~certify files
-          @ (if gen > 0 then run_gen ~certify ~seed gen else [])
+          run_files ~certify ~gap ~gap_nodes files
+          @ (if gen > 0 then run_gen ~certify ~gap ~gap_nodes ~seed gen else [])
           @ (match cir with Some p -> run_cir ~kind p | None -> [])
-          @ (if fuzz > 0 then run_fuzz ~kind ~seed fuzz else [])
+          @ (if fuzz > 0 then run_fuzz ~kind ~gap_vertices ~gap_nodes ~seed fuzz
+             else [])
           @ if gradcheck then run_gradcheck () else []
         in
         let selftest_ok = if selftest then run_selftest ~graphs ~seed else true in
@@ -129,6 +189,27 @@ let () =
          & info [ "certify" ]
              ~doc:"also run every classic solver on each graph and certify \
                    the solutions (brute-force cross-check on small graphs)")
+  in
+  let gap =
+    Arg.(value & flag
+         & info [ "gap" ]
+             ~doc:"prove each graph's optimum with the exact \
+                   branch-and-bound solver and report every classic \
+                   solver's optimality gap (certify_optimal: a cost below \
+                   the proven optimum is an error, a search timeout an \
+                   explicit warning)")
+  in
+  let gap_vertices =
+    Arg.(value & opt int 24
+         & info [ "gap-vertices" ] ~docv:"N"
+             ~doc:"route --fuzz PBQP graphs with at most N live vertices \
+                   through the exact solver (0 disables)")
+  in
+  let gap_nodes =
+    Arg.(value & opt int 200_000
+         & info [ "gap-nodes" ] ~docv:"N"
+             ~doc:"branch-and-bound node budget for --gap/--fuzz exact \
+                   checks")
   in
   let gen =
     Arg.(value & opt int 0
@@ -177,7 +258,7 @@ let () =
          ~doc:"Static analysis and solution certification for the PBQP stack")
       Term.(
         ret
-          (const lint $ files $ certify $ gen $ cir $ fuzz $ alloc $ gradcheck
-         $ selftest $ graphs $ seed))
+          (const lint $ files $ certify $ gap $ gap_vertices $ gap_nodes $ gen
+         $ cir $ fuzz $ alloc $ gradcheck $ selftest $ graphs $ seed))
   in
   exit (Cmd.eval cmd)

@@ -9,7 +9,8 @@ let print_findings file findings =
         (Format.asprintf "%a" Check.Diag.pp_finding f))
     findings
 
-let solve file solver net_path k backtracking max_states dot =
+let solve file solver exact_flag net_path k backtracking max_states max_nodes
+    labels dot =
   match
     match Check.Invariants.parse_file file with
     | Error findings -> Error findings
@@ -38,7 +39,53 @@ let solve file solver net_path k backtracking max_states dot =
           (Format.asprintf "%a" Pbqp.Solution.pp s)
     | None -> Printf.printf "%s: no solution found%s\n" label extra
   in
+  let solver = if exact_flag then "exact" else solver in
   match solver with
+  | "exact" -> (
+      let outcome, stats = Core.Solver.solve_exact ~max_nodes g in
+      let extra =
+        Printf.sprintf " (%d nodes, %d pruned)" stats.Core.Solver.nodes
+          stats.backtracks
+      in
+      (* --labels FILE: append the proven optimum as a supervised
+         pretraining record (see Core.Labels / train --pretrain-labels) *)
+      let emit_label sol cost =
+        match labels with
+        | None -> ()
+        | Some path ->
+            let lbl =
+              { Core.Labels.graph = g; assignment = sol; cost }
+            in
+            let existing =
+              if Sys.file_exists path then Core.Labels.load path else []
+            in
+            Core.Labels.save path (existing @ [ lbl ]);
+            Printf.printf "label appended to %s\n" path
+      in
+      match outcome with
+      | Solvers.Exact.Optimal (s, c) ->
+          report "exact" (Some s) c (extra ^ " — proven optimal");
+          emit_label s c;
+          `Ok ()
+      | Solvers.Exact.Infeasible ->
+          Printf.printf "exact: proven infeasible%s\n" extra;
+          `Ok ()
+      | Solvers.Exact.Timeout incumbent ->
+          (match incumbent with
+          | Some (s, c) ->
+              report "exact" (Some s) c (extra ^ " — TIMEOUT, incumbent only")
+          | None -> Printf.printf "exact: timeout, no incumbent%s\n" extra);
+          `Ok ())
+  | "greedy" ->
+      let result, st = Solvers.Greedy.solve g in
+      (match result with
+      | Some (s, c) ->
+          report "greedy" (Some s) c
+            (Printf.sprintf " (%d steps)" st.Solvers.Greedy.steps)
+      | None ->
+          report "greedy" None Pbqp.Cost.inf
+            (Printf.sprintf " (%d steps)" st.Solvers.Greedy.steps));
+      `Ok ()
   | "brute" ->
       let result, stats = Solvers.Brute.solve ~max_states g in
       (match result with
@@ -101,7 +148,25 @@ let () =
   let solver =
     Arg.(value & opt string "scholz"
          & info [ "solver"; "s" ] ~docv:"SOLVER"
-             ~doc:"one of: brute, scholz, liberty, mrv, rl")
+             ~doc:"one of: brute, scholz, liberty, mrv, greedy, exact, rl")
+  in
+  let exact_flag =
+    Arg.(value & flag
+         & info [ "exact" ]
+             ~doc:"shorthand for --solver exact (branch-and-bound, proven \
+                   optimum or Timeout)")
+  in
+  let max_nodes =
+    Arg.(value & opt int 1_000_000
+         & info [ "max-nodes" ]
+             ~doc:"branch-and-bound node budget (exact solver)")
+  in
+  let labels =
+    Arg.(value & opt (some string) None
+         & info [ "labels" ] ~docv:"FILE"
+             ~doc:"append the proven-optimal (graph, assignment, cost) \
+                   record to FILE (exact solver; see train \
+                   --pretrain-labels)")
   in
   let net =
     Arg.(value & opt (some file) None
@@ -126,7 +191,7 @@ let () =
       (Cmd.info "pbqp_solve" ~doc:"Solve a PBQP instance")
       Term.(
         ret
-          (const solve $ file $ solver $ net $ k $ backtracking $ max_states
-         $ dot))
+          (const solve $ file $ solver $ exact_flag $ net $ k $ backtracking
+         $ max_states $ max_nodes $ labels $ dot))
   in
   exit (Cmd.eval cmd)

@@ -6,7 +6,7 @@ open Cmdliner
 
 let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
     ate batch batch_leaves incremental eval_cache serve_batch serve_wait_us
-    cache_stripes replay domains check checkpoint seed out =
+    cache_stripes replay domains check checkpoint pretrain_labels seed out =
   let instance_generator =
     if ate then
       Some
@@ -41,6 +41,7 @@ let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
       check;
       checkpoint;
       instance_generator;
+      pretrain_labels;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -152,6 +153,13 @@ let () =
          & info [ "checkpoint" ] ~docv:"PREFIX"
              ~doc:"save nets + replay after each iteration; resume if present")
   in
+  let pretrain_labels =
+    Arg.(value & opt (some file) None
+         & info [ "pretrain-labels" ] ~docv:"FILE"
+             ~doc:"seed the replay buffer with exact-optimal supervision \
+                   tuples from a Core.Labels file before self-play (see \
+                   pbqp_solve --exact --labels); fresh runs only")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"rng seed") in
   let out =
     Arg.(value & opt string "pvnet.ckpt" & info [ "o" ] ~doc:"output checkpoint")
@@ -163,6 +171,7 @@ let () =
         const run $ m $ iterations $ episodes $ k_train $ n_mean $ p_edge
         $ p_inf $ zero_inf $ planted $ ate $ batch $ batch_leaves
         $ incremental $ eval_cache $ serve_batch $ serve_wait_us
-        $ cache_stripes $ replay $ domains $ check $ checkpoint $ seed $ out)
+        $ cache_stripes $ replay $ domains $ check $ checkpoint
+        $ pretrain_labels $ seed $ out)
   in
   exit (Cmd.eval cmd)

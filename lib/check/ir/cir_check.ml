@@ -267,8 +267,12 @@ let alloc_kind_name = function
 (* Compile MiniC source and push every function through IR checks, the
    allocator under [kind], allocation certification, spill rewriting and
    machine-code checks.  For the PBQP allocator the built graph is also
-   linted with the base well-formedness analyzer. *)
-let check_source ?(kind = Pbqp) src =
+   linted with the base well-formedness analyzer, and — when the graph
+   has at most [exact_vertices] live vertices — the allocator's claimed
+   PBQP cost is certified against the proven optimum of the exact
+   branch-and-bound solver ([Certify.certify_optimal]). *)
+let check_source ?(kind = Pbqp) ?(exact_vertices = 0) ?(exact_nodes = 200_000)
+    src =
   match Lower.compile src with
   | exception Invalid_argument msg ->
       [ Diag.error "cir-compile" Diag.Global "%s" msg ]
@@ -284,6 +288,18 @@ let check_source ?(kind = Pbqp) src =
                 (if kind = Pbqp then
                    let b = Alloc_pbqp.build live in
                    Invariants.graph b.Alloc_pbqp.graph
+                   @ (if
+                        exact_vertices > 0
+                        && Pbqp.Graph.n_alive b.Alloc_pbqp.graph
+                           <= exact_vertices
+                      then (
+                        let _, reported = Alloc_pbqp.solve_scholz live in
+                        let _, findings =
+                          Certify.certify_optimal ~max_nodes:exact_nodes
+                            b.Alloc_pbqp.graph ~reported
+                        in
+                        findings)
+                      else [])
                  else [])
                 @
                 let alloc = alloc_of kind f live in

@@ -32,5 +32,17 @@ val alloc_kind_name : alloc_kind -> string
 (** Compile MiniC source and push every function through IR checks, the
     allocator under [kind] (default [Pbqp]), allocation certification,
     spill rewriting and machine-code checks.  For the PBQP allocator the
-    built graph is also linted with the base well-formedness analyzer. *)
-val check_source : ?kind:alloc_kind -> string -> Check.Diag.finding list
+    built graph is also linted with the base well-formedness analyzer;
+    additionally, when [exact_vertices > 0] and the function's PBQP
+    graph has at most that many live vertices, the allocator's claimed
+    cost is certified against the proven optimum of the exact
+    branch-and-bound solver under an [exact_nodes] search budget
+    (default 200k) — any cost below the optimum is an error, and a
+    budget timeout surfaces as an explicit warning, never a silent
+    pass. *)
+val check_source :
+  ?kind:alloc_kind ->
+  ?exact_vertices:int ->
+  ?exact_nodes:int ->
+  string ->
+  Check.Diag.finding list

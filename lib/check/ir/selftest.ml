@@ -102,6 +102,103 @@ let negative_battery () =
       (Certify.against_brute fig2 ~reported:5.0);
   ]
 
+(* --- exact branch-and-bound solver -------------------------------------- *)
+
+(* The Exact solver variant under its own certifier: the proven optimum
+   must survive the brute-force cross-check and witness re-certification
+   of [Certify.certify_optimal], no classic solver may report a cost
+   below it, and a node-budget timeout must be bit-deterministic. *)
+let exact_battery ~rng =
+  let cases = ref [] in
+  for i = 1 to 8 do
+    let config =
+      {
+        Generate.default with
+        n = 6 + (i mod 5);
+        m = 2 + (i mod 3);
+        p_edge = 0.35;
+        p_inf = (if i mod 2 = 0 then 0.0 else 0.2);
+        zero_inf = i mod 4 = 0;
+        min_liberty = 1;
+      }
+    in
+    let g = Generate.erdos_renyi ~rng config in
+    let _, scholz_cost, _ = Solvers.Scholz.solve_with_cost g in
+    let oracle, findings =
+      Certify.certify_optimal ~brute_cap:12 g ~reported:scholz_cost
+    in
+    (cases :=
+       match oracle with
+       | Certify.Oracle_skipped reason ->
+           {
+             name = Printf.sprintf "exact-oracle-%d" i;
+             ok = false;
+             detail = "budget hit on a tiny instance: " ^ reason;
+           }
+           :: !cases
+       | Certify.Proven _ ->
+           clean (Printf.sprintf "exact-oracle-%d" i) findings :: !cases);
+    (match oracle with
+    | Certify.Proven opt when Cost.is_finite opt ->
+        let classic =
+          [
+            ( "scholz",
+              if Cost.is_finite scholz_cost then Some scholz_cost else None );
+            ( "mrv",
+              Option.map
+                (fun s -> Solution.cost g s)
+                (fst (Solvers.Mrv.solve ~max_states:200_000 g)) );
+            ("greedy", Option.map snd (fst (Solvers.Greedy.solve g)));
+          ]
+        in
+        let tol = 1e-6 *. (1.0 +. Float.abs (Cost.to_float opt)) in
+        let beats =
+          List.filter_map
+            (fun (name, c) ->
+              match c with
+              | Some c when Cost.to_float c < Cost.to_float opt -. tol ->
+                  Some name
+              | _ -> None)
+            classic
+        in
+        cases :=
+          {
+            name = Printf.sprintf "exact-vs-classic-%d" i;
+            ok = beats = [];
+            detail =
+              (if beats = [] then "no classic solver beats the optimum"
+               else String.concat ", " beats ^ " below the proven optimum");
+          }
+          :: !cases
+    | _ -> ())
+  done;
+  (* timeout determinism: the node budget is counted identically on every
+     run, so two runs return the same outcome and stats *)
+  let g =
+    Generate.erdos_renyi ~rng
+      { Generate.default with n = 14; m = 3; p_edge = 0.5; min_liberty = 1 }
+  in
+  let describe (outcome, (st : Solvers.Exact.stats)) =
+    (match outcome with
+    | Solvers.Exact.Optimal (_, c) -> "optimal " ^ Cost.to_string c
+    | Solvers.Exact.Infeasible -> "infeasible"
+    | Solvers.Exact.Timeout None -> "timeout none"
+    | Solvers.Exact.Timeout (Some (_, c)) -> "timeout " ^ Cost.to_string c)
+    ^ Printf.sprintf " nodes=%d pruned=%d" st.Solvers.Exact.nodes
+        st.Solvers.Exact.pruned
+  in
+  let r1 = describe (Solvers.Exact.solve ~max_nodes:60 ~reduce:false g) in
+  let r2 = describe (Solvers.Exact.solve ~max_nodes:60 ~reduce:false g) in
+  cases :=
+    {
+      name = "exact-timeout-deterministic";
+      ok = r1 = r2;
+      detail =
+        (if r1 = r2 then r1 else Printf.sprintf "%s <> %s" r1 r2);
+    }
+    :: !cases;
+  List.rev !cases
+
 (* --- gradients --------------------------------------------------------- *)
 
 let grad_battery () =
@@ -231,6 +328,7 @@ let run ?(graphs = 60) ?(seed = 42) () =
   let rng = Random.State.make [| seed |] in
   graph_battery ~rng ~graphs
   @ negative_battery ()
+  @ exact_battery ~rng
   @ grad_battery ()
   @ cir_battery ~rng
   @ ate_battery ~rng

@@ -28,6 +28,14 @@ let backtrack_solve ~incremental ~eval_cache ~net ~mode config state =
   if incremental then Backtrack.solve_incremental ?cache ~net ~mode config state
   else Backtrack.solve ?cache ~net ~mode config state
 
+(* The exact branch-and-bound engine behind the same stats surface as the
+   Deep-RL entry points: the optimality-gap harness's oracle.  [backtracks]
+   reports the search's pruned-subtree count. *)
+let solve_exact ?max_nodes ?max_seconds g =
+  let outcome, st = Solvers.Exact.solve ?max_nodes ?max_seconds g in
+  ( outcome,
+    { nodes = st.Solvers.Exact.nodes; backtracks = st.Solvers.Exact.pruned } )
+
 let solve_feasible ~net ?(mcts = Mcts.default_config)
     ?(order = Order.Decreasing_liberty) ?(backtracking = true)
     ?(replan = true) ?(max_backtracks = 100_000) ?(exact_reduce = false)

@@ -15,6 +15,17 @@ type stats = {
   backtracks : int;
 }
 
+val solve_exact :
+  ?max_nodes:int ->
+  ?max_seconds:float ->
+  Graph.t ->
+  Solvers.Exact.outcome * stats
+(** The exact branch-and-bound solver ({!Solvers.Exact}) behind the same
+    stats surface as the Deep-RL entry points — proves the optimum (or
+    infeasibility) within its budget, or returns
+    [Solvers.Exact.Timeout incumbent].  [backtracks] reports pruned
+    subtrees. *)
+
 val solve_feasible :
   net:Nn.Pvnet.t ->
   ?mcts:Mcts.config ->

@@ -29,6 +29,7 @@ type config = {
   serve_batch : int;
   serve_wait_us : int;
   cache_stripes : int;
+  pretrain_labels : string option;
 }
 
 let default_config ~m =
@@ -63,6 +64,7 @@ let default_config ~m =
     serve_batch = 0;
     serve_wait_us = 200;
     cache_stripes = 8;
+    pretrain_labels = None;
   }
 
 type progress = {
@@ -160,6 +162,16 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
         (best, Nn.Pvnet.clone best,
          Replay.create ~capacity:config.replay_capacity)
   in
+  (* Supervised pretraining seed: expand each exact-optimal label into
+     one tuple per move and enqueue before any self-play, so the first
+     gradient batches already train on proven-optimal decisions.  Fresh
+     runs only — a resumed replay already contains (possibly the same)
+     data, and re-seeding would break bit-identical resumption. *)
+  (match (resume, config.pretrain_labels) with
+  | None, Some path ->
+      Replay.add_list replay
+        (List.concat_map (fun l -> Labels.to_samples l) (Labels.load path))
+  | _ -> ());
   let opt = Nn.Adam.create config.adam in
   (* Only the current net is ever trained, so its params key the moments. *)
   (match (resume, config.checkpoint) with

@@ -108,6 +108,14 @@ type config = {
       (** number of mutex-guarded shards of the shared striped cache
           (rounded up to a power of two; only meaningful with
           [eval_cache > 0] and [domains > 1]). *)
+  pretrain_labels : string option;
+      (** path to a {!Labels} file of exact-optimal [(graph, assignment,
+          cost)] records: each label is expanded into one training tuple
+          per move and enqueued into the replay buffer {e before} any
+          self-play, so early gradient batches learn from proven-optimal
+          decisions (RL4ReAl-style supervised warm-up).  Fresh runs only
+          — ignored when resuming from a checkpoint.  [None] (the
+          default) disables seeding. *)
 }
 
 val default_config : m:int -> config

@@ -1,0 +1,249 @@
+(* Branch-and-bound exact PBQP solver.  See the .mli for the search
+   design; the invariants relied on below:
+
+   - [Scholz.reduce_exact] returns a private residual sharing the input's
+     id space, so mutating its cost vectors is safe and the incumbent
+     Solution extends through [Scholz.complete].
+   - Edge matrices are immutable while installed in a graph (propagation
+     folds rows into *vertex vectors* only), so [Mat.id] soundly keys the
+     memoized row-minima tables and the adjacency snapshot taken before
+     the search stays valid throughout.
+   - [Graph.vertices]/[Graph.neighbors] are sorted increasing, so every
+     float accumulation below runs in one fixed order (reproducible
+     costs, no hash-order dependence). *)
+
+open Pbqp
+
+type outcome =
+  | Optimal of Solution.t * Cost.t
+  | Infeasible
+  | Timeout of (Solution.t * Cost.t) option
+
+type stats = { nodes : int; pruned : int; reduced : int }
+
+exception Budget_hit
+
+(* Per-row minima of an edge matrix, memoized by [Mat.id]. *)
+let row_minima cache mat =
+  match Hashtbl.find_opt cache (Mat.id mat) with
+  | Some a -> a
+  | None ->
+      let rows = Mat.rows mat and cols = Mat.cols mat in
+      let a = Array.make rows Cost.inf in
+      for i = 0 to rows - 1 do
+        let best = ref Cost.inf in
+        for j = 0 to cols - 1 do
+          let x = Mat.get mat i j in
+          if Cost.compare x !best < 0 then best := x
+        done;
+        a.(i) <- !best
+      done;
+      Hashtbl.add cache (Mat.id mat) a;
+      a
+
+(* The admissible completion bound, free-standing form: each vertex
+   contributes the minimum over colors of its vector entry plus the row
+   minima of the edges it owns (u < v orientation, each edge once).  No
+   complete assignment can cost less: it must pick one entry per vertex
+   and one matrix entry per edge, each >= the minima summed here. *)
+let lower_bound g =
+  let cache = Hashtbl.create 16 in
+  let m = Graph.m g in
+  let scratch = Array.make m Cost.zero in
+  let total = ref Cost.zero in
+  List.iter
+    (fun u ->
+      let vu = Graph.cost g u in
+      for c = 0 to m - 1 do
+        scratch.(c) <- Vec.get vu c
+      done;
+      List.iter
+        (fun v ->
+          if u < v then begin
+            let rm = row_minima cache (Option.get (Graph.edge_ref g u v)) in
+            for c = 0 to m - 1 do
+              scratch.(c) <- Cost.add scratch.(c) rm.(c)
+            done
+          end)
+        (Graph.neighbors g u);
+      let best = ref Cost.inf in
+      for c = 0 to m - 1 do
+        if Cost.compare scratch.(c) !best < 0 then best := scratch.(c)
+      done;
+      total := Cost.add !total !best)
+    (Graph.vertices g);
+  !total
+
+let solve ?(max_nodes = 1_000_000) ?(max_seconds = infinity) ?(reduce = true)
+    g0 =
+  let g, reduction =
+    if reduce then
+      let residual, red = Scholz.reduce_exact g0 in
+      (residual, Some red)
+    else (Graph.copy g0, None)
+  in
+  let cap = Graph.capacity g in
+  let m = Graph.m g in
+  let verts = Graph.vertices g in
+  let nverts = List.length verts in
+  let assigned = Array.make cap Solution.unassigned in
+  let cache = Hashtbl.create 64 in
+  (* Adjacency snapshot: per vertex, (neighbor, u-rows matrix, its row
+     minima), in increasing neighbor order.  Stable for the whole search
+     (only vertex vectors are mutated). *)
+  let adj = Array.make cap [] in
+  List.iter
+    (fun u ->
+      adj.(u) <-
+        List.map
+          (fun v ->
+            let muv = Option.get (Graph.edge_ref g u v) in
+            (v, muv, row_minima cache muv))
+          (Graph.neighbors g u))
+    verts;
+  let scratch = Array.make m Cost.zero in
+  let nodes = ref 0 and pruned = ref 0 in
+  let best_cost = ref Cost.inf in
+  let best_sol = ref None in
+  let t0 = if max_seconds < infinity then Sys.time () else 0.0 in
+  let check_budget () =
+    if !nodes >= max_nodes then raise Budget_hit;
+    if
+      max_seconds < infinity
+      && !nodes land 1023 = 0
+      && Sys.time () -. t0 > max_seconds
+    then raise Budget_hit
+  in
+  (* Completion bound over the still-unassigned vertices, on the current
+     (propagated) vectors; unassigned-unassigned edges owned by their
+     smaller-id endpoint. *)
+  let bound_rest () =
+    let total = ref Cost.zero in
+    List.iter
+      (fun u ->
+        if assigned.(u) = Solution.unassigned then begin
+          let vu = Graph.cost g u in
+          for c = 0 to m - 1 do
+            scratch.(c) <- Vec.get vu c
+          done;
+          List.iter
+            (fun (v, _, rm) ->
+              if u < v && assigned.(v) = Solution.unassigned then
+                for c = 0 to m - 1 do
+                  scratch.(c) <- Cost.add scratch.(c) rm.(c)
+                done)
+            adj.(u);
+          let best = ref Cost.inf in
+          for c = 0 to m - 1 do
+            if Cost.compare scratch.(c) !best < 0 then best := scratch.(c)
+          done;
+          total := Cost.add !total !best
+        end)
+      verts;
+    !total
+  in
+  (* Most-constrained unassigned vertex (fewest admissible colors in the
+     current vector); ties to the smallest id. *)
+  let pick () =
+    let best = ref (-1) and best_lib = ref max_int in
+    List.iter
+      (fun u ->
+        if assigned.(u) = Solution.unassigned then begin
+          let l = Vec.liberty (Graph.cost g u) in
+          if l < !best_lib then begin
+            best := u;
+            best_lib := l
+          end
+        end)
+      verts;
+    !best
+  in
+  (* Admissible colors of [u], cheapest-first (ties to the smaller
+     color). *)
+  let candidates u =
+    let vu = Graph.cost g u in
+    Vec.finite_indices vu
+    |> List.map (fun c -> (Vec.get vu c, c))
+    |> List.sort compare |> List.map snd
+  in
+  let propagate u c =
+    let trail = ref [] in
+    List.iter
+      (fun (v, muv, _) ->
+        if assigned.(v) = Solution.unassigned then begin
+          trail := (v, Vec.copy (Graph.cost g v)) :: !trail;
+          Graph.add_to_cost g v (Mat.row muv c)
+        end)
+      adj.(u);
+    !trail
+  in
+  let undo trail = List.iter (fun (v, vec) -> Graph.set_cost g v vec) trail in
+  let rec search acc depth =
+    if depth = nverts then begin
+      (* complete: [acc] telescopes to Equation 1 on the residual *)
+      if Cost.compare acc !best_cost < 0 then begin
+        best_cost := acc;
+        best_sol := Some (Solution.of_array assigned)
+      end
+    end
+    else begin
+      let u = pick () in
+      let cands = candidates u in
+      if cands = [] then incr pruned
+      else
+        List.iter
+          (fun c ->
+            check_budget ();
+            incr nodes;
+            let acc' = Cost.add acc (Vec.get (Graph.cost g u) c) in
+            (* prune on the admissible bound only — never on the bare
+               prefix cost, which is not a bound when matrices carry
+               negative entries (the allocator's coalescing credits) *)
+            let trail = propagate u c in
+            assigned.(u) <- c;
+            let lb = Cost.add acc' (bound_rest ()) in
+            if Cost.compare lb !best_cost >= 0 then incr pruned
+            else search acc' (depth + 1);
+            assigned.(u) <- Solution.unassigned;
+            undo trail)
+          cands
+    end
+  in
+  let timed_out =
+    match search Cost.zero 0 with () -> false | exception Budget_hit -> true
+  in
+  let reduced =
+    match reduction with Some r -> Scholz.reduced_count r | None -> 0
+  in
+  let stats = { nodes = !nodes; pruned = !pruned; reduced } in
+  (* Reconstruct the reduced periphery and re-evaluate Equation 1 on the
+     original graph, so the reported cost is independent of the search's
+     incremental accumulation. *)
+  let finish sol =
+    let sol = Solution.copy sol in
+    (match reduction with Some r -> Scholz.complete r sol | None -> ());
+    let cost = Solution.cost g0 sol in
+    (sol, cost)
+  in
+  let outcome =
+    match (timed_out, !best_sol) with
+    | false, Some sol ->
+        let sol, cost = finish sol in
+        (* a finite residual optimum whose completion is infinite can only
+           mean the instance was infeasible to begin with (the reductions
+           are equivalence-preserving) *)
+        if Cost.is_inf cost then Infeasible else Optimal (sol, cost)
+    | false, None -> Infeasible
+    | true, Some sol -> (
+        match finish sol with
+        | _, cost when Cost.is_inf cost -> Timeout None
+        | sol, cost -> Timeout (Some (sol, cost)))
+    | true, None -> Timeout None
+  in
+  (outcome, stats)
+
+let optimal_cost ?max_nodes ?max_seconds g =
+  match solve ?max_nodes ?max_seconds g with
+  | Optimal (_, c), _ -> Some c
+  | Infeasible, _ -> Some Cost.inf
+  | Timeout _, _ -> None

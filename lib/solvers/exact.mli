@@ -1,0 +1,72 @@
+(** Exact branch-and-bound PBQP solver.
+
+    Proves optimality (or infeasibility) on small instances — practical to
+    roughly 30 residual vertices — and degrades gracefully on larger ones
+    through an explicit node/time budget with a {!Timeout} outcome that
+    still carries the best incumbent found.
+
+    Search design:
+    - {e Reduction reuse}: the equivalence-preserving R0/R1/R2 reductions
+      ({!Scholz.reduce_exact}) strip the easy periphery first; the
+      branch-and-bound runs only on the residual hard core and the
+      periphery is reconstructed exactly ({!Scholz.complete}).
+    - {e Branching}: most-constrained vertex first — at every node the
+      unassigned vertex with the fewest admissible colors in its current
+      (propagated) cost vector is branched on, ties to the smallest id;
+      its colors are tried cheapest-first.
+    - {e Propagation}: assigning color [c] to [u] folds row [c] of each
+      incident matrix into the unassigned neighbors' cost vectors (with a
+      saved-vector undo trail), so the running sum of selected entries
+      telescopes to Equation 1 exactly.
+    - {e Bounding}: an admissible completion bound — each unassigned
+      vertex contributes [min_c (vec(c) + Σ rowmin_e(c))] over the
+      unassigned–unassigned edges it owns (each edge owned by its
+      smaller-id endpoint; [rowmin_e(c)] is the row minimum of the edge
+      matrix), which never exceeds the true completion cost.  A node is
+      pruned when accumulated + bound ≥ incumbent.  The bound is
+      admissible for costs of {e any} sign — unlike a bare prefix-cost
+      prune, it stays sound on graphs with negative matrix entries (the
+      register allocator's coalescing credits).
+
+    The search is deterministic: no randomness, fixed tie-breaks, and the
+    node budget is counted identically on every run, so equal inputs and
+    budgets give bit-equal outcomes (including timeouts). *)
+
+type outcome =
+  | Optimal of Pbqp.Solution.t * Pbqp.Cost.t
+      (** Proven optimum (complete search within budget). *)
+  | Infeasible  (** Proven: no finite-cost assignment exists. *)
+  | Timeout of (Pbqp.Solution.t * Pbqp.Cost.t) option
+      (** Budget exhausted before the proof closed; carries the best
+          incumbent found so far, if any (a valid but possibly
+          sub-optimal solution). *)
+
+type stats = {
+  nodes : int;  (** color-assignment attempts explored *)
+  pruned : int;  (** subtrees cut by the bound or a dead end *)
+  reduced : int;  (** vertices stripped by R0/R1/R2 before the search *)
+}
+
+val solve :
+  ?max_nodes:int ->
+  ?max_seconds:float ->
+  ?reduce:bool ->
+  Pbqp.Graph.t ->
+  outcome * stats
+(** [solve g] proves the optimum of [g].  The input graph is not
+    modified.  [max_nodes] (default [1_000_000]) bounds the number of
+    branching attempts deterministically; [max_seconds] (default
+    [infinity]) additionally bounds CPU time ([Sys.time], checked every
+    1024 nodes — use [max_nodes] alone when determinism matters).
+    [reduce] (default [true]) applies the exact R0/R1/R2 reductions
+    before branching. *)
+
+val optimal_cost :
+  ?max_nodes:int -> ?max_seconds:float -> Pbqp.Graph.t -> Pbqp.Cost.t option
+(** The proven optimum ([Cost.inf] on infeasible instances), or [None] on
+    timeout. *)
+
+val lower_bound : Pbqp.Graph.t -> Pbqp.Cost.t
+(** The root admissible bound: never exceeds the cost of any complete
+    assignment of the graph (in particular, [lower_bound g] ≤ the
+    optimum).  Exposed for property tests. *)

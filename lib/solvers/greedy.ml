@@ -1,0 +1,54 @@
+open Pbqp
+
+type stats = { steps : int }
+
+let solve g0 =
+  let g = Graph.copy g0 in
+  let cap = Graph.capacity g in
+  let verts = Graph.vertices g in
+  let nverts = List.length verts in
+  let assigned = Array.make cap Solution.unassigned in
+  let steps = ref 0 in
+  (* most-constrained unassigned vertex on the current vectors; ties to
+     the smallest id ([verts] is increasing) *)
+  let pick () =
+    let best = ref (-1) and best_lib = ref max_int in
+    List.iter
+      (fun u ->
+        if assigned.(u) = Solution.unassigned then begin
+          let l = Vec.liberty (Graph.cost g u) in
+          if l < !best_lib then begin
+            best := u;
+            best_lib := l
+          end
+        end)
+      verts;
+    !best
+  in
+  let rec loop remaining =
+    if remaining = 0 then true
+    else begin
+      let u = pick () in
+      let vu = Graph.cost g u in
+      if Vec.is_all_inf vu then false
+      else begin
+        incr steps;
+        let c = Vec.argmin vu in
+        assigned.(u) <- c;
+        List.iter
+          (fun v ->
+            if assigned.(v) = Solution.unassigned then
+              let muv = Option.get (Graph.edge_ref g u v) in
+              Graph.add_to_cost g v (Mat.row muv c))
+          (Graph.neighbors g u);
+        loop (remaining - 1)
+      end
+    end
+  in
+  let ok = loop nverts in
+  let stats = { steps = !steps } in
+  if not ok then (None, stats)
+  else
+    let sol = Solution.of_array assigned in
+    let cost = Solution.cost g0 sol in
+    if Cost.is_inf cost then (None, stats) else (Some (sol, cost), stats)

@@ -1,0 +1,16 @@
+(** One-pass greedy PBQP baseline.
+
+    Colors vertices most-constrained-first (fewest admissible colors in
+    the current, propagated cost vector; ties to the smallest id), each
+    with the cheapest admissible color, folding the selected matrix rows
+    into the unassigned neighbors — i.e. {!Mrv} without backtracking.
+    Deterministic; fails (returns [None]) as soon as any vertex's vector
+    becomes all-infinite.  The weakest baseline of the optimality-gap
+    tables. *)
+
+type stats = { steps : int  (** vertices colored before success/failure *) }
+
+val solve :
+  Pbqp.Graph.t -> (Pbqp.Solution.t * Pbqp.Cost.t) option * stats
+(** The input graph is not modified.  The returned cost is Equation 1
+    re-evaluated on the input graph (always finite when [Some]). *)

@@ -39,6 +39,13 @@ echo "== dune build @incr =="
 # {persistent, incremental} x {cache off, on}
 dune build @incr
 
+echo "== dune build @exact =="
+# exact-solver differential suite: 500 seeded graphs exact-vs-brute,
+# family floor sweeps (no solver ever below the proven optimum), bound
+# admissibility / budget-determinism properties, the Certify exact
+# oracle, label round-trips, and the minimized fixture corpus
+dune build @exact
+
 echo "== dune build @serve =="
 # inference-service equivalence suite: the Nn.Infer ticket protocol
 # (coalescing, timeout flushes, first-exn), striped-cache consistency
@@ -77,10 +84,29 @@ dune exec bench/main.exe -- serve --compare BENCH_serve.json || {
   dune exec bench/main.exe -- serve --compare BENCH_serve.json
 }
 
+echo "== bench --compare vs checked-in trajectory (gap group) =="
+# optimality-gap gate: re-prove every family optimum with the exact
+# branch-and-bound solver and fail on a >25% growth in branch-and-bound
+# nodes per proof vs the checked-in BENCH_gap.json — the prover is
+# deterministic, so unlike wall time this only moves on a real
+# algorithmic regression (weakened bound or branching); one retry kept
+# for symmetry with the serve gate
+dune exec bench/main.exe -- gap --compare BENCH_gap.json || {
+  echo "-- retrying once (transient load can trip the 25% threshold) --"
+  dune exec bench/main.exe -- gap --compare BENCH_gap.json
+}
+
 echo "== pbqp_lint --self-test =="
 dune exec bin/pbqp_lint.exe -- --self-test
 
 echo "== pbqp_lint --gen 50 --certify =="
 dune exec bin/pbqp_lint.exe -- --gen 50 --certify
+
+echo "== pbqp_lint --fuzz 25 (exact routing, quick profile) =="
+# differential fuzzing of compiled MiniC programs with every PBQP graph
+# of at most 24 live vertices also certified against the exact solver's
+# proven optimum (--gap-vertices default); a claimed allocator cost
+# below the optimum is an error
+dune exec bin/pbqp_lint.exe -- --fuzz 25 --gap-nodes 500000
 
 echo "all checks passed"

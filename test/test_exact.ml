@@ -1,0 +1,521 @@
+(* Differential tests for the exact branch-and-bound solver
+   (Solvers.Exact): a 500-graph seeded sweep where the exact optimum
+   must match the independent brute-force enumeration bit-for-bit in
+   verdict and within float tolerance in cost; family sweeps
+   (spill-only, 0/inf ATE-style, dense small-m, asymmetric matrices,
+   negative coalescing credits) where no other solver may ever beat the
+   proven optimum; property tests for lower-bound admissibility, budget
+   determinism, and node-budget respect; the Certify exact oracle; and
+   replay of the minimized fixture corpus under test/fixtures/exact/. *)
+
+open Pbqp
+open Testutil
+
+let tol c = 1e-6 *. Float.max 1.0 (Float.abs (Cost.to_float c))
+
+let le_tol a b =
+  (* a <= b within float tolerance; inf handled by Cost.compare *)
+  Cost.compare a b <= 0
+  || (Cost.is_finite a && Cost.is_finite b
+      && Cost.to_float a <= Cost.to_float b +. tol b)
+
+let eq_tol a b = le_tol a b && le_tol b a
+
+(* ------------------------------------------------------------------ *)
+(* Generators: the four fuzz families of the issue, plus a
+   negative-credit family mirroring the register allocator's coalescing
+   matrices (negative entries break naive prefix pruning, so they get
+   their own oracle below). *)
+
+(* brute force is m^n worst case: cap n by m so every family stays
+   exhaustively checkable *)
+let cap_n ~m n = min n (match m with 2 -> 14 | 3 -> 11 | _ -> 9)
+
+let spill_spec i =
+  let m = 2 + (i mod 3) in
+  { seed = 7_000 + i; n = cap_n ~m (6 + (i mod 9)); m;
+    p_edge = 0.45; p_inf = 0.0; zero_inf = false }
+
+let ate_spec i =
+  let m = 2 + (i mod 3) in
+  { seed = 11_000 + i; n = cap_n ~m (6 + (i mod 9)); m;
+    p_edge = 0.5; p_inf = 0.35; zero_inf = true }
+
+let dense_spec i =
+  { seed = 13_000 + i; n = cap_n ~m:2 (8 + (i mod 7)); m = 2;
+    p_edge = 0.9; p_inf = 0.1; zero_inf = false }
+
+(* Deliberately asymmetric edge matrices, M(i,j) <> M(j,i): the exact
+   solver folds rows for the owning endpoint and columns for the other,
+   so a transposition bug is invisible on symmetric instances. *)
+let asymmetric_graph ~seed ~n ~m =
+  let rng = rng seed in
+  let g = Graph.create ~m ~n in
+  for u = 0 to n - 1 do
+    Graph.set_cost g u
+      (Vec.init m (fun _ -> float_of_int (Random.State.int rng 10)))
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < 0.4 then
+        Graph.add_edge g u v
+          (Mat.init ~rows:m ~cols:m (fun i j ->
+               if i = j && Random.State.int rng 4 = 0 then Cost.inf
+               else
+                 float_of_int (Random.State.int rng 6)
+                 +. (3.0 *. float_of_int i)
+                 +. float_of_int j))
+    done
+  done;
+  g
+
+let asymmetric_of i =
+  let m = 2 + (i mod 3) in
+  asymmetric_graph ~seed:(17_000 + i) ~n:(cap_n ~m (6 + (i mod 8))) ~m
+
+(* Coalescing-credit style: non-negative vertex costs, matrices with
+   negative same-color entries (move-coalescing discounts). *)
+let negative_graph ~seed ~n ~m =
+  let rng = rng seed in
+  let g = Graph.create ~m ~n in
+  for u = 0 to n - 1 do
+    Graph.set_cost g u
+      (Vec.init m (fun _ -> float_of_int (Random.State.int rng 8)))
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < 0.5 then
+        Graph.add_edge g u v
+          (Mat.init ~rows:m ~cols:m (fun i j ->
+               if i = j then -.float_of_int (1 + Random.State.int rng 4)
+               else float_of_int (Random.State.int rng 5)))
+    done
+  done;
+  g
+
+(* Exhaustive oracle with no pruning at all — safe for negative costs,
+   unlike Solvers.Brute (which prunes on the non-negative partial-cost
+   assumption).  Only for tiny graphs: m^n full evaluations. *)
+let naive_optimum g =
+  let alive = Graph.vertices g in
+  let m = Graph.m g in
+  let sol = Solution.make (Graph.capacity g) in
+  let best = ref Cost.inf in
+  let rec go = function
+    | [] ->
+        let c = Solution.cost g sol in
+        if Cost.compare c !best < 0 then best := c
+    | u :: rest ->
+        for c = 0 to m - 1 do
+          Solution.set sol u c;
+          go rest
+        done;
+        Solution.set sol u Solution.unassigned
+  in
+  go alive;
+  !best
+
+let exact_cost_of_outcome = function
+  | Solvers.Exact.Optimal (_, c) -> Some c
+  | Solvers.Exact.Infeasible -> Some Cost.inf
+  | Solvers.Exact.Timeout _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance sweep: 500 seeded graphs, exact = brute in 500/500. *)
+
+let test_differential_500 () =
+  let agreed = ref 0 in
+  let total = 500 in
+  for i = 0 to total - 1 do
+    let g =
+      match i mod 4 with
+      | 0 -> build_graph (spill_spec (i / 4))
+      | 1 -> build_graph (ate_spec (i / 4))
+      | 2 -> build_graph (dense_spec (i / 4))
+      | _ -> asymmetric_of (i / 4)
+    in
+    let outcome, stats = Solvers.Exact.solve g in
+    let brute, _ = Solvers.Brute.solve g in
+    (match (exact_cost_of_outcome outcome, brute) with
+    | Some ec, Some (bsol, bc) ->
+        if not (eq_tol ec bc) then
+          Alcotest.failf "graph %d: exact %s <> brute %s" i
+            (Cost.to_string ec) (Cost.to_string bc);
+        (* brute's witness really has its claimed cost on this graph *)
+        Alcotest.check cost
+          (Printf.sprintf "graph %d brute witness" i)
+          bc (Solution.cost g bsol);
+        incr agreed
+    | Some ec, None ->
+        if Cost.is_finite ec then
+          Alcotest.failf "graph %d: exact %s but brute says infeasible" i
+            (Cost.to_string ec)
+        else incr agreed
+    | None, _ ->
+        Alcotest.failf "graph %d: exact timed out (%d nodes)" i stats.nodes);
+    (* witness solutions must certify on the original graph *)
+    match outcome with
+    | Solvers.Exact.Optimal (sol, c) ->
+        if not (Check.Certify.valid g sol) then
+          Alcotest.failf "graph %d: exact witness fails certification" i;
+        Alcotest.check cost
+          (Printf.sprintf "graph %d exact witness" i)
+          c (Solution.cost g sol)
+    | _ -> ()
+  done;
+  Alcotest.(check int) "500/500 agree" total !agreed
+
+(* Negative coalescing credits: brute's pruning is unsound here, so the
+   oracle is the prune-free naive enumeration. *)
+let test_differential_negative () =
+  for i = 0 to 79 do
+    let m = 2 + (i mod 2) in
+    let g = negative_graph ~seed:(19_000 + i) ~n:(4 + (i mod 4)) ~m in
+    let outcome, _ = Solvers.Exact.solve g in
+    match exact_cost_of_outcome outcome with
+    | None -> Alcotest.failf "negative graph %d: exact timed out" i
+    | Some ec ->
+        let nc = naive_optimum g in
+        if not (eq_tol ec nc) then
+          Alcotest.failf "negative graph %d: exact %s <> naive %s" i
+            (Cost.to_string ec) (Cost.to_string nc)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* No solver may ever report a cost below the proven optimum. *)
+
+let classic_costs g =
+  [
+    ("scholz",
+     let _, c, _ = Solvers.Scholz.solve_with_cost g in
+     if Cost.is_finite c then Some c else None);
+    ("mrv",
+     Option.map (Solution.cost g) (fst (Solvers.Mrv.solve ~max_states:50_000 g)));
+    ("liberty",
+     Option.map (Solution.cost g)
+       (fst (Solvers.Liberty.solve ~max_states:50_000 g)));
+    ("greedy", Option.map snd (fst (Solvers.Greedy.solve g)));
+  ]
+
+let check_floor ~name i g =
+  match exact_cost_of_outcome (fst (Solvers.Exact.solve g)) with
+  | None -> Alcotest.failf "%s %d: exact timed out" name i
+  | Some opt ->
+      List.iter
+        (fun (solver, c) ->
+          match c with
+          | None -> ()
+          | Some c ->
+              if not (le_tol opt c) then
+                Alcotest.failf "%s %d: %s reports %s below proven optimum %s"
+                  name i solver (Cost.to_string c) (Cost.to_string opt))
+        (classic_costs g)
+
+let test_floor_families () =
+  for i = 0 to 39 do
+    check_floor ~name:"spill" i (build_graph (spill_spec (1000 + i)));
+    check_floor ~name:"ate" i (build_graph (ate_spec (1000 + i)));
+    check_floor ~name:"dense" i (build_graph (dense_spec (1000 + i)));
+    check_floor ~name:"asym" i (asymmetric_of (1000 + i))
+  done
+
+(* ATE-style m=13 instances (the paper's 13-color transfer-equation
+   graphs): too many colors for brute, so the floor check alone. *)
+let test_floor_ate13 () =
+  for i = 0 to 11 do
+    let g =
+      build_graph
+        { seed = 23_000 + i; n = 10 + (i mod 5); m = 13; p_edge = 0.4;
+          p_inf = 0.3; zero_inf = true }
+    in
+    check_floor ~name:"ate13" i g
+  done
+
+(* The Deep-RL solver (untrained net, off-policy for the exact search)
+   may never beat the proven optimum either. *)
+let test_floor_rl () =
+  let net =
+    Nn.Pvnet.create ~rng:(rng 5)
+      { (Nn.Pvnet.default_config ~m:3) with trunk_width = 8; trunk_blocks = 1;
+        gcn_layers = 1 }
+  in
+  for i = 0 to 7 do
+    let g =
+      build_graph
+        { seed = 29_000 + i; n = 6 + i; m = 3; p_edge = 0.5; p_inf = 0.1;
+          zero_inf = false }
+    in
+    match exact_cost_of_outcome (fst (Solvers.Exact.solve g)) with
+    | None -> Alcotest.failf "rl %d: exact timed out" i
+    | Some opt -> (
+        match
+          Core.Solver.minimize ~net
+            ~mcts:{ Mcts.default_config with k = 8 } g
+        with
+        | None, _ -> ()
+        | Some (sol, c), _ ->
+            Alcotest.check cost
+              (Printf.sprintf "rl %d reported cost" i)
+              c (Solution.cost g sol);
+            if not (le_tol opt c) then
+              Alcotest.failf "rl %d: deep-RL %s below proven optimum %s" i
+                (Cost.to_string c) (Cost.to_string opt))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+(* The root bound never exceeds the optimum (admissibility). *)
+let prop_lower_bound_admissible =
+  qtest ~count:200 "lower_bound <= optimum"
+    (arb_graph_spec ~nmax:8 ~mmax:3 ())
+    (fun spec ->
+      let g = build_graph spec in
+      let lb = Solvers.Exact.lower_bound g in
+      le_tol lb (Solvers.Brute.optimal_cost g))
+
+(* ... including on negative-credit graphs (vs the prune-free oracle). *)
+let test_lower_bound_negative () =
+  for i = 0 to 39 do
+    let g = negative_graph ~seed:(31_000 + i) ~n:(4 + (i mod 3)) ~m:2 in
+    let lb = Solvers.Exact.lower_bound g in
+    if not (le_tol lb (naive_optimum g)) then
+      Alcotest.failf "negative graph %d: bound %s above optimum" i
+        (Cost.to_string lb)
+  done
+
+let describe_run (outcome, (stats : Solvers.Exact.stats)) =
+  let oc =
+    match outcome with
+    | Solvers.Exact.Optimal (s, c) ->
+        Printf.sprintf "optimal %s %s" (Cost.to_string c)
+          (Format.asprintf "%a" Solution.pp s)
+    | Solvers.Exact.Infeasible -> "infeasible"
+    | Solvers.Exact.Timeout None -> "timeout none"
+    | Solvers.Exact.Timeout (Some (s, c)) ->
+        Printf.sprintf "timeout %s %s" (Cost.to_string c)
+          (Format.asprintf "%a" Solution.pp s)
+  in
+  Printf.sprintf "%s nodes=%d pruned=%d reduced=%d" oc stats.nodes
+    stats.pruned stats.reduced
+
+(* Equal inputs and budgets give bit-equal outcomes — including under a
+   budget small enough to force timeouts. *)
+let prop_budget_deterministic =
+  qtest ~count:100 "budgeted solve is deterministic"
+    (arb_graph_spec ~nmax:12 ~mmax:3 ())
+    (fun spec ->
+      let budget = 1 + (spec.seed mod 40) in
+      let run () =
+        describe_run (Solvers.Exact.solve ~max_nodes:budget (build_graph spec))
+      in
+      String.equal (run ()) (run ()))
+
+(* The node budget is respected, and a Timeout incumbent (when present)
+   is a genuine solution of the original graph. *)
+let prop_budget_respected =
+  qtest ~count:100 "node budget respected; incumbent valid"
+    (arb_graph_spec ~nmax:12 ~mmax:4 ())
+    (fun spec ->
+      let budget = 1 + (spec.seed mod 60) in
+      let g = build_graph spec in
+      let outcome, stats = Solvers.Exact.solve ~max_nodes:budget g in
+      stats.nodes <= budget
+      &&
+      match outcome with
+      | Solvers.Exact.Timeout (Some (sol, c)) ->
+          Check.Certify.valid g sol && eq_tol c (Solution.cost g sol)
+      | _ -> true)
+
+(* Reduction reuse must not change the verdict: R0/R1/R2 on, off. *)
+let prop_reduce_equivalent =
+  qtest ~count:150 "reduce:true = reduce:false"
+    (arb_graph_spec ~nmax:9 ~mmax:3 ~p_inf:0.3 ())
+    (fun spec ->
+      let cost_of reduce =
+        exact_cost_of_outcome
+          (fst (Solvers.Exact.solve ~reduce (build_graph spec)))
+      in
+      match (cost_of true, cost_of false) with
+      | Some a, Some b -> eq_tol a b
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The Certify oracle built on the exact solver. *)
+
+let test_certify_optimal_agrees () =
+  for i = 0 to 59 do
+    let g =
+      build_graph
+        { seed = 37_000 + i; n = 3 + (i mod 6); m = 2 + (i mod 2);
+          p_edge = 0.5; p_inf = 0.2; zero_inf = i mod 3 = 0 }
+    in
+    let reported = Solvers.Brute.optimal_cost g in
+    match Check.Certify.certify_optimal g ~reported with
+    | Check.Certify.Proven opt, findings ->
+        if not (eq_tol opt reported) then
+          Alcotest.failf "certify %d: proven %s <> brute %s" i
+            (Cost.to_string opt) (Cost.to_string reported);
+        if Check.Diag.has_errors findings then
+          Alcotest.failf "certify %d: errors on an optimal report" i
+    | Check.Certify.Oracle_skipped r, _ ->
+        Alcotest.failf "certify %d: budget hit on a tiny instance (%s)" i r
+  done
+
+let test_certify_catches_below_optimum () =
+  let g =
+    build_graph
+      { seed = 41; n = 6; m = 3; p_edge = 0.6; p_inf = 0.0; zero_inf = false }
+  in
+  let opt = Solvers.Brute.optimal_cost g in
+  let below = Cost.to_float opt -. 1.0 in
+  let _, findings = Check.Certify.certify_optimal g ~reported:below in
+  if not (Check.Diag.has_errors findings) then
+    Alcotest.fail "a report below the proven optimum must be an error"
+
+(* Satellite 2: an exhausted brute budget is an explicit Skipped with a
+   reason, surfaced as a warning — never a silent pass. *)
+let test_brute_skip_is_explicit () =
+  let g =
+    build_graph
+      { seed = 43; n = 10; m = 3; p_edge = 0.6; p_inf = 0.0; zero_inf = false }
+  in
+  (match Check.Certify.brute_optimum ~max_states:1 g with
+  | Check.Certify.Skipped reason ->
+      if String.length reason = 0 then Alcotest.fail "empty skip reason"
+  | _ -> Alcotest.fail "max_states:1 must yield Skipped");
+  let findings =
+    Check.Certify.against_brute ~max_states:1 g ~reported:(Cost.of_float 0.0)
+  in
+  if Check.Diag.has_errors findings then
+    Alcotest.fail "a skipped brute check must not error";
+  if findings = [] then
+    Alcotest.fail "a skipped brute check must surface a warning"
+
+(* ------------------------------------------------------------------ *)
+(* Exact supervision labels (Core.Labels). *)
+
+let test_labels_roundtrip () =
+  let graphs =
+    List.init 6 (fun i ->
+        build_graph
+          { seed = 47_000 + i; n = 4 + i; m = 2 + (i mod 2); p_edge = 0.5;
+            p_inf = 0.15; zero_inf = false })
+  in
+  let labels = List.filter_map Core.Labels.of_exact graphs in
+  if labels = [] then Alcotest.fail "no labels from solvable graphs";
+  List.iter
+    (fun (l : Core.Labels.t) ->
+      Alcotest.check cost "label cost is the witness cost" l.cost
+        (Solution.cost l.graph l.assignment);
+      let samples = Core.Labels.to_samples l in
+      Alcotest.(check int)
+        "one sample per live vertex"
+        (Graph.n_alive l.graph) (List.length samples);
+      List.iter
+        (fun (s : Nn.Pvnet.sample) ->
+          let total = Array.fold_left ( +. ) 0.0 s.policy in
+          if Float.abs (total -. 1.0) > 1e-9 then
+            Alcotest.fail "label policy is not one-hot")
+        samples)
+    labels;
+  let path = Filename.temp_file "labels" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Core.Labels.save path labels;
+      let back = Core.Labels.load path in
+      Alcotest.(check int) "load count" (List.length labels) (List.length back);
+      List.iter2
+        (fun (a : Core.Labels.t) (b : Core.Labels.t) ->
+          Alcotest.check cost "cost" a.cost b.cost;
+          Alcotest.check solution "assignment" a.assignment b.assignment;
+          Alcotest.check graph "graph" a.graph b.graph)
+        labels back)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture corpus: minimized graphs that once exposed (or nearly
+   exposed) solver disagreements; replayed exact-vs-brute on every run. *)
+
+(* cwd is test/ under `dune runtest` but the repo root under
+   `dune exec test/test_exact.exe` — accept both *)
+let fixture_dir () =
+  if Sys.file_exists "fixtures/exact" then "fixtures/exact"
+  else Filename.concat "test" "fixtures/exact"
+
+let test_fixtures () =
+  let dir = fixture_dir () in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".pbqp")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool)
+    "at least 20 fixtures" true
+    (List.length files >= 20);
+  List.iter
+    (fun file ->
+      let g = Io.of_file (Filename.concat dir file) in
+      let outcome, _ = Solvers.Exact.solve g in
+      match exact_cost_of_outcome outcome with
+      | None -> Alcotest.failf "%s: exact timed out" file
+      | Some ec ->
+          (* negative-credit fixtures get the prune-free oracle *)
+          let has_negative =
+            Graph.fold_edges
+              (fun _ _ mat acc -> acc || Cost.compare (Mat.min_value mat) 0.0 < 0)
+              g false
+          in
+          let oracle =
+            if has_negative then naive_optimum g
+            else Solvers.Brute.optimal_cost g
+          in
+          if not (eq_tol ec oracle) then
+            Alcotest.failf "%s: exact %s <> oracle %s" file (Cost.to_string ec)
+              (Cost.to_string oracle);
+          check_floor ~name:file 0 g)
+    files
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "500 seeded graphs: exact = brute" `Quick
+            test_differential_500;
+          Alcotest.test_case "negative credits: exact = naive" `Quick
+            test_differential_negative;
+        ] );
+      ( "floor",
+        [
+          Alcotest.test_case "no classic solver beats the optimum" `Quick
+            test_floor_families;
+          Alcotest.test_case "ATE m=13 family" `Quick test_floor_ate13;
+          Alcotest.test_case "deep-RL never beats the optimum" `Quick
+            test_floor_rl;
+        ] );
+      ( "properties",
+        [
+          prop_lower_bound_admissible;
+          Alcotest.test_case "bound admissible on negative credits" `Quick
+            test_lower_bound_negative;
+          prop_budget_deterministic;
+          prop_budget_respected;
+          prop_reduce_equivalent;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "certify_optimal agrees with brute" `Quick
+            test_certify_optimal_agrees;
+          Alcotest.test_case "below-optimum report is an error" `Quick
+            test_certify_catches_below_optimum;
+          Alcotest.test_case "brute budget skip is explicit" `Quick
+            test_brute_skip_is_explicit;
+        ] );
+      ( "labels",
+        [ Alcotest.test_case "roundtrip and samples" `Quick test_labels_roundtrip ] );
+      ( "fixtures",
+        [ Alcotest.test_case "corpus replay" `Quick test_fixtures ] );
+    ]
