@@ -966,6 +966,78 @@ let incr_bench () =
    leaf-eval throughput is the only variable.  GC words are main-domain
    only, as in the par group. *)
 
+(* ------------------------------------------------------------------ *)
+(* The GEMM ladder at the serve forward's shapes: the boxed
+   [float array array] reference the flat tensor core replaced (and the
+   hot-boxed-matrix lint now rejects), the flat tiled kernels, the
+   packed fused-epilogue kernel, and the int8 quantized kernel.  All
+   float kernels compute the same ascending-k zero-skip sums, so the
+   rows differ only in storage layout and fusion, not arithmetic. *)
+
+let gemm_bench () =
+  section "GEMM ladder: boxed reference vs flat tiled vs packed vs int8";
+  let show ~name m =
+    record ~group:"gemm" ~name ~iters:m.m_iters ~ns_per_op:m.m_ns
+      ~allocs_per_op:m.m_allocs ~minor_words_per_op:m.m_minor
+      ~major_words_per_op:m.m_major ();
+    Printf.printf "  %-48s %11.1f ns/op  %9.1f minor w/op\n%!" name m.m_ns
+      m.m_minor
+  in
+  let r = rng 5 in
+  (* the readout->trunk GEMM shape of a b=32 serve forward *)
+  let b = 32 and k = 96 and n = 32 in
+  let a = Tensor.init2 b k (fun _ _ -> Random.State.float r 2.0 -. 1.0) in
+  let w = Tensor.init2 n k (fun _ _ -> Random.State.float r 2.0 -. 1.0) in
+  let bias = Tensor.init1 n (fun _ -> Random.State.float r 0.5) in
+  (* boxed row-pointer reference: one heap block per row, same
+     zero-skip inner loop as the flat kernels *)
+  let boxed_a =
+    Array.init b (fun i -> Array.init k (fun j -> Tensor.get2 a i j))
+  in
+  let boxed_bt =
+    Array.init k (fun kk -> Array.init n (fun j -> Tensor.get2 w j kk))
+  in
+  let boxed_out = Array.make_matrix b n 0.0 in
+  let boxed () =
+    for i = 0 to b - 1 do
+      let ai = boxed_a.(i) and oi = boxed_out.(i) in
+      Array.fill oi 0 n 0.0;
+      for kk = 0 to k - 1 do
+        let aik = ai.(kk) in
+        if aik <> 0.0 then begin
+          let bk = boxed_bt.(kk) in
+          for j = 0 to n - 1 do
+            oi.(j) <- oi.(j) +. (aik *. bk.(j))
+          done
+        end
+      done
+    done
+  in
+  let bt = Tensor.transpose w in
+  let out = Tensor.zeros [| b; n |] in
+  let packed = Tensor.pack_transposed w in
+  let qw = Tensor.Q.quantize_rows w in
+  let qscr = Tensor.Q.scratch ~rows:b ~cols:k in
+  show
+    ~name:(Printf.sprintf "boxed float array array %dx%dx%d" b k n)
+    (measure boxed);
+  show ~name:"matmul_naive (flat)"
+    (measure (fun () -> ignore (Tensor.matmul_naive a bt)));
+  show ~name:"matmul (flat tiled)"
+    (measure (fun () -> ignore (Tensor.matmul a bt)));
+  show ~name:"matmul_into (flat tiled, no alloc)"
+    (measure (fun () -> Tensor.matmul_into out a bt));
+  show ~name:"matmul_packed_into (no epilogue)"
+    (measure (fun () -> Tensor.matmul_packed_into out a packed));
+  show ~name:"matmul_packed_into (fused bias+relu)"
+    (measure (fun () ->
+         Tensor.matmul_packed_into ~bias ~relu:true out a packed));
+  show ~name:"Q.matmul_qt_into (int8, fused bias+relu)"
+    (measure (fun () ->
+         Tensor.Q.matmul_qt_into ~bias ~relu:true ~scratch:qscr out a qw))
+
+(* ------------------------------------------------------------------ *)
+
 let serve_bench () =
   section "Cross-worker inference service (Nn.Infer) at 1/2/4/8 domains";
   Printf.printf
@@ -1006,6 +1078,11 @@ let serve_bench () =
          ignore (Nn.Pvnet.predict_prepared ~scratch:false net preps)));
   show ~leaves:b ~name:"predict_prepared b=32, scratch arena"
     (measure (fun () -> ignore (Nn.Pvnet.predict_prepared net preps)));
+  (* the int8 serving path, via the ungated entry point the
+     certification harness itself measures *)
+  show ~leaves:b ~name:"predict_prepared b=32, int8 quantized"
+    (measure (fun () ->
+         ignore (Nn.Pvnet.predict_prepared_quantized_unsafe net preps)));
   (* Episode throughput: 8 fixed incremental self-play episodes per op,
      farmed over the pool, per-worker batching vs the service. *)
   let episodes = 8 in
@@ -1398,6 +1475,7 @@ let () =
   | "batch" -> batching ()
   | "par" -> par_bench ()
   | "incr" -> incr_bench ()
+  | "gemm" -> gemm_bench ()
   | "serve" -> serve_bench ()
   | "analyze" -> analyze_bench ()
   | "gap" -> gap_bench ()
@@ -1413,13 +1491,14 @@ let () =
       batching ();
       par_bench ();
       incr_bench ();
+      gemm_bench ();
       serve_bench ();
       analyze_bench ();
       gap_bench ()
   | other ->
       Printf.eprintf
-        "unknown experiment %S (e1..e6, ext, micro, batch, par, incr, serve, \
-         analyze, gap, all)\n"
+        "unknown experiment %S (e1..e6, ext, micro, batch, par, incr, gemm, \
+         serve, analyze, gap, all)\n"
         other;
       exit 1);
   (match !json_out with

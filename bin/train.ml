@@ -6,7 +6,8 @@ open Cmdliner
 
 let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
     ate batch batch_leaves incremental eval_cache serve_batch serve_wait_us
-    cache_stripes replay domains check checkpoint pretrain_labels seed out =
+    cache_stripes quantize_serve replay domains check checkpoint
+    pretrain_labels seed out =
   let instance_generator =
     if ate then
       Some
@@ -36,6 +37,7 @@ let run m iterations episodes k_train n_mean p_edge p_inf zero_inf planted
       serve_batch;
       serve_wait_us;
       cache_stripes;
+      quantize_serve;
       replay_capacity = replay;
       domains;
       check;
@@ -131,6 +133,14 @@ let () =
              ~doc:"mutex-guarded shards of the shared evaluation cache \
                    (rounded up to a power of two)")
   in
+  let quantize_serve =
+    Arg.(value & flag
+         & info [ "quantize-serve" ]
+             ~doc:"serve MCTS leaf evaluations through the int8 quantized \
+                   path whenever the Check.Quantcert accuracy harness has \
+                   certified the current weights (recertified after every \
+                   optimizer step; uncertified versions fall back to float)")
+  in
   let replay =
     Arg.(value & opt int 20_000 & info [ "replay" ] ~doc:"paper: 200000")
   in
@@ -171,7 +181,7 @@ let () =
         const run $ m $ iterations $ episodes $ k_train $ n_mean $ p_edge
         $ p_inf $ zero_inf $ planted $ ate $ batch $ batch_leaves
         $ incremental $ eval_cache $ serve_batch $ serve_wait_us
-        $ cache_stripes $ replay $ domains $ check $ checkpoint
-        $ pretrain_labels $ seed $ out)
+        $ cache_stripes $ quantize_serve $ replay $ domains $ check
+        $ checkpoint $ pretrain_labels $ seed $ out)
   in
   exit (Cmd.eval cmd)

@@ -10,8 +10,14 @@
    - [hot-boxed-alloc]: tuples (except as a match scrutinee, which the
      compiler deconstructs in place), records, arrays, non-constant
      constructors, list/string concatenation;
+   - [hot-boxed-matrix]: a boxed row-pointer matrix ([Array.make_matrix]
+     or a nested array literal) — each row is a separate heap block, so
+     every row access chases a pointer; hot numeric code must use a flat
+     [floatarray]/[Bigarray] with [i * cols + j] indexing (what
+     [Tensor.t] does);
    - [hot-alloc-call]: calls into known-allocating stdlib entry points
-     (List.map, Array.copy, String.concat, ...);
+     (List.map, Array.copy, Float.Array.make, Bigarray.Array1.create,
+     String.concat, ...);
    - [hot-printf]: Printf/Format — formatting allocates pervasively.
 
    Deliberate non-rules: bare [ref] creation is NOT flagged (the local
@@ -63,6 +69,20 @@ let allocating_calls =
     ([ "Array"; "map" ], "allocates an array");
     ([ "Array"; "of_list" ], "allocates an array");
     ([ "Array"; "to_list" ], "builds a fresh list");
+    ([ "Float"; "Array"; "make" ], "allocates a floatarray");
+    ([ "Float"; "Array"; "create" ], "allocates a floatarray");
+    ([ "Float"; "Array"; "init" ], "allocates a floatarray");
+    ([ "Float"; "Array"; "copy" ], "allocates a floatarray");
+    ([ "Float"; "Array"; "sub" ], "allocates a floatarray");
+    ([ "Float"; "Array"; "append" ], "allocates a floatarray");
+    ([ "Float"; "Array"; "map" ], "allocates a floatarray");
+    ([ "Float"; "Array"; "of_list" ], "allocates a floatarray");
+    ([ "Float"; "Array"; "map_from_array" ], "allocates a floatarray");
+    ([ "Float"; "Array"; "map_to_array" ], "allocates an array");
+    ([ "Bigarray"; "Array1"; "create" ], "allocates a bigarray");
+    ([ "Bigarray"; "Array2"; "create" ], "allocates a bigarray");
+    ([ "Bigarray"; "Array1"; "of_array" ], "allocates a bigarray");
+    ([ "Bigarray"; "Array2"; "of_array" ], "allocates a bigarray");
     ([ "String"; "concat" ], "allocates a string");
     ([ "String"; "make" ], "allocates a string");
     ([ "String"; "sub" ], "allocates a string");
@@ -76,6 +96,11 @@ let infix_allocators = [ ("^", "string concatenation"); ("@", "list append") ]
 let check_apply env ~line f args =
   let head = head_path f in
   (match head with
+  | [ "Array"; "make_matrix" ] ->
+      report env ~rule:"hot-boxed-matrix" ~line
+        "Array.make_matrix in a [@hot] body builds a boxed row-pointer \
+         matrix (one heap block per row); use a flat floatarray/Bigarray \
+         with i * cols + j indexing"
   | ("Printf" | "Format") :: fn :: _ ->
       report env ~rule:"hot-printf" ~line
         "%s.%s in a [@hot] body: formatting allocates on every call"
@@ -138,9 +163,30 @@ let rec walk env expr =
         Option.iter (walk env) base;
         List.iter (fun (_, e) -> walk env e) fields
     | Pexp_array es ->
-        report env ~rule:"hot-boxed-alloc" ~line
-          "array literal allocates in a [@hot] body";
-        List.iter (walk env) es
+        let is_array e =
+          match e.pexp_desc with Pexp_array _ -> true | _ -> false
+        in
+        if List.exists is_array es then begin
+          report env ~rule:"hot-boxed-matrix" ~line
+            "nested array literal builds a boxed row-pointer matrix in a \
+             [@hot] body; use a flat floatarray/Bigarray with i * cols + j \
+             indexing";
+          (* the row literals are part of the one matrix already reported:
+             walk their elements without re-flagging each row *)
+          List.iter
+            (fun e ->
+              match e.pexp_desc with
+              | Pexp_array inner when not (Attr.suppressed e.pexp_attributes)
+                ->
+                  List.iter (walk env) inner
+              | _ -> walk env e)
+            es
+        end
+        else begin
+          report env ~rule:"hot-boxed-alloc" ~line
+            "array literal allocates in a [@hot] body";
+          List.iter (walk env) es
+        end
     | Pexp_construct ({ txt; _ }, Some arg) ->
         report env ~rule:"hot-boxed-alloc" ~line
           "constructor %s with a payload allocates in a [@hot] body"

@@ -31,16 +31,17 @@ let scalar ?(eps = default_eps) ?(tol = default_tol) ~name vars f =
          let data = Tensor.data v.Nn.Var.value in
          let gd = Tensor.data g in
          let worst = ref 0.0 and worst_i = ref (-1) in
-         Array.iteri
+         Float.Array.iteri
            (fun i x ->
-             data.(i) <- x +. eps;
+             Float.Array.set data i (x +. eps);
              let up = eval () in
-             data.(i) <- x -. eps;
+             Float.Array.set data i (x -. eps);
              let down = eval () in
-             data.(i) <- x;
+             Float.Array.set data i x;
              let num = (up -. down) /. (2.0 *. eps) in
              let rel =
-               Float.abs (num -. gd.(i)) /. (1.0 +. Float.abs num)
+               Float.abs (num -. Float.Array.get gd i)
+               /. (1.0 +. Float.abs num)
              in
              if rel > !worst then begin
                worst := rel;

@@ -324,12 +324,113 @@ let trail_battery ~rng =
 
 (* --- entry point -------------------------------------------------------- *)
 
+(* --- flat tensor kernels + int8 certification ------------------------- *)
+
+let tensor_battery ~rng =
+  let bits_eq a b =
+    let da = Tensor.data a and db = Tensor.data b in
+    Tensor.shape a = Tensor.shape b
+    &&
+    let n = Float.Array.length da in
+    let rec go i =
+      i >= n
+      || Int64.equal
+           (Int64.bits_of_float (Float.Array.get da i))
+           (Int64.bits_of_float (Float.Array.get db i))
+         && go (i + 1)
+    in
+    go 0
+  in
+  let random_matrix r c =
+    Tensor.init2 r c (fun _ _ ->
+        if Random.State.float rng 1.0 < 0.2 then 0.0
+        else Random.State.float rng 2.0 -. 1.0)
+  in
+  let case name ok detail =
+    { name; ok; detail = (if ok then "ok" else detail) }
+  in
+  (* packed-panel GEMM bit-identical to the naive reference across
+     panel-boundary shapes *)
+  let packed_ok =
+    List.for_all
+      (fun (ra, ca, cb) ->
+        let a = random_matrix ra ca and b = random_matrix ca cb in
+        let out = Tensor.zeros [| ra; cb |] in
+        Tensor.matmul_packed_into out a (Tensor.pack b);
+        bits_eq out (Tensor.matmul_naive a b))
+      [ (5, 7, 9); (16, 32, 8); (33, 9, 17); (1, 8, 1) ]
+  in
+  (* fused epilogue = unfused sequence, bitwise *)
+  let fused_ok =
+    let ra, ca, cb = (6, 9, 13) in
+    let a = random_matrix ra ca and b = random_matrix ca cb in
+    let bias = Tensor.row (random_matrix 1 cb) 0 in
+    let residual = random_matrix ra cb in
+    let fused = Tensor.zeros [| ra; cb |] in
+    Tensor.matmul_packed_into ~bias ~residual ~relu:true fused a
+      (Tensor.pack b);
+    let prod = Tensor.matmul_naive a b in
+    let expect =
+      Tensor.init2 ra cb (fun i j ->
+          let v = Tensor.get2 prod i j +. Tensor.get1 bias j in
+          let v = Tensor.get2 residual i j +. v in
+          if v > 0.0 then v else 0.0)
+    in
+    bits_eq fused expect
+  in
+  (* floatarray bridges round-trip as copies *)
+  let bridge_ok =
+    let t = Tensor.row (random_matrix 1 11) 0 in
+    let fa = Tensor.to_float_array t in
+    let back = Tensor.of_float_array fa in
+    Float.Array.set fa 0 1234.5;
+    bits_eq t back && Tensor.get1 back 0 <> 1234.5
+  in
+  (* int8 quantized GEMM stays within the serving accuracy envelope *)
+  let quant_ok =
+    let b, k, n = (8, 32, 12) in
+    let x = random_matrix b k and w = random_matrix n k in
+    let qw = Tensor.Q.quantize_rows w in
+    let out = Tensor.zeros [| b; n |] in
+    Tensor.Q.matmul_qt_into ~scratch:(Tensor.Q.scratch ~rows:b ~cols:k) out x
+      qw;
+    let exact = Tensor.matmul_naive x (Tensor.transpose w) in
+    let worst = ref 0.0 in
+    for i = 0 to b - 1 do
+      for j = 0 to n - 1 do
+        let d = Float.abs (Tensor.get2 out i j -. Tensor.get2 exact i j) in
+        if d > !worst then worst := d
+      done
+    done;
+    !worst <= 0.05
+  in
+  (* the certification harness passes clean weights and rejects the
+     corrupted int8 payload *)
+  let net =
+    Nn.Pvnet.create ~rng
+      { (Nn.Pvnet.default_config ~m:4) with
+        Nn.Pvnet.trunk_width = 8; trunk_blocks = 1; gcn_layers = 1 }
+  in
+  let clean_report = Check.Quantcert.certify net in
+  Nn.Pvnet.corrupt_quantized_for_test net;
+  let dirty_report = Check.Quantcert.run net in
+  [
+    case "tensor-packed-bitwise" packed_ok "packed GEMM diverged from naive";
+    case "tensor-fused-epilogue" fused_ok "fused epilogue diverged";
+    case "tensor-floatarray-bridge" bridge_ok "bridge aliased or diverged";
+    case "tensor-int8-envelope" quant_ok "quantized GEMM out of envelope";
+    clean "quantcert-clean-weights" clean_report.Check.Quantcert.findings;
+    rejected "quantcert-corrupted-weights"
+      dirty_report.Check.Quantcert.findings;
+  ]
+
 let run ?(graphs = 60) ?(seed = 42) () =
   let rng = Random.State.make [| seed |] in
   graph_battery ~rng ~graphs
   @ negative_battery ()
   @ exact_battery ~rng
   @ grad_battery ()
+  @ tensor_battery ~rng
   @ cir_battery ~rng
   @ ate_battery ~rng
   @ trail_battery ~rng

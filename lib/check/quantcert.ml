@@ -1,0 +1,127 @@
+type config = {
+  seed : int;
+  graphs : int;
+  n : int;
+  p_edge : float;
+  p_inf : float;
+  decisive_margin : float;
+  max_prior_linf : float;
+  max_value_err : float;
+}
+
+let default =
+  {
+    seed = 1789;
+    graphs = 8;
+    n = 24;
+    p_edge = 0.3;
+    p_inf = 0.05;
+    decisive_margin = 0.05;
+    max_prior_linf = 0.05;
+    max_value_err = 0.1;
+  }
+
+type report = {
+  states : int;
+  decisive : int;
+  argmax_flips : int;
+  prior_linf : float;
+  value_err : float;
+  findings : Diag.finding list;
+}
+
+(* Top-1 index and top-1/top-2 gap of a prior vector; [None] when the
+   state is a dead end (all-zero priors, no meaningful argmax). *)
+let top2 (p : float array) =
+  let best = ref (-1) and bv = ref neg_infinity and sv = ref neg_infinity in
+  Array.iteri
+    (fun i x ->
+      if x > !bv then begin
+        sv := !bv;
+        bv := x;
+        best := i
+      end
+      else if x > !sv then sv := x)
+    p;
+  if !bv <= 0.0 then None
+  else Some (!best, !bv -. max !sv 0.0)
+
+let run ?(config = default) net =
+  let cfg = config in
+  let m = (Nn.Pvnet.config net).Nn.Pvnet.m in
+  let rng = Random.State.make [| cfg.seed |] in
+  let c = Diag.collector () in
+  let states = ref 0 and decisive = ref 0 and flips = ref 0 in
+  let worst_prior = ref 0.0 and worst_value = ref 0.0 in
+  for gi = 0 to cfg.graphs - 1 do
+    let g =
+      Pbqp.Generate.erdos_renyi ~rng
+        {
+          Pbqp.Generate.default with
+          n = cfg.n;
+          m;
+          p_edge = cfg.p_edge;
+          p_inf = cfg.p_inf;
+        }
+    in
+    let verts = Array.of_list (Pbqp.Graph.vertices g) in
+    let preps =
+      Array.map (fun v -> Nn.Pvnet.prepare net g ~next:v) verts
+    in
+    let float_out = Nn.Pvnet.predict_prepared net preps in
+    let quant_out = Nn.Pvnet.predict_prepared_quantized_unsafe net preps in
+    Array.iteri
+      (fun i v ->
+        incr states;
+        let pf, vf = float_out.(i) and pq, vq = quant_out.(i) in
+        let linf = ref 0.0 in
+        for j = 0 to m - 1 do
+          let d = Float.abs (pf.(j) -. pq.(j)) in
+          if d > !linf then linf := d
+        done;
+        if !linf > !worst_prior then worst_prior := !linf;
+        if !linf > cfg.max_prior_linf then
+          Diag.errorf c "quant-prior" (Diag.Vertex v)
+            "graph %d vertex %d: prior L-inf %.2e exceeds bound %.2e" gi v
+            !linf cfg.max_prior_linf;
+        let dv = Float.abs (vf -. vq) in
+        if dv > !worst_value then worst_value := dv;
+        if dv > cfg.max_value_err then
+          Diag.errorf c "quant-value" (Diag.Vertex v)
+            "graph %d vertex %d: value error %.2e exceeds bound %.2e" gi v dv
+            cfg.max_value_err;
+        match top2 pf with
+        | Some (best, gap) when gap >= cfg.decisive_margin ->
+            incr decisive;
+            (match top2 pq with
+            | Some (qbest, _) when qbest = best -> ()
+            | _ ->
+                incr flips;
+                Diag.errorf c "quant-argmax" (Diag.Vertex v)
+                  "graph %d vertex %d: decisive argmax flipped (float gap \
+                   %.3f)"
+                  gi v gap)
+        | _ -> ())
+      verts
+  done;
+  Diag.infof c "quant-summary" Diag.Global
+    "%d states (%d decisive): %d argmax flips, prior L-inf %.2e (bound \
+     %.2e), value err %.2e (bound %.2e)"
+    !states !decisive !flips !worst_prior cfg.max_prior_linf !worst_value
+    cfg.max_value_err;
+  {
+    states = !states;
+    decisive = !decisive;
+    argmax_flips = !flips;
+    prior_linf = !worst_prior;
+    value_err = !worst_value;
+    findings = Diag.report c;
+  }
+
+let certified r = not (Diag.has_errors r.findings)
+
+let certify ?config net =
+  let r = run ?config net in
+  if certified r then Nn.Pvnet.mark_quantized_certified net
+  else Nn.Pvnet.clear_quantized_certificate net;
+  r

@@ -1,0 +1,60 @@
+(** Certification harness for the int8 quantized serving path.
+
+    The quantized forward ([Pvnet.predict_prepared_quantized_unsafe]) is
+    an approximation of the float forward; it may only serve after this
+    harness has measured the approximation error on a battery of seeded
+    random PBQP states and found it within bounds.  Three properties are
+    checked per state, float path vs int8 path:
+
+    - {b policy argmax agreement} on {e decisive} states — states where
+      the float priors' top-1/top-2 gap is at least [decisive_margin]
+      (near-tie states are excluded: their argmax is not meaningful and
+      flips under any perturbation, quantized or not);
+    - {b prior L∞}: the largest absolute prior difference over the
+      colors stays below [max_prior_linf];
+    - {b value error}: the absolute value-head difference stays below
+      [max_value_err].
+
+    [certify] runs the battery and installs the certificate
+    ([Pvnet.mark_quantized_certified]) iff no bound was violated; on any
+    violation it clears the certificate instead.  The certificate is
+    version-stamped, so any later weight mutation silently revokes it. *)
+
+type config = {
+  seed : int;  (** RNG seed for the graph battery (deterministic) *)
+  graphs : int;  (** number of seeded graphs *)
+  n : int;  (** vertices per graph *)
+  p_edge : float;
+  p_inf : float;
+  decisive_margin : float;
+      (** float top-1/top-2 prior gap above which a state counts as
+          decisive and its argmax must be preserved *)
+  max_prior_linf : float;
+  max_value_err : float;
+}
+
+val default : config
+(** 8 graphs of 24 vertices, [p_edge = 0.3], [p_inf = 0.05],
+    [decisive_margin = 0.05], [max_prior_linf = 0.05],
+    [max_value_err = 0.1] (the value head is a tanh in [-1, 1]). *)
+
+type report = {
+  states : int;  (** states evaluated (one per live vertex per graph) *)
+  decisive : int;  (** states subject to the argmax check *)
+  argmax_flips : int;
+  prior_linf : float;  (** worst prior L∞ observed *)
+  value_err : float;  (** worst absolute value error observed *)
+  findings : Diag.finding list;
+}
+
+val run : ?config:config -> Nn.Pvnet.t -> report
+(** Measure only; never touches the certificate.  Findings carry one
+    error per violated bound (rules [quant-argmax], [quant-prior],
+    [quant-value]) plus an info summary. *)
+
+val certify : ?config:config -> Nn.Pvnet.t -> report
+(** {!run}, then [mark_quantized_certified] on a clean report or
+    [clear_quantized_certificate] on a dirty one. *)
+
+val certified : report -> bool
+(** Whether the report is clean (no error findings). *)

@@ -115,7 +115,7 @@ let concat1 xs =
           Array.iter
             (fun p ->
               let k = Tensor.numel p.value in
-              accum p (Tensor.of_array1 (Array.sub gdata !pos k));
+              accum p (Tensor.of_float_array (Float.Array.sub gdata !pos k));
               pos := !pos + k)
             parents)
 
@@ -143,8 +143,10 @@ let softmax_xent logits target =
   let p = softmax logits.value in
   let loss = ref 0.0 in
   let pd = Tensor.data p and td = Tensor.data target in
-  Array.iteri
-    (fun i ti -> if ti > 0.0 then loss := !loss -. (ti *. log (Float.max pd.(i) 1e-30)))
+  Float.Array.iteri
+    (fun i ti ->
+      if ti > 0.0 then
+        loss := !loss -. (ti *. log (Float.max (Float.Array.get pd i) 1e-30)))
     td;
   node (Tensor.scalar !loss) [| logits |] (fun g ->
       let gs = Tensor.get1 g 0 in
@@ -155,7 +157,7 @@ let layernorm ?(eps = 1e-5) ~gain ~bias x =
   let nf = float_of_int n in
   let mu = Tensor.mean x.value in
   let var =
-    Array.fold_left
+    Float.Array.fold_left
       (fun acc v -> acc +. ((v -. mu) *. (v -. mu)))
       0.0 (Tensor.data x.value)
     /. nf

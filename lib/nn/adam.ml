@@ -66,14 +66,20 @@ let step t grads =
       let gd = Tensor.data g in
       let md = Tensor.data s.m in
       let vd = Tensor.data s.v in
-      for i = 0 to Array.length w - 1 do
-        md.(i) <- (c.beta1 *. md.(i)) +. ((1.0 -. c.beta1) *. gd.(i));
-        vd.(i) <- (c.beta2 *. vd.(i)) +. ((1.0 -. c.beta2) *. gd.(i) *. gd.(i));
-        let mhat = md.(i) /. bc1 in
-        let vhat = vd.(i) /. bc2 in
-        w.(i) <-
-          w.(i)
-          -. (c.lr *. ((mhat /. (sqrt vhat +. c.eps)) +. (c.weight_decay *. w.(i))))
+      for i = 0 to Float.Array.length w - 1 do
+        let gi = Float.Array.get gd i in
+        let mi = (c.beta1 *. Float.Array.get md i) +. ((1.0 -. c.beta1) *. gi) in
+        let vi =
+          (c.beta2 *. Float.Array.get vd i) +. ((1.0 -. c.beta2) *. gi *. gi)
+        in
+        Float.Array.set md i mi;
+        Float.Array.set vd i vi;
+        let mhat = mi /. bc1 in
+        let vhat = vi /. bc2 in
+        let wi = Float.Array.get w i in
+        Float.Array.set w i
+          (wi
+          -. (c.lr *. ((mhat /. (sqrt vhat +. c.eps)) +. (c.weight_decay *. wi))))
       done)
     grads
 
@@ -101,7 +107,7 @@ let save t ~params path =
             (String.concat "x" (Array.to_list (Array.map string_of_int shape)));
           let dump tensor =
             let d = Tensor.data tensor in
-            Array.iteri
+            Float.Array.iteri
               (fun i x ->
                 if i > 0 then output_char oc ' ';
                 Printf.fprintf oc "%.17g" x)
@@ -131,9 +137,9 @@ let load t ~params path =
         let toks =
           String.split_on_char ' ' values |> List.filter (fun s -> s <> "")
         in
-        if List.length toks <> Array.length d then
+        if List.length toks <> Float.Array.length d then
           invalid_arg "Adam.load: value count mismatch";
-        List.iteri (fun i s -> d.(i) <- float_of_string s) toks
+        List.iteri (fun i s -> Float.Array.set d i (float_of_string s)) toks
       in
       try
         while true do

@@ -30,9 +30,17 @@ type buffers = {
 
 type arena = {
   bufs : (int, buffers) Hashtbl.t;  (* batch rows ↦ buffer set *)
-  trans : (string, Tensor.t) Hashtbl.t;
-      (* param name ↦ transposed weight matrix, valid for [trans_version] *)
-  mutable trans_version : int;
+  packs : (string, Tensor.packed) Hashtbl.t;
+      (* param name ↦ packed transposed weight panels (the B operand of
+         the fused GEMM), valid for [pack_version] *)
+  mutable pack_version : int;
+  qpacks : (string, Tensor.Q.qmat) Hashtbl.t;
+      (* param name ↦ per-row int8 quantized weights for the serving
+         path, valid for [qpack_version] *)
+  mutable qpack_version : int;
+  qscr : (int, Tensor.Q.scratch) Hashtbl.t;
+      (* batch rows ↦ activation-quantization scratch, built lazily on
+         first quantized use of a batch size *)
 }
 
 type t = {
@@ -52,6 +60,12 @@ type t = {
   mutable evals : int;
       (* lifetime count of leaf evaluations served by this replica
          (scalar predicts count 1, batched predicts count their rows) *)
+  mutable quant_serve : bool;
+      (* serve batched inference through the int8 path when certified *)
+  mutable quant_certified : int;
+      (* weights version the int8 path was certified for (-1: none);
+         [sync] copies it — equal versions imply bitwise-equal weights,
+         so a certificate transfers with the weights *)
   gcn : gcn_layer array;
   trunk_in : Layer.Linear.t;
   trunk : Layer.Residual.t array;
@@ -74,9 +88,18 @@ let create ~rng config =
     config;
     msg_cache = Hashtbl.create 1024;
     arena =
-      { bufs = Hashtbl.create 8; trans = Hashtbl.create 8; trans_version = -1 };
+      {
+        bufs = Hashtbl.create 8;
+        packs = Hashtbl.create 8;
+        pack_version = -1;
+        qpacks = Hashtbl.create 8;
+        qpack_version = -1;
+        qscr = Hashtbl.create 4;
+      };
     version = next_version ();
     evals = 0;
+    quant_serve = false;
+    quant_certified = -1;
     gcn =
       Array.init config.gcn_layers (fun l ->
           let name k = Printf.sprintf "gcn%d.%s" l k in
@@ -125,15 +148,29 @@ let bump_version t = t.version <- next_version ()
 let eval_count t = t.evals
 let reset_eval_count t = t.evals <- 0
 
+(* --- Quantized-serving mode ------------------------------------------ *)
+
+let set_quantized_serve t on = t.quant_serve <- on
+let quantized_serve t = t.quant_serve
+let quantized_certified t = t.quant_certified = t.version
+
+(* Called by the certification harness (Check.Quantcert) after the int8
+   outputs passed the accuracy bounds for the current weights.  Any
+   weight mutation bumps [version], invalidating the certificate. *)
+let mark_quantized_certified t = t.quant_certified <- t.version
+let clear_quantized_certificate t = t.quant_certified <- -1
+
 let sync ~src ~dst =
   if src.config <> dst.config then invalid_arg "Pvnet.sync: config mismatch";
   List.iter2
     (fun (a : Var.t) (b : Var.t) ->
       if a.Var.name <> b.Var.name then invalid_arg "Pvnet.sync: param mismatch";
-      Array.blit (Tensor.data a.Var.value) 0 (Tensor.data b.Var.value) 0
+      Float.Array.blit (Tensor.data a.Var.value) 0 (Tensor.data b.Var.value) 0
         (Tensor.numel a.Var.value))
     (params src) (params dst);
-  dst.version <- src.version
+  dst.version <- src.version;
+  dst.quant_serve <- src.quant_serve;
+  dst.quant_certified <- src.quant_certified
 
 let clone t =
   let t' = create ~rng:(Random.State.make [| 0 |]) t.config in
@@ -260,15 +297,6 @@ let predict t g ~next =
 
 let relu_t x = Tensor.map (fun v -> if v > 0.0 then v else 0.0) x
 
-(* in-place relu, arithmetically identical to [relu_t] *)
-let relu_into x =
-  let d = Tensor.data x in
-  for k = 0 to Array.length d - 1 do
-    let v = Array.unsafe_get d k in
-    Array.unsafe_set d k (if v > 0.0 then v else 0.0)
-  done
-[@@hot]
-
 (* y ← y + 1b, per row *)
 let add_bias_rows (lin : Layer.Linear.t) y =
   let r, c = Tensor.dims2 y in
@@ -276,7 +304,8 @@ let add_bias_rows (lin : Layer.Linear.t) y =
   for i = 0 to r - 1 do
     let base = i * c in
     for j = 0 to c - 1 do
-      yd.(base + j) <- yd.(base + j) +. bd.(j)
+      Float.Array.unsafe_set yd (base + j)
+        (Float.Array.unsafe_get yd (base + j) +. Float.Array.unsafe_get bd j)
     done
   done
 [@@hot]
@@ -287,29 +316,77 @@ let linear_rows (lin : Layer.Linear.t) x =
   add_bias_rows lin y;
   y
 
-(* Wᵀ memoized per weights version: transposition is pure data movement,
-   so cached transposes cannot perturb results; the table resets lazily
-   whenever the version stamp moves (optimizer step, sync, load). *)
-let transposed t (lin : Layer.Linear.t) =
+(* Packed Wᵀ memoized per weights version: packing is pure data movement
+   (panel cell (k, j) is exactly w.(j).(k)), so cached packs cannot
+   perturb results; the table resets lazily whenever the version stamp
+   moves (optimizer step, sync, load). *)
+let packed_of t (lin : Layer.Linear.t) =
   let a = t.arena in
-  if a.trans_version <> t.version then begin
-    Hashtbl.reset a.trans;
-    a.trans_version <- t.version
+  if a.pack_version <> t.version then begin
+    Hashtbl.reset a.packs;
+    a.pack_version <- t.version
   end;
   let name = lin.Layer.Linear.w.Var.name in
-  match Hashtbl.find_opt a.trans name with
-  | Some w -> w
+  match Hashtbl.find_opt a.packs name with
+  | Some p -> p
   | None ->
-      let w = Tensor.transpose lin.Layer.Linear.w.Var.value in
-      Hashtbl.replace a.trans name w;
-      w
+      let p = Tensor.pack_transposed lin.Layer.Linear.w.Var.value in
+      Hashtbl.replace a.packs name p;
+      p
 
-(* [linear_rows] into a caller-owned buffer: matmul_into zero-fills the
-   rows it writes, so dirty buffers are fine *)
-let linear_rows_into t (lin : Layer.Linear.t) x out =
-  Tensor.matmul_into out x (transposed t lin);
-  add_bias_rows lin out
+(* Per-row int8 weights memoized per weights version, same lifecycle as
+   the packed panels.  Inference-only: nothing downstream of a qpack
+   feeds gradients. *)
+let qpack_of t (lin : Layer.Linear.t) =
+  let a = t.arena in
+  if a.qpack_version <> t.version then begin
+    Hashtbl.reset a.qpacks;
+    a.qpack_version <- t.version
+  end;
+  let name = lin.Layer.Linear.w.Var.name in
+  match Hashtbl.find_opt a.qpacks name with
+  | Some q -> q
+  | None ->
+      let q = Tensor.Q.quantize_rows lin.Layer.Linear.w.Var.value in
+      Hashtbl.replace a.qpacks name q;
+      q
+
+let quant_scratch t b =
+  let a = t.arena in
+  match Hashtbl.find_opt a.qscr b with
+  | Some s -> s
+  | None ->
+      if Hashtbl.length a.qscr > 64 then Hashtbl.reset a.qscr;
+      let cols = max (3 * t.config.m) t.config.trunk_width in
+      let s = Tensor.Q.scratch ~rows:b ~cols in
+      Hashtbl.replace a.qscr b s;
+      s
+
+(* [linear_rows] into a caller-owned buffer, with the epilogue (bias,
+   optional residual add, optional relu) fused into the packed GEMM —
+   one pass over memory, each output cell written once.  Bit-identical
+   to [matmul_into] + [add_bias_rows] (+ separate residual/relu passes):
+   same float operations, same order. *)
+let linear_rows_into ?residual ?relu t (lin : Layer.Linear.t) x out =
+  Tensor.matmul_packed_into ~bias:lin.Layer.Linear.b.Var.value ?residual ?relu
+    out x (packed_of t lin)
 [@@hot]
+
+(* quantized counterpart of [linear_rows_into]: int8×int8→int GEMM over
+   the memoized per-row-quantized weights with dynamic activation
+   quantization, float rescale and the same fused epilogue *)
+let linear_rows_quant_into ?residual ?relu t ~scratch:qs (lin : Layer.Linear.t)
+    x out =
+  Tensor.Q.matmul_qt_into ~bias:lin.Layer.Linear.b.Var.value ?residual ?relu
+    ~scratch:qs out x (qpack_of t lin)
+[@@hot]
+
+(* Test hook: tamper the memoized int8 policy-head weights in place.
+   The qpack's version stamp still matches, so the corruption survives
+   until the next weight mutation — a subsequent certification pass sees
+   a real int8-vs-float divergence and must reject the path. *)
+let corrupt_quantized_for_test t =
+  Tensor.Q.corrupt_for_test (qpack_of t t.policy_head)
 
 (* per-row LayerNorm mirroring Ad.layernorm's arithmetic term for term;
    the [_into] form overwrites every cell of [out], so dirty scratch
@@ -329,19 +406,20 @@ let layernorm_rows_into (ln : Layer.Layernorm.t) x out =
     let base = i * c in
     let s = ref 0.0 in
     for j = 0 to c - 1 do
-      s := !s +. xd.(base + j)
+      s := !s +. Float.Array.unsafe_get xd (base + j)
     done;
     let mu = !s /. nf in
     let acc = ref 0.0 in
     for j = 0 to c - 1 do
-      let d = xd.(base + j) -. mu in
+      let d = Float.Array.unsafe_get xd (base + j) -. mu in
       acc := !acc +. (d *. d)
     done;
     let var = !acc /. nf in
     let sigma = sqrt (var +. eps) in
     for j = 0 to c - 1 do
-      let xhat = (xd.(base + j) -. mu) /. sigma in
-      od.(base + j) <- (gd.(j) *. xhat) +. bd.(j)
+      let xhat = (Float.Array.unsafe_get xd (base + j) -. mu) /. sigma in
+      Float.Array.unsafe_set od (base + j)
+        ((Float.Array.unsafe_get gd j *. xhat) +. Float.Array.unsafe_get bd j)
     done
   done
 [@@hot]
@@ -431,13 +509,19 @@ let readout_row t g ~next =
    vertex's cost vector (the post-trunk mask).  Incremental search states
    share one mutating graph, so a batch materializes each leaf in turn as
    a [prepared] and only then runs the trunk GEMMs. *)
-type prepared = { p_row : Tensor.t; p_mask : Vec.t }
+type prepared = { p_row : Tensor.t; p_mask : Vec.t; p_quant : bool }
 
-let prepare t g ~next =
+let prepare ?quantized t g ~next =
   if Graph.m g <> t.config.m then invalid_arg "Pvnet.prepare: m mismatch";
   if not (Graph.is_alive g next) then
     invalid_arg "Pvnet.prepare: next vertex not alive";
-  { p_row = readout_row t g ~next; p_mask = Vec.copy (Graph.cost g next) }
+  let p_quant =
+    match quantized with
+    | Some q -> q
+    | None -> t.quant_serve && t.quant_certified = t.version
+  in
+  { p_row = readout_row t g ~next; p_mask = Vec.copy (Graph.cost g next);
+    p_quant }
 
 (* Scratch buffers for a batch of [b] rows, reused call over call.  The
    64-size-class bound exists only to keep pathological callers from
@@ -465,62 +549,145 @@ let buffers t b =
 
 (* The coalesced trunk/heads forward.  With [scratch] (the default) the
    whole pass runs in the replica's arena: rows are blitted into a
-   reusable stack, every GEMM lands in a preallocated buffer via
-   [matmul_into], activations/residual adds mutate in place, and the
-   transposed weight matrices are memoized per weights version — in
+   reusable stack, every GEMM runs the packed fused kernel into a
+   preallocated buffer (bias/residual/relu folded into the epilogue),
+   and the packed weight panels are memoized per weights version — in
    steady state nothing is allocated but the per-sample result arrays.
-   Every in-place step computes the same IEEE expressions in the same
-   order as the allocating path ([relu_into]/[relu_t],
-   [linear_rows_into]/[linear_rows], [add_into]/[add]), so the two paths
-   are bit-identical; [~scratch:false] keeps the allocating path alive as
-   the benchmark baseline and the equivalence-test oracle. *)
+   Every fused step computes the same IEEE expressions in the same order
+   as the allocating path ([matmul] + bias + relu/residual as separate
+   passes), so the two paths are bit-identical; [~scratch:false] keeps
+   the allocating path alive as the benchmark baseline and the
+   equivalence-test oracle. *)
+(* The float scratch forward: rows already blitted into [bu.sx0]; every
+   GEMM runs the packed fused kernel (bias, residual add and relu folded
+   into the epilogue), so each layer makes one pass over memory and the
+   whole trunk allocates nothing. *)
+let scratch_forward t bu =
+  linear_rows_into ~relu:true t t.trunk_in bu.sx0 bu.sx;
+  Array.iter
+    (fun (blk : Layer.Residual.t) ->
+      layernorm_rows_into blk.Layer.Residual.ln bu.sx bu.sb1;
+      linear_rows_into ~relu:true t blk.Layer.Residual.fc1 bu.sb1 bu.sb2;
+      (* fc2 + bias + residual fused, written straight into sx (the
+         out == residual aliasing the packed kernel supports) *)
+      linear_rows_into ~residual:bu.sx t blk.Layer.Residual.fc2 bu.sb2 bu.sx)
+    t.trunk;
+  layernorm_rows_into t.trunk_ln bu.sx bu.sb1;
+  linear_rows_into t t.policy_head bu.sb1 bu.slogits;
+  linear_rows_into t t.value_head bu.sb1 bu.svalues
+
+(* The int8 serving forward: same structure, every linear routed through
+   the quantized GEMM.  LayerNorm, the residual carries and the heads'
+   tanh/softmax stay float. *)
+let quant_forward t bu n =
+  let qs = quant_scratch t n in
+  linear_rows_quant_into ~relu:true t ~scratch:qs t.trunk_in bu.sx0 bu.sx;
+  Array.iter
+    (fun (blk : Layer.Residual.t) ->
+      layernorm_rows_into blk.Layer.Residual.ln bu.sx bu.sb1;
+      linear_rows_quant_into ~relu:true t ~scratch:qs blk.Layer.Residual.fc1
+        bu.sb1 bu.sb2;
+      linear_rows_quant_into ~residual:bu.sx t ~scratch:qs
+        blk.Layer.Residual.fc2 bu.sb2 bu.sx)
+    t.trunk;
+  layernorm_rows_into t.trunk_ln bu.sx bu.sb1;
+  linear_rows_quant_into t ~scratch:qs t.policy_head bu.sb1 bu.slogits;
+  linear_rows_quant_into t ~scratch:qs t.value_head bu.sb1 bu.svalues
+
+(* Per-row mask + softmax straight out of the logits buffer into the
+   result array, no intermediate tensors.  Reproduces [Ad.softmax] over
+   the [init1]-masked row term for term: the max folds [Float.max] over
+   the masked values in ascending order (inadmissible colors read as
+   -inf), [exp (x -. mx)] per element, the normalizer sums in ascending
+   order, and each prior is [(1.0 /. z) *. e] — so results stay
+   bit-identical to the scalar [predict] epilogue. *)
+let mask_results t preps logits values =
+  let m = t.config.m in
+  let ld = Tensor.data logits and vd = Tensor.data values in
+  (if Tensor.dims2 logits <> (Array.length preps, m)
+   || Tensor.dims2 values <> (Array.length preps, 1)
+   then invalid_arg "Pvnet.mask_results: output buffer shape mismatch");
+  Array.mapi
+    (fun i p ->
+      let cost_vec = p.p_mask in
+      let base = i * m in
+      let priors =
+        if Vec.is_all_inf cost_vec then Array.make m 0.0
+        else begin
+          let masked c =
+            if Cost.is_inf (Vec.get cost_vec c) then neg_infinity
+            else Float.Array.unsafe_get ld (base + c)
+          in
+          let mx = ref neg_infinity in
+          for c = 0 to m - 1 do
+            mx := Float.max !mx (masked c)
+          done;
+          let e = Array.make m 0.0 in
+          let z = ref 0.0 in
+          for c = 0 to m - 1 do
+            let v = exp (masked c -. !mx) in
+            e.(c) <- v;
+            z := !z +. v
+          done;
+          let inv = 1.0 /. !z in
+          for c = 0 to m - 1 do
+            e.(c) <- inv *. e.(c)
+          done;
+          e
+        end
+      in
+      (priors, Float.tanh (Float.Array.unsafe_get vd i)))
+    preps
+
+let run_quant t preps =
+  let n = Array.length preps in
+  let bu = buffers t n in
+  Array.iteri (fun i p -> Tensor.blit_row_into p.p_row i bu.sx0) preps;
+  quant_forward t bu n;
+  mask_results t preps bu.slogits bu.svalues
+
+let predict_prepared_quantized_unsafe t preps =
+  match preps with
+  | [||] -> [||]
+  | _ ->
+      t.evals <- t.evals + Array.length preps;
+      run_quant t preps
+
 let predict_prepared ?(scratch = true) t preps =
   match preps with
   | [||] -> [||]
   | _ ->
       let n = Array.length preps in
       t.evals <- t.evals + n;
-      let logits, values =
-        if scratch then begin
-          let bu = buffers t n in
-          Array.iteri (fun i p -> Tensor.blit_row_into p.p_row i bu.sx0) preps;
-          linear_rows_into t t.trunk_in bu.sx0 bu.sx;
-          relu_into bu.sx;
-          Array.iter
-            (fun (blk : Layer.Residual.t) ->
-              layernorm_rows_into blk.Layer.Residual.ln bu.sx bu.sb1;
-              linear_rows_into t blk.Layer.Residual.fc1 bu.sb1 bu.sb2;
-              relu_into bu.sb2;
-              linear_rows_into t blk.Layer.Residual.fc2 bu.sb2 bu.sb1;
-              Tensor.add_into bu.sx bu.sb1)
-            t.trunk;
-          layernorm_rows_into t.trunk_ln bu.sx bu.sb1;
-          linear_rows_into t t.policy_head bu.sb1 bu.slogits;
-          linear_rows_into t t.value_head bu.sb1 bu.svalues;
-          (bu.slogits, bu.svalues)
-        end
-        else begin
-          let rows = Array.to_list (Array.map (fun p -> p.p_row) preps) in
-          let x = relu_t (linear_rows t.trunk_in (Tensor.stack_rows rows)) in
-          let x = Array.fold_left (fun x blk -> residual_rows blk x) x t.trunk in
-          let x = layernorm_rows t.trunk_ln x in
-          (linear_rows t.policy_head x, linear_rows t.value_head x)
-        end
-      in
-      Array.mapi
-        (fun i p ->
-          let cost_vec = p.p_mask in
-          let masked =
-            Tensor.init1 t.config.m (fun c ->
-                if Cost.is_inf (Vec.get cost_vec c) then neg_infinity
-                else Tensor.get2 logits i c)
-          in
-          let priors =
-            if Vec.is_all_inf cost_vec then Array.make t.config.m 0.0
-            else Tensor.to_array1 (Ad.softmax masked)
-          in
-          (priors, Float.tanh (Tensor.get2 values i 0)))
-        preps
+      let quantized = preps.(0).p_quant in
+      Array.iter
+        (fun p ->
+          if p.p_quant <> quantized then
+            invalid_arg "Pvnet.predict_prepared: mixed quantized batch")
+        preps;
+      if quantized then begin
+        (* the certification gate: int8 serving requires a certificate
+           for the exact current weights (Check.Quantcert issues it) *)
+        if t.quant_certified <> t.version then
+          invalid_arg
+            "Pvnet.predict_prepared: quantized path not certified for \
+             current weights";
+        run_quant t preps
+      end
+      else if scratch then begin
+        let bu = buffers t n in
+        Array.iteri (fun i p -> Tensor.blit_row_into p.p_row i bu.sx0) preps;
+        scratch_forward t bu;
+        mask_results t preps bu.slogits bu.svalues
+      end
+      else begin
+        let rows = Array.to_list (Array.map (fun p -> p.p_row) preps) in
+        let x = relu_t (linear_rows t.trunk_in (Tensor.stack_rows rows)) in
+        let x = Array.fold_left (fun x blk -> residual_rows blk x) x t.trunk in
+        let x = layernorm_rows t.trunk_ln x in
+        mask_results t preps (linear_rows t.policy_head x)
+          (linear_rows t.value_head x)
+      end
 
 let predict_batch t states =
   match states with
@@ -655,7 +822,7 @@ let save t path =
           Printf.fprintf oc "param %s %s\n" v.Var.name
             (String.concat "x" (Array.to_list (Array.map string_of_int shape)));
           let d = Tensor.data v.Var.value in
-          Array.iteri
+          Float.Array.iteri
             (fun i x ->
               if i > 0 then output_char oc ' ';
               Printf.fprintf oc "%.17g" x)
@@ -718,11 +885,11 @@ let load path =
                          String.split_on_char ' ' values
                          |> List.filter (fun s -> s <> "")
                        in
-                       if List.length toks <> Array.length d then
+                       if List.length toks <> Float.Array.length d then
                          invalid_arg
                            (Printf.sprintf "Pvnet.load: value count for %s" name);
                        List.iteri
-                         (fun i s -> d.(i) <- float_of_string s)
+                         (fun i s -> Float.Array.set d i (float_of_string s))
                          toks)
                | _ -> invalid_arg "Pvnet.load: malformed line")
          done

@@ -84,10 +84,17 @@ type prepared
     graph was live: the GCN readout row and a private copy of the next
     vertex's cost vector (the output mask). *)
 
-val prepare : t -> Pbqp.Graph.t -> next:int -> prepared
+val prepare : ?quantized:bool -> t -> Pbqp.Graph.t -> next:int -> prepared
 (** The per-state stage of {!predict_batch}.  Safe to call on a graph
     that is subsequently mutated (the incremental-search pattern: seek
     the shared trail graph to each leaf, prepare, move on).
+
+    [quantized] selects the int8 serving path for this state's batch; it
+    defaults to [quantized_serve t && quantized_certified t], so
+    ordinary callers follow the net's serving mode and silently fall
+    back to float while no certificate is held.  Passing
+    [~quantized:true] explicitly requests the int8 path — then
+    {!predict_prepared} raises unless the certificate is current.
     @raise Invalid_argument as {!predict}. *)
 
 val predict_prepared :
@@ -110,6 +117,48 @@ val predict_prepared :
     replica's owning worker) — but safe for {!Infer}'s floating server
     to run on a submitter's replica, because the owner blocks for the
     result while its ticket is in flight. *)
+
+(** {1 Quantized serving (int8), behind the certification gate}
+
+    Inference-only int8 serving: per-row int8 weight quantization
+    memoized per {!version}, an int8×int8→int GEMM with float rescale
+    and the same fused epilogues as the float path (LayerNorm, softmax
+    and tanh stay float).  The path is {e gated}: batched inference only
+    runs it while a certificate issued by [Check.Quantcert] matches the
+    current weights version; any weight mutation (optimizer step, load)
+    invalidates the certificate. *)
+
+val set_quantized_serve : t -> bool -> unit
+(** Ask batched inference to serve through the int8 path whenever a
+    current certificate is held ({!prepare}'s default consults this). *)
+
+val quantized_serve : t -> bool
+
+val quantized_certified : t -> bool
+(** Whether the held certificate matches the current weights version.
+    {!sync} copies the certificate with the weights (equal versions
+    imply bitwise-equal weights, so it transfers to replicas). *)
+
+val mark_quantized_certified : t -> unit
+(** Install a certificate for the current weights version.  Reserved for
+    the certification harness ([Check.Quantcert]) — do not call after
+    eyeballing; the harness checks policy argmax agreement and value
+    error bounds on seeded graphs first. *)
+
+val clear_quantized_certificate : t -> unit
+
+val predict_prepared_quantized_unsafe :
+  t -> prepared array -> (float array * float) array
+(** The int8 forward {e without} the certification gate, regardless of
+    how the batch was prepared — the entry point the certification
+    harness (and benchmarks) use to measure the path before a
+    certificate exists.  Never call from serving code. *)
+
+val corrupt_quantized_for_test : t -> unit
+(** Test hook: tamper the memoized int8 policy-head weights in place
+    (the memo's version stamp still matches, so the corruption persists
+    until the next weight mutation).  Exists to prove the certification
+    gate rejects corrupted quantized weights. *)
 
 val eval_count : t -> int
 (** Lifetime number of leaf evaluations this net (replica) has served:

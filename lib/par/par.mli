@@ -57,6 +57,14 @@ module Pool : sig
       partitioned into contiguous chunks ([chunk] indices per task;
       defaults to an even split across workers). *)
 
+  val parallel_rows : t -> rows:int -> (lo:int -> hi:int -> unit) -> unit
+  (** [parallel_rows t ~rows f] partitions [0 .. rows-1] into at most
+      [size t] contiguous blocks and runs [f ~lo ~hi] on each (half-open
+      ranges).  The partition depends only on [rows] and the pool size,
+      never on scheduling — the row-split used by the flat GEMM kernels,
+      where disjoint output-row ranges touch disjoint slices of the flat
+      buffer and each output cell keeps its serial accumulation order. *)
+
   val map : t -> f:(worker:int -> 'a -> 'b) -> 'a array -> 'b array
   (** [map t ~f xs] is [Array.map] with one task per element; result [i]
       comes from input [i] regardless of scheduling. *)

@@ -1,9 +1,15 @@
-(** Dense float tensors (rank 1 and 2), row-major.
+(** Dense float tensors (rank 1 and 2), flat unboxed row-major storage.
 
     The minimal numeric substrate for the neural-network stack: no BLAS, no
     broadcasting — shapes must match exactly, and shape errors raise
     [Invalid_argument] eagerly.  Data is mutable; functions return fresh
-    tensors unless suffixed [_into] or documented otherwise. *)
+    tensors unless suffixed [_into] or documented otherwise.
+
+    Storage is one flat [floatarray] per tensor (unboxed float64; rank-2
+    element [(i, j)] at flat index [i * cols + j]).  The serving-tier hot
+    path additionally uses {!packed} (Bigarray float64 column panels for
+    the fused GEMM) and {!Q.qmat} (Bigarray int8 per-row quantized
+    weights). *)
 
 type t
 
@@ -24,6 +30,10 @@ val of_array1 : float array -> t
 
 val of_array2 : float array array -> t
 (** Row-major copy. @raise Invalid_argument on ragged input. *)
+
+val of_float_array : floatarray -> t
+(** Rank-1 tensor copying an unboxed [floatarray].
+    @raise Invalid_argument on empty input. *)
 
 val scalar : float -> t
 (** A 1-element rank-1 tensor. *)
@@ -48,9 +58,12 @@ val set1 : t -> int -> float -> unit
 val get2 : t -> int -> int -> float
 val set2 : t -> int -> int -> float -> unit
 val to_array1 : t -> float array
-val data : t -> float array
-(** The underlying buffer itself (no copy) — for in-place optimizer
-    updates. *)
+val to_float_array : t -> floatarray
+(** Copy of the flat storage, any rank (row-major for rank 2). *)
+
+val data : t -> floatarray
+(** The underlying flat buffer itself (no copy) — for in-place optimizer
+    updates.  Rank-2 element [(i, j)] is at index [i * cols + j]. *)
 
 val copy : t -> t
 val fill : t -> float -> unit
@@ -97,6 +110,86 @@ val set_pool : Par.Pool.t option -> unit
 
 val get_pool : unit -> Par.Pool.t option
 (** The currently installed pool, if any. *)
+
+(** {1 Packed-panel GEMM with fused epilogues}
+
+    The serving-tier hot path: the B operand (in practice a transposed
+    weight matrix, memoized per network version) is repacked once into
+    contiguous width-8 column panels backed by a float64 [Bigarray], and
+    the fused kernel computes [A × B] with the epilogue (bias add,
+    residual add, relu) folded into the same pass — each output cell is
+    accumulated in registers and written exactly once, so the forward
+    makes one pass over memory instead of three. *)
+
+type packed
+(** A rank-2 operand repacked into contiguous column panels. *)
+
+val pack : t -> packed
+(** Pack a [k × n] matrix as the B operand. *)
+
+val pack_transposed : t -> packed
+(** [pack_transposed w] packs [wᵀ] without materializing the transpose:
+    for an [n × k] weight matrix this yields the packed [k × n] B operand
+    such that [matmul_packed_into out x (pack_transposed w)] computes
+    [x × wᵀ] — the linear-layer forward. *)
+
+val packed_dims : packed -> int * int
+(** [(k, n)] dims of the packed operand. *)
+
+val matmul_packed_into :
+  ?bias:t -> ?residual:t -> ?relu:bool -> t -> t -> packed -> unit
+(** [matmul_packed_into ?bias ?residual ?relu out a bp] writes
+    [a × bp] into [out] with the optional epilogue applied per cell in
+    this order: [+ bias.(j)], then [residual.(i, j) + ·], then relu.
+    Bit-identical to the unfused [matmul_into] followed by separate
+    bias/residual/relu passes (same float operations in the same order;
+    each cell accumulates ascending-k with the same zero-skip).
+    [out == residual] aliasing is allowed (each cell is read before its
+    single write); [out] must not alias [a].  Row-split across the
+    installed pool for large products, bit-identical at every pool
+    size. *)
+
+(** {1 Int8 quantized serving path}
+
+    Inference-only: per-row symmetric int8 quantization (absmax / 127,
+    round half away from zero, clamped to ±127) of a weight matrix, an
+    int8×int8→int GEMM with the float rescale and the same fused
+    epilogue applied per cell.  Activations are quantized per row on the
+    fly into a caller-provided {!Q.scratch}, so a quantized forward
+    allocates nothing per call.  Accuracy is certified upstream
+    ([Check.Quantcert]) before the path is allowed to serve. *)
+
+module Q : sig
+  type qmat
+  (** Per-row int8 quantization of a rank-2 matrix (int8 [Bigarray]
+      values plus one float scale per row). *)
+
+  val quantize_rows : t -> qmat
+  val rows : qmat -> int
+  val cols : qmat -> int
+
+  type scratch
+  (** Reusable activation-quantization buffers for batches up to
+      [rows × cols]. *)
+
+  val scratch : rows:int -> cols:int -> scratch
+
+  val matmul_qt_into :
+    ?bias:t -> ?residual:t -> ?relu:bool -> scratch:scratch -> t -> t ->
+    qmat -> unit
+  (** [matmul_qt_into ~scratch out x qw] computes [x × qwᵀ] (for [qw]
+      quantized from an [n × k] weight matrix, matching
+      {!pack_transposed}'s orientation) with dynamic per-row activation
+      quantization and the float rescale
+      [acc * (xscale_i * wscale_j)] plus the fused bias/residual/relu
+      epilogue.  @raise Invalid_argument on shape mismatch, aliasing, or
+      an undersized scratch. *)
+
+  val corrupt_for_test : qmat -> unit
+  (** Tamper the quantized payload in place (flips the largest-magnitude
+      cell) while leaving scales and shape intact — test hook proving
+      the certification gate rejects corrupted weights. *)
+end
 
 val mv : t -> t -> t
 (** rank-2 × rank-1 → rank-1. *)

@@ -1,0 +1,19 @@
+(* Fixture: boxed row-pointer matrices in hot bodies — the allocation
+   pattern the flat-tensor rework removed from the forward path. *)
+
+(* Array.make_matrix builds one heap block per row *)
+let scratch r c = Array.make_matrix r c 0.0
+[@@hot]
+
+(* a nested array literal is the same boxed shape, spelled inline;
+   reported once for the matrix, not once per row *)
+let stencil () = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |]
+[@@hot]
+
+(* the unboxed replacements still count as allocations when they happen
+   per call *)
+let flat_scratch n = Float.Array.create n
+[@@hot]
+
+let big_scratch n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+[@@hot]

@@ -1,0 +1,17 @@
+(* Fixture: flat-indexed numeric hot code the matrix lint must not
+   flag — preallocated storage mutated in place, i * cols + j access. *)
+
+let saxpy_flat a x y cols i j =
+  let idx = (i * cols) + j in
+  Float.Array.unsafe_set y idx
+    ((a *. Float.Array.unsafe_get x idx) +. Float.Array.unsafe_get y idx)
+[@@hot]
+
+(* reading/writing an existing boxed matrix is fine; only building one
+   per call is the bug *)
+let read_cell (m : float array array) i j = m.(i).(j)
+[@@hot]
+
+(* a blessed one-time build at setup *)
+let setup r c = ((Array.make_matrix r c 0.0) [@analyze.ok "built once at init"])
+[@@hot]

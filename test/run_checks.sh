@@ -27,6 +27,12 @@ dune exec bin/pbqp_analyze.exe -- --json --baseline ANALYZE_BASELINE lib bin
 echo "== dune runtest =="
 dune runtest
 
+echo "== dune build @gemm =="
+# GEMM-kernel equivalence suite: the packed-panel fused kernels and the
+# tiled kernel bitwise against the naive reference, the floatarray
+# bridges, and the int8 quantized kernel's accuracy envelope
+dune build @gemm
+
 echo "== dune build @par =="
 # parallel-runtime equivalence suite: pool GEMM / train step / whole
 # training runs must be bit-identical to serial at every pool size

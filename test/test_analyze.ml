@@ -110,6 +110,17 @@ let test_hot () =
   check_parsed "hot_good";
   check_clean "hot_good"
 
+let test_hot_matrix () =
+  let fs = run_fixture "matrix_bad" in
+  (* make_matrix and the nested literal (reported once, not per row) *)
+  Alcotest.(check int) "boxed matrices" 2 (count_rule "hot-boxed-matrix" fs);
+  (* the per-call floatarray/bigarray scratch allocations *)
+  Alcotest.(check int) "unboxed alloc calls" 2 (count_rule "hot-alloc-call" fs);
+  Alcotest.(check (list string))
+    "no other rules" [ "hot-alloc-call"; "hot-boxed-matrix" ] (rules fs);
+  check_parsed "matrix_good";
+  check_clean "matrix_good"
+
 (* --- baseline --------------------------------------------------------- *)
 
 let test_baseline () =
@@ -203,7 +214,11 @@ let () =
           Alcotest.test_case "hashtbl order" `Quick test_hashtbl_order;
           Alcotest.test_case "random streams" `Quick test_random;
         ] );
-      ("hotpath", [ Alcotest.test_case "allocation classes" `Quick test_hot ]);
+      ( "hotpath",
+        [
+          Alcotest.test_case "allocation classes" `Quick test_hot;
+          Alcotest.test_case "boxed matrices" `Quick test_hot_matrix;
+        ] );
       ( "infra",
         [
           Alcotest.test_case "baseline round-trip" `Quick test_baseline;

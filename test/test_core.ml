@@ -654,10 +654,7 @@ let test_training_resume_bit_identical () =
   let identical a b =
     List.for_all2
       (fun (x : Nn.Var.t) (y : Nn.Var.t) ->
-        Array.for_all2
-          (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
-          (Tensor.data x.Nn.Var.value)
-          (Tensor.data y.Nn.Var.value))
+        tensor_bits_equal x.Nn.Var.value y.Nn.Var.value)
       (Nn.Pvnet.params a) (Nn.Pvnet.params b)
   in
   Fun.protect

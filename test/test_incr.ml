@@ -364,9 +364,7 @@ let test_solver_rejects_incremental_rollouts () =
 let params_identical a b =
   List.for_all2
     (fun (x : Nn.Var.t) (y : Nn.Var.t) ->
-      Array.for_all2 bits_eq
-        (Tensor.data x.Nn.Var.value)
-        (Tensor.data y.Nn.Var.value))
+      tensor_bits_equal x.Nn.Var.value y.Nn.Var.value)
     (Nn.Pvnet.params a) (Nn.Pvnet.params b)
 
 let read_file path =

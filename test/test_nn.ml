@@ -92,17 +92,18 @@ let check_grads ?(tol = 1e-4) name (vars : Nn.Var.t list) f =
       in
       let data = Tensor.data v.Nn.Var.value in
       let gd = Tensor.data g in
-      Array.iteri
+      Float.Array.iteri
         (fun i x ->
-          data.(i) <- x +. feps;
+          Float.Array.set data i (x +. feps);
           let up = eval () in
-          data.(i) <- x -. feps;
+          Float.Array.set data i (x -. feps);
           let down = eval () in
-          data.(i) <- x;
+          Float.Array.set data i x;
           let num = (up -. down) /. (2.0 *. feps) in
-          if Float.abs (num -. gd.(i)) > tol *. (1.0 +. Float.abs num) then
+          let gi = Float.Array.get gd i in
+          if Float.abs (num -. gi) > tol *. (1.0 +. Float.abs num) then
             Alcotest.failf "%s: var %s[%d]: numerical %.6f vs autodiff %.6f"
-              name v.Nn.Var.name i num gd.(i))
+              name v.Nn.Var.name i num gi)
         data)
     vars
 
@@ -259,7 +260,7 @@ let test_adam_save_load_continues_identically () =
     (fun () ->
       Nn.Adam.save opt1 ~params:[ w1 ] path;
       (* a fresh var with the same name but a different id *)
-      let w2 = mkvar "w" (Array.copy (Tensor.data w1.Nn.Var.value)) in
+      let w2 = mkvar "w" (Tensor.to_array1 w1.Nn.Var.value) in
       let opt2 = Nn.Adam.create cfg in
       Nn.Adam.load opt2 ~params:[ w2 ] path;
       Alcotest.(check int) "step restored" (Nn.Adam.steps_taken opt1)
@@ -269,10 +270,7 @@ let test_adam_save_load_continues_identically () =
         Nn.Adam.step opt2 [ (w2, grad i) ]
       done;
       Alcotest.(check bool) "continuation bit-identical" true
-        (Array.for_all2
-           (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
-           (Tensor.data w1.Nn.Var.value)
-           (Tensor.data w2.Nn.Var.value));
+        (tensor_bits_equal w1.Nn.Var.value w2.Nn.Var.value);
       Alcotest.check_raises "unknown param"
         (Invalid_argument "Adam.load: unknown param w") (fun () ->
           Nn.Adam.load (Nn.Adam.create cfg) ~params:[ mkvar "other" [| 0.0 |] ]

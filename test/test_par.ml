@@ -125,11 +125,7 @@ let test_pool_size_clamped () =
 (* ------------------------------------------------------------------ *)
 (* Pool-backed GEMM: bitwise vs the serial reference *)
 
-let bits_equal a b =
-  Tensor.shape a = Tensor.shape b
-  && Array.for_all2
-       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
-       (Tensor.data a) (Tensor.data b)
+let bits_equal a b = tensor_bits_equal a b
 
 let random_matrix rng ?(p_zero = 0.2) r c =
   Tensor.init2 r c (fun _ _ ->
@@ -229,10 +225,7 @@ let tiny_net ?(seed = 3) ~m () =
 let params_identical a b =
   List.for_all2
     (fun (x : Nn.Var.t) (y : Nn.Var.t) ->
-      Array.for_all2
-        (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
-        (Tensor.data x.Nn.Var.value)
-        (Tensor.data y.Nn.Var.value))
+      tensor_bits_equal x.Nn.Var.value y.Nn.Var.value)
     (Nn.Pvnet.params a) (Nn.Pvnet.params b)
 
 let training_batch ~m ~seed n =

@@ -55,3 +55,22 @@ let arb_graph_spec ?zero_inf ?nmax ?mmax ?p_inf () =
 
 let qtest ?(count = 100) name arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* Bitwise equality over flat (floatarray) tensor storage — approx
+   comparisons would hide accumulation-order bugs in the GEMM kernels. *)
+
+let bits_eq (x : float) (y : float) =
+  Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let fa_bits_equal a b =
+  Float.Array.length a = Float.Array.length b
+  &&
+  let ok = ref true in
+  Float.Array.iteri
+    (fun i x -> if not (bits_eq x (Float.Array.get b i)) then ok := false)
+    a;
+  !ok
+
+let tensor_bits_equal a b =
+  Tensor.shape a = Tensor.shape b
+  && fa_bits_equal (Tensor.data a) (Tensor.data b)
