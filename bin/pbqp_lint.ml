@@ -4,13 +4,7 @@
 
 open Cmdliner
 
-let print_findings header findings =
-  if findings <> [] then begin
-    Printf.printf "%s\n" header;
-    List.iter
-      (fun f -> Printf.printf "  %s\n" (Format.asprintf "%a" Check.Diag.pp_finding f))
-      findings
-  end
+let print_findings header findings = Check.Diag.print_findings header findings
 
 (* Optimality-gap report for one graph: prove the optimum with the exact
    branch-and-bound solver, certify that the best classic claim does not

@@ -3,11 +3,7 @@
 open Cmdliner
 
 let print_findings file findings =
-  List.iter
-    (fun f ->
-      Printf.eprintf "%s: %s\n" file
-        (Format.asprintf "%a" Check.Diag.pp_finding f))
-    findings
+  Check.Diag.print_findings ~oc:stderr file findings
 
 let solve file solver exact_flag net_path k backtracking max_states max_nodes
     labels dot =

@@ -97,6 +97,18 @@ let pp_report ppf findings =
 
 let to_string findings = Format.asprintf "%a" pp_report findings
 
+(* The CLI findings printer shared by pbqp_solve / pbqp_lint / pbqp_serve:
+   a header line, then one indented finding per line.  Nothing is printed
+   for an empty list. *)
+let print_findings ?(oc = stdout) header findings =
+  if findings <> [] then begin
+    Printf.fprintf oc "%s\n" header;
+    List.iter
+      (fun f ->
+        Printf.fprintf oc "  %s\n" (Format.asprintf "%a" pp_finding f))
+      findings
+  end
+
 let summary findings =
   Printf.sprintf "%d error(s), %d warning(s), %d info" (count Error findings)
     (count Warning findings) (count Info findings)

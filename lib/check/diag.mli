@@ -76,6 +76,11 @@ val severity_string : severity -> string
 val location_string : location -> string
 val pp_finding : Format.formatter -> finding -> unit
 val pp_report : Format.formatter -> finding list -> unit
+
+val print_findings : ?oc:out_channel -> string -> finding list -> unit
+(** The CLI report form shared by the binaries: a header line and one
+    indented finding per line; prints nothing for an empty list. *)
+
 val to_string : finding list -> string
 
 (** ["%d error(s), %d warning(s), %d info"]. *)

@@ -41,13 +41,8 @@ let to_buffer buf lbl =
     (if Cost.is_finite lbl.cost then Printf.sprintf "%.17g" lbl.cost
      else "inf");
   Buffer.add_char buf '\n';
-  Buffer.add_string buf "assign";
-  Array.iter
-    (fun c ->
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf (string_of_int c))
-    (Solution.to_array lbl.assignment);
-  Buffer.add_char buf '\n';
+  (* the shared one-line solution form of Pbqp.Io ("assign <colors...>") *)
+  Buffer.add_string buf (Io.solution_to_string lbl.assignment);
   Buffer.add_string buf (Io.to_string lbl.graph);
   Buffer.add_string buf "endlabel\n"
 
@@ -75,18 +70,10 @@ let load path =
     let assignment, rest =
       match rest with
       | line :: rest when String.length (String.trim line) >= 6
-                          && String.sub (String.trim line) 0 6 = "assign" ->
-          let body = String.sub (String.trim line) 6
-                       (String.length (String.trim line) - 6) in
-          let cols =
-            String.split_on_char ' ' body
-            |> List.filter (fun s -> s <> "")
-            |> List.map (fun s ->
-                   match int_of_string_opt s with
-                   | Some c -> c
-                   | None -> fail "bad color %S in assign line" s)
-          in
-          (Solution.of_array (Array.of_list cols), rest)
+                          && String.sub (String.trim line) 0 6 = "assign" -> (
+          match Io.solution_of_string line with
+          | sol -> (sol, rest)
+          | exception Invalid_argument msg -> fail "%s" msg)
       | _ -> fail "expected an assign line after a label header"
     in
     let rec graph_lines acc = function

@@ -19,14 +19,22 @@ let with_exact_reduction g solve =
 
 (* Route to the persistent or the trail-based driver; a positive
    [eval_cache] gives the solve its own transposition cache (repeated
-   positions appear across backtracking replans and retreats). *)
-let backtrack_solve ~incremental ~eval_cache ~net ~mode config state =
+   positions appear across backtracking replans and retreats).  An
+   explicit [cache] (possibly striped-shared across a serving pool)
+   takes precedence; [serve] routes wave evaluations through the
+   cross-worker Nn.Infer service — both result-preserving. *)
+let backtrack_solve ?cache ?serve ~incremental ~eval_cache ~net ~mode config
+    state =
   let cache =
-    if eval_cache > 0 then Some (Nn.Cache.local ~capacity:eval_cache)
-    else None
+    match cache with
+    | Some _ -> cache
+    | None ->
+        if eval_cache > 0 then Some (Nn.Cache.local ~capacity:eval_cache)
+        else None
   in
-  if incremental then Backtrack.solve_incremental ?cache ~net ~mode config state
-  else Backtrack.solve ?cache ~net ~mode config state
+  if incremental then
+    Backtrack.solve_incremental ?cache ?serve ~net ~mode config state
+  else Backtrack.solve ?cache ?serve ~net ~mode config state
 
 (* The exact branch-and-bound engine behind the same stats surface as the
    Deep-RL entry points: the optimality-gap harness's oracle.  [backtracks]
@@ -39,7 +47,8 @@ let solve_exact ?max_nodes ?max_seconds g =
 let solve_feasible ~net ?(mcts = Mcts.default_config)
     ?(order = Order.Decreasing_liberty) ?(backtracking = true)
     ?(replan = true) ?(max_backtracks = 100_000) ?(exact_reduce = false)
-    ?(rollouts = false) ?(incremental = false) ?(eval_cache = 0) ?rng g =
+    ?(rollouts = false) ?(incremental = false) ?(eval_cache = 0) ?cache ?serve
+    ?rng g =
   if rollouts && incremental then
     invalid_arg "Solver.solve_feasible: rollouts are unsupported incrementally";
   let rollout =
@@ -48,7 +57,8 @@ let solve_feasible ~net ?(mcts = Mcts.default_config)
   let solve_on g =
     let state = make_state ?rng ~order g in
     let result =
-      backtrack_solve ~incremental ~eval_cache ~net ~mode:Game.Feasibility
+      backtrack_solve ?cache ?serve ~incremental ~eval_cache ~net
+        ~mode:Game.Feasibility
         { Backtrack.mcts; enabled = backtracking; replan; max_backtracks;
           rollout }
         state
@@ -67,7 +77,7 @@ let solve_feasible ~net ?(mcts = Mcts.default_config)
 
 let minimize ~net ?(mcts = Mcts.default_config) ?(order = Order.By_id)
     ?reference ?(shaping = 5.0) ?(exact_reduce = false) ?(rollouts = false)
-    ?(incremental = false) ?(eval_cache = 0) ?rng g =
+    ?(incremental = false) ?(eval_cache = 0) ?cache ?serve ?rng g =
   if rollouts && incremental then
     invalid_arg "Solver.minimize: rollouts are unsupported incrementally";
   let reference =
@@ -82,7 +92,7 @@ let minimize ~net ?(mcts = Mcts.default_config) ?(order = Order.By_id)
   let solve_on g =
     let state = make_state ?rng ~order g in
     let result =
-      backtrack_solve ~incremental ~eval_cache ~net ~mode
+      backtrack_solve ?cache ?serve ~incremental ~eval_cache ~net ~mode
         { Backtrack.default_config with mcts; enabled = false; rollout }
         state
     in

@@ -37,6 +37,8 @@ val solve_feasible :
   ?rollouts:bool ->
   ?incremental:bool ->
   ?eval_cache:int ->
+  ?cache:Nn.Cache.t ->
+  ?serve:Nn.Infer.t ->
   ?rng:Random.State.t ->
   Graph.t ->
   Solution.t option * stats
@@ -49,6 +51,13 @@ val solve_feasible :
     bit-identical results; incompatible with [rollouts].  A positive
     [eval_cache] gives the solve an LRU transposition cache of that many
     network evaluations (see {!Nn.Evalcache}), also result-preserving.
+
+    [cache] supplies an external (possibly striped, pool-shared)
+    evaluation cache instead — it takes precedence over [eval_cache] —
+    and [serve] routes wave evaluations through a cross-worker
+    {!Nn.Infer} service so unrelated concurrent solves coalesce into
+    shared forward batches.  Both preserve results bitwise; they are the
+    serving-tier hooks ({!Serve.Daemon}).
 
     [exact_reduce] (default false) is a hybrid extension beyond the
     paper: the equivalence-preserving R0/R1/R2 reductions strip the easy
@@ -66,10 +75,12 @@ val minimize :
   ?rollouts:bool ->
   ?incremental:bool ->
   ?eval_cache:int ->
+  ?cache:Nn.Cache.t ->
+  ?serve:Nn.Infer.t ->
   ?rng:Random.State.t ->
   Graph.t ->
   (Solution.t * Cost.t) option * stats
-(** Minimize the cost sum.  [incremental]/[eval_cache] as in
+(** Minimize the cost sum.  [incremental]/[eval_cache]/[cache]/[serve] as in
     {!solve_feasible}.  [reference] anchors the search's terminal
     values (defaults to the Scholz–Eckstein cost of the graph);
     [shaping] (default 5.0) smooths the comparison reward.  [rollouts]

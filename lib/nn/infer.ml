@@ -70,6 +70,9 @@ type t = {
   mutable s_full : int [@guarded_by "mutex"];
   mutable s_timeout : int [@guarded_by "mutex"];
   mutable s_max_rows : int [@guarded_by "mutex"];
+  mutable poison : exn option [@guarded_by "mutex"];
+      (* test hook: raised once inside the server's result-distribution
+         phase (lock held) to prove the failure path cannot wedge *)
 }
 
 let create ?(max_batch = 32) ?(wait_us = 200) ~workers () =
@@ -90,7 +93,13 @@ let create ?(max_batch = 32) ?(wait_us = 200) ~workers () =
     s_full = 0;
     s_timeout = 0;
     s_max_rows = 0;
+    poison = None;
   }
+
+let poison_next_batch_for_test t e =
+  Mutex.lock t.mutex;
+  t.poison <- Some e;
+  Mutex.unlock t.mutex
 
 let workers t = t.workers
 let max_batch t = t.max_batch
@@ -146,20 +155,48 @@ let serve t ~full =
     try
       let all = Array.concat (List.map (fun tk -> tk.t_preps) batch) in
       let net = (List.hd batch).t_net in
-      Ok (Pvnet.predict_prepared net all)
+      let results = Pvnet.predict_prepared net all in
+      (* defend the distribution below: a forward that returns the wrong
+         row count (a broken net/kernel) must fail the batch, not raise
+         mid-distribution with the lock held *)
+      if Array.length results <> brows then
+        failwith
+          (Printf.sprintf
+             "Infer: forward returned %d rows for a %d-row batch"
+             (Array.length results) brows);
+      Ok results
     with e -> Error (e, Printexc.get_raw_backtrace ())
   in
   Mutex.lock t.mutex;
-  (match outcome with
-  | Ok results ->
-      let off = ref 0 in
-      List.iter
-        (fun tk ->
-          let n = Array.length tk.t_preps in
-          tk.t_result <- Some (Array.sub results !off n);
-          off := !off + n)
-        batch
-  | Error err -> List.iter (fun tk -> tk.t_failed <- Some err) batch);
+  (* From here to the broadcast, nothing may escape: an exception raised
+     with the lock held (and [serving] still set) would park every other
+     submitter in [Condition.wait] forever — the daemon-wedging failure
+     mode the poison-injection regression test exercises.  Any exception
+     in the distribution phase fans out to every ticket of the batch not
+     yet released, exactly like a forward failure. *)
+  (try
+     (match t.poison with
+     | Some e ->
+         t.poison <- None;
+         raise e
+     | None -> ());
+     match outcome with
+     | Ok results ->
+         let off = ref 0 in
+         List.iter
+           (fun tk ->
+             let n = Array.length tk.t_preps in
+             tk.t_result <- Some (Array.sub results !off n);
+             off := !off + n)
+           batch
+     | Error err -> List.iter (fun tk -> tk.t_failed <- Some err) batch
+   with e ->
+     let err = (e, Printexc.get_raw_backtrace ()) in
+     List.iter
+       (fun tk ->
+         if tk.t_result = None && tk.t_failed = None then
+           tk.t_failed <- Some err)
+       batch);
   t.serving <- false;
   Condition.broadcast t.cond
 [@@requires_lock "mutex"]

@@ -50,3 +50,11 @@ type stats = {
 val stats : t -> stats
 (** Counter snapshot (taken under the service lock).  Note: the direct
     [workers <= 1] fast path bypasses the queue and counts nothing. *)
+
+val poison_next_batch_for_test : t -> exn -> unit
+(** Test hook: make the next coalesced batch raise [exn] inside the
+    server's result-distribution phase — after the forward, with the
+    queue lock held.  Exists to prove the failure path can never wedge
+    the service: the exception must fan out to every ticket of the batch
+    (parked waiters included), the server flag must clear, and later
+    submissions must succeed.  Never call from serving code. *)

@@ -112,6 +112,40 @@ let of_string s =
     lines;
   match !g with None -> invalid_arg "Io.of_string: missing header" | Some g -> g
 
+(* --- solutions -------------------------------------------------------- *)
+
+(* One line, shared by the label files (Core.Labels) and the serving
+   wire format (Serve.Wire): "assign <c_0> ... <c_{n-1}>", unassigned
+   vertices as -1. *)
+let print_solution ppf sol =
+  Format.fprintf ppf "assign";
+  Array.iter (fun c -> Format.fprintf ppf " %d" c) (Solution.to_array sol);
+  Format.fprintf ppf "@\n"
+
+let solution_to_string sol = Format.asprintf "%a" print_solution sol
+
+let solution_of_string s =
+  let toks =
+    String.split_on_char ' ' (String.trim s)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "" && t <> "\r")
+  in
+  let cols =
+    match toks with
+    | "assign" :: rest -> rest
+    | _ -> invalid_arg "Io.solution_of_string: missing assign header"
+  in
+  Solution.of_array
+    (Array.of_list
+       (List.map
+          (fun t ->
+            match int_of_string_opt t with
+            | Some c -> c
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Io.solution_of_string: bad color %S" t))
+          cols))
+
 let to_file path g =
   let oc = open_out path in
   Fun.protect

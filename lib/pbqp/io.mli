@@ -22,3 +22,15 @@ val of_string : string -> Graph.t
 val to_file : string -> Graph.t -> unit
 
 val of_file : string -> Graph.t
+
+(** {1 Solutions}
+
+    One-line text form shared by the label files ({!Core.Labels}) and
+    the serving wire format: [assign <c_0> ... <c_{n-1}>], with
+    unassigned vertices as [-1]. *)
+
+val print_solution : Format.formatter -> Solution.t -> unit
+val solution_to_string : Solution.t -> string
+
+val solution_of_string : string -> Solution.t
+(** @raise Invalid_argument on malformed input. *)

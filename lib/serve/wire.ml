@@ -1,0 +1,290 @@
+(* Length-prefixed text wire format for the allocation service.
+
+   A frame is a 4-byte big-endian payload length followed by that many
+   bytes of UTF-8 text.  The text is line-oriented: the first line is a
+   [request]/[reply] header (whitespace-separated tokens, trailing
+   [key=value] parameters), everything after the first newline is the
+   raw body — a PBQP instance, a MiniC source, an ATE program, an
+   allocated program, or a stats table — handed to the existing parsers
+   untouched.  The IO domain therefore does O(1) work per frame (length
+   check + header split); bodies are parsed on the worker that executes
+   the request.
+
+   Robustness contract (test_wire locks it down): a frame whose declared
+   length exceeds [max_frame] is rejected before any allocation; a
+   malformed header or body yields an [Error _] result, never an
+   exception escaping to the connection loop; a truncated frame is
+   detected as EOF-mid-frame by the reader. *)
+
+let max_frame = 8 * 1024 * 1024
+let header_bytes = 4
+
+(* --- frame codec --- *)
+
+let encode_frame payload =
+  let n = String.length payload in
+  if n > max_frame then invalid_arg "Wire.encode_frame: payload too large";
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b header_bytes n;
+  b
+
+let decode_len b off =
+  let n = Int32.to_int (Bytes.get_int32_be b off) in
+  n
+
+(* Blocking write of a whole frame (client side; the daemon's IO domain
+   uses its own buffered nonblocking writes). *)
+let write_frame fd payload =
+  let b = encode_frame payload in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd b !off (len - !off) in
+    if n = 0 then failwith "Wire.write_frame: connection closed";
+    off := !off + n
+  done
+
+exception Frame_error of string
+
+(* Blocking read of exactly [n] bytes; [None] on clean EOF at a frame
+   boundary, [Frame_error] on EOF mid-frame. *)
+let read_exact fd n ~mid_frame =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    let r = Unix.read fd b !off (n - !off) in
+    if r = 0 then eof := true else off := !off + r
+  done;
+  if !eof then
+    if !off = 0 && not mid_frame then None
+    else raise (Frame_error "truncated frame: EOF mid-frame")
+  else Some b
+
+let read_frame fd =
+  match read_exact fd header_bytes ~mid_frame:false with
+  | None -> None
+  | Some hdr -> (
+      let n = decode_len hdr 0 in
+      if n < 0 || n > max_frame then
+        raise (Frame_error (Printf.sprintf "bad frame length %d" n))
+      else if n = 0 then Some ""
+      else
+        match read_exact fd n ~mid_frame:true with
+        | None -> None (* unreachable: mid_frame raises *)
+        | Some b -> Some (Bytes.to_string b))
+
+(* --- requests --- *)
+
+type solve_params = {
+  solver : string;
+  k : int;
+  backtrack : bool;
+  model : string;
+  deadline_ms : int;
+}
+
+let default_params =
+  { solver = "scholz"; k = 50; backtrack = false; model = "modelA";
+    deadline_ms = -1 }
+
+type request =
+  | Pbqp of solve_params * string
+  | Minic of solve_params * string
+  | Ate of solve_params * string
+  | Stats
+  | Ping
+  | Reload of string
+
+type envelope = { id : int; req : request }
+
+let split_header s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let header_tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* [key=value ...] parameter tokens; unknown keys are errors (a typo'd
+   parameter silently falling back to a default would be a debugging
+   trap on a network boundary). *)
+let parse_params tokens =
+  let rec go id p = function
+    | [] -> Ok (id, p)
+    | tok :: rest -> (
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "malformed parameter %S" tok)
+        | Some i -> (
+            let key = String.sub tok 0 i in
+            let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            let int_v () =
+              match int_of_string_opt v with
+              | Some n -> Ok n
+              | None -> Error (Printf.sprintf "parameter %s=%S: not an int" key v)
+            in
+            match key with
+            | "id" -> (
+                match int_v () with
+                | Ok n -> go n p rest
+                | Error e -> Error e)
+            | "solver" -> go id { p with solver = v } rest
+            | "k" -> (
+                match int_v () with
+                | Ok n -> go id { p with k = n } rest
+                | Error e -> Error e)
+            | "backtrack" -> (
+                match bool_of_string_opt v with
+                | Some b -> go id { p with backtrack = b } rest
+                | None ->
+                    Error
+                      (Printf.sprintf "parameter backtrack=%S: not a bool" v))
+            | "model" -> go id { p with model = v } rest
+            | "deadline_ms" -> (
+                match int_v () with
+                | Ok n -> go id { p with deadline_ms = n } rest
+                | Error e -> Error e)
+            | _ -> Error (Printf.sprintf "unknown parameter %S" key)))
+  in
+  go 0 default_params tokens
+
+let request_of_string s =
+  let line, body = split_header s in
+  match header_tokens line with
+  | "request" :: kind :: params -> (
+      match parse_params params with
+      | Error e -> Error e
+      | Ok (id, p) -> (
+          match kind with
+          | "pbqp" -> Ok { id; req = Pbqp (p, body) }
+          | "minic" -> Ok { id; req = Minic (p, body) }
+          | "ate" -> Ok { id; req = Ate (p, body) }
+          | "stats" -> Ok { id; req = Stats }
+          | "ping" -> Ok { id; req = Ping }
+          | "reload" -> Ok { id; req = Reload (String.trim body) }
+          | _ -> Error (Printf.sprintf "unknown request kind %S" kind)))
+  | _ -> Error "not a request frame (expected \"request <kind> ...\")"
+
+let params_to_string p =
+  Printf.sprintf "solver=%s k=%d backtrack=%b model=%s deadline_ms=%d"
+    p.solver p.k p.backtrack p.model p.deadline_ms
+
+let request_to_string { id; req } =
+  let idp = if id = 0 then "" else Printf.sprintf " id=%d" id in
+  match req with
+  | Pbqp (p, body) ->
+      Printf.sprintf "request pbqp%s %s\n%s" idp (params_to_string p) body
+  | Minic (p, body) ->
+      Printf.sprintf "request minic%s %s\n%s" idp (params_to_string p) body
+  | Ate (p, body) ->
+      Printf.sprintf "request ate%s %s\n%s" idp (params_to_string p) body
+  | Stats -> Printf.sprintf "request stats%s" idp
+  | Ping -> Printf.sprintf "request ping%s" idp
+  | Reload path -> Printf.sprintf "request reload%s\n%s" idp path
+
+(* --- replies --- *)
+
+type reply =
+  | Solution of { cost : string; nodes : int; backtracks : int;
+                  assignment : string }
+  | No_solution of { nodes : int; backtracks : int }
+  | Compiled of { cycles : int; spills : int; cost : string;
+                  output : string }
+  | Program of string
+  | Stats_reply of (string * string) list
+  | Pong
+  | Reloaded of { version : int }
+  | Error_reply of string
+  | Timeout
+  | Overloaded
+
+let reply_to_string ~id reply =
+  let idp = if id = 0 then "" else Printf.sprintf " id=%d" id in
+  match reply with
+  | Solution { cost; nodes; backtracks; assignment } ->
+      Printf.sprintf "reply solution%s cost=%s nodes=%d backtracks=%d\n%s"
+        idp cost nodes backtracks assignment
+  | No_solution { nodes; backtracks } ->
+      Printf.sprintf "reply nosolution%s nodes=%d backtracks=%d" idp nodes
+        backtracks
+  | Compiled { cycles; spills; cost; output } ->
+      Printf.sprintf "reply compiled%s cycles=%d spills=%d cost=%s\n%s" idp
+        cycles spills cost output
+  | Program text -> Printf.sprintf "reply program%s\n%s" idp text
+  | Stats_reply kvs ->
+      Printf.sprintf "reply stats%s\n%s" idp
+        (String.concat ""
+           (List.map (fun (k, v) -> Printf.sprintf "%s %s\n" k v) kvs))
+  | Pong -> Printf.sprintf "reply pong%s" idp
+  | Reloaded { version } -> Printf.sprintf "reply reloaded%s version=%d" idp version
+  | Error_reply msg -> Printf.sprintf "reply error%s\n%s" idp msg
+  | Timeout -> Printf.sprintf "reply timeout%s" idp
+  | Overloaded -> Printf.sprintf "reply overloaded%s" idp
+
+(* Parameter lookup for reply headers: replies are machine-generated, so
+   a missing key is a protocol error, not a default. *)
+let reply_param tokens key ~of_string =
+  let prefix = key ^ "=" in
+  let plen = String.length prefix in
+  let rec find = function
+    | [] -> Error (Printf.sprintf "reply missing parameter %S" key)
+    | t :: rest ->
+        if String.length t >= plen && String.sub t 0 plen = prefix then
+          match of_string (String.sub t plen (String.length t - plen)) with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "reply parameter %S malformed" t)
+        else find rest
+  in
+  find tokens
+
+let reply_int tokens key = reply_param tokens key ~of_string:int_of_string_opt
+let reply_str tokens key =
+  reply_param tokens key ~of_string:(fun s -> Some s)
+
+let reply_id tokens =
+  match reply_int tokens "id" with Ok n -> n | Error _ -> 0
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let reply_of_string s =
+  let line, body = split_header s in
+  match header_tokens line with
+  | "reply" :: kind :: params -> (
+      let id = reply_id params in
+      let ok r = Ok (id, r) in
+      match kind with
+      | "solution" ->
+          let* cost = reply_str params "cost" in
+          let* nodes = reply_int params "nodes" in
+          let* backtracks = reply_int params "backtracks" in
+          ok (Solution { cost; nodes; backtracks; assignment = String.trim body })
+      | "nosolution" ->
+          let* nodes = reply_int params "nodes" in
+          let* backtracks = reply_int params "backtracks" in
+          ok (No_solution { nodes; backtracks })
+      | "compiled" ->
+          let* cycles = reply_int params "cycles" in
+          let* spills = reply_int params "spills" in
+          let* cost = reply_str params "cost" in
+          ok (Compiled { cycles; spills; cost; output = body })
+      | "program" -> ok (Program body)
+      | "stats" ->
+          let kvs =
+            String.split_on_char '\n' body
+            |> List.filter_map (fun l ->
+                   match header_tokens l with
+                   | [ k; v ] -> Some (k, v)
+                   | _ -> None)
+          in
+          ok (Stats_reply kvs)
+      | "pong" -> ok Pong
+      | "reloaded" ->
+          let* version = reply_int params "version" in
+          ok (Reloaded { version })
+      | "error" -> ok (Error_reply (String.trim body))
+      | "timeout" -> ok Timeout
+      | "overloaded" -> ok Overloaded
+      | _ -> Error (Printf.sprintf "unknown reply kind %S" kind))
+  | _ -> Error "not a reply frame (expected \"reply <kind> ...\")"

@@ -1,0 +1,91 @@
+(** Length-prefixed text wire format for the allocation service.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of text.  The text's first line is a header —
+    [request <kind> key=value ...] or [reply <kind> key=value ...] —
+    and everything after the first newline is the raw body in an
+    existing text format ({!Pbqp.Io} instances and [assign] solution
+    lines, MiniC sources, ATE programs).  Frame assembly is O(1) on the
+    daemon's IO domain; bodies are parsed by the worker that executes
+    the request. *)
+
+val max_frame : int
+(** Hard payload cap (8 MiB): a declared length above it is rejected
+    before any buffer is allocated. *)
+
+val header_bytes : int
+
+exception Frame_error of string
+(** Truncated (EOF mid-frame) or length-corrupt input on a blocking
+    reader. *)
+
+val encode_frame : string -> bytes
+(** Length header + payload, ready to write.
+    @raise Invalid_argument above {!max_frame}. *)
+
+val decode_len : bytes -> int -> int
+(** Big-endian u32 at an offset; may be negative or oversized on
+    garbage input — callers must range-check against {!max_frame}. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Blocking whole-frame write (client side). *)
+
+val read_frame : Unix.file_descr -> string option
+(** Blocking whole-frame read: [None] on clean EOF at a frame boundary.
+    @raise Frame_error on EOF mid-frame or a corrupt length. *)
+
+(** {1 Requests} *)
+
+type solve_params = {
+  solver : string;
+      (** [pbqp]: scholz | rl; [minic]: fast | basic | greedy | pbqp |
+          pbqp-rl; [ate]: scholz | rl *)
+  k : int;  (** MCTS simulations per move (rl solvers) *)
+  backtrack : bool;  (** rl backtracking (pbqp requests) *)
+  model : string;  (** ATE machine model name (ate requests) *)
+  deadline_ms : int;
+      (** admission deadline relative to arrival; negative = none, [0]
+          expires deterministically at dequeue (the timeout-path test
+          hook) *)
+}
+
+val default_params : solve_params
+(** scholz, k=50, no backtracking, modelA, no deadline — matching the
+    [pbqp_solve]/[atec] CLI defaults so daemon and batch runs of the
+    same input agree bitwise. *)
+
+type request =
+  | Pbqp of solve_params * string  (** body: a {!Pbqp.Io} instance *)
+  | Minic of solve_params * string  (** body: MiniC source *)
+  | Ate of solve_params * string  (** body: an ATE test-pattern program *)
+  | Stats
+  | Ping
+  | Reload of string  (** body: checkpoint path for the model registry *)
+
+type envelope = { id : int; req : request }
+(** [id] is an opaque client correlation tag echoed in the reply header
+    ([0] = untagged), for clients that pipeline. *)
+
+val request_to_string : envelope -> string
+val request_of_string : string -> (envelope, string) result
+
+(** {1 Replies} *)
+
+type reply =
+  | Solution of { cost : string; nodes : int; backtracks : int;
+                  assignment : string }
+      (** [assignment] is the one-line [assign ...] form of
+          {!Pbqp.Io.solution_to_string} *)
+  | No_solution of { nodes : int; backtracks : int }
+  | Compiled of { cycles : int; spills : int; cost : string;
+                  output : string }
+  | Program of string  (** the allocated ATE program text *)
+  | Stats_reply of (string * string) list
+  | Pong
+  | Reloaded of { version : int }
+  | Error_reply of string
+  | Timeout  (** the request's deadline expired before execution *)
+  | Overloaded  (** rejected at admission: the bounded queue was full *)
+
+val reply_to_string : id:int -> reply -> string
+val reply_of_string : string -> (int * reply, string) result

@@ -59,6 +59,13 @@ echo "== dune build @serve =="
 # {direct, service} x pool sizes x {cache off, on}
 dune build @serve
 
+echo "== dune build @daemon =="
+# allocation-service suite: the Serve.Wire codec and malformed-frame
+# rejection, daemon admission control, deadlines, hot-reload, the
+# 4-concurrent-clients-bitwise-=-serial determinism claim, and the
+# poisoned-batch Nn.Infer regression
+dune build @daemon
+
 echo "== multi-domain smoke (train -j 2 --incremental --eval-cache --check) =="
 # a tiny end-to-end training run on the domain pool with per-episode
 # solution certification on, exercising pool self-play on the trail
@@ -77,6 +84,50 @@ dune exec bin/train.exe -- -i 1 -e 4 -j 2 -k 8 --n-mean 8 --check \
   --incremental --eval-cache 512 --serve-batch 16 --batch 8 \
   -o "$smoke_dir/serve.ckpt"
 test -f "$smoke_dir/serve.ckpt"
+
+echo "== allocation daemon smoke (4 concurrent clients vs batch CLI) =="
+# start the daemon on a scratch socket, drive it with 4 concurrent
+# clients, check every daemon answer against the batch CLI on the same
+# instance, push one rl solve through the coalescing tier, query stats,
+# then SIGTERM and require a clean drain (exit 0, socket unlinked)
+serve=./_build/default/bin/pbqp_serve.exe
+solve=./_build/default/bin/pbqp_solve.exe
+daemon_sock="$smoke_dir/pbqp_serve.sock"
+"$serve" daemon --socket "$daemon_sock" -m 2 --workers 2 \
+  > "$smoke_dir/daemon.log" 2>&1 &
+daemon_pid=$!
+i=0
+until "$serve" ping --socket "$daemon_sock" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 100 ]; then
+    echo "daemon never came up"; cat "$smoke_dir/daemon.log"; exit 1
+  fi
+  sleep 0.1
+done
+smoke_fixtures="mrv_01 mrv_02 greedy_01 negative_00"
+client_pids=""
+for f in $smoke_fixtures; do
+  "$serve" solve --socket "$daemon_sock" "test/fixtures/exact/$f.pbqp" \
+    > "$smoke_dir/$f.daemon" 2>/dev/null &
+  client_pids="$client_pids $!"
+done
+for p in $client_pids; do wait "$p"; done
+for f in $smoke_fixtures; do
+  want=$("$solve" -s scholz "test/fixtures/exact/$f.pbqp" \
+    | sed -n 's/.*cost \([-0-9.]*\).*/\1/p' | head -1)
+  got=$(sed -n 's/^cost \(.*\)$/\1/p' "$smoke_dir/$f.daemon")
+  if [ "$got" != "$want" ]; then
+    echo "daemon $f: cost $got != batch CLI cost $want"; exit 1
+  fi
+done
+"$serve" solve --socket "$daemon_sock" -s rl -k 8 \
+  test/fixtures/exact/mrv_01.pbqp > /dev/null
+"$serve" stats --socket "$daemon_sock" | grep -q '^served ' || {
+  echo "stats reply missing the served counter"; exit 1
+}
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "daemon exited non-zero after SIGTERM"; exit 1; }
+if [ -e "$daemon_sock" ]; then echo "socket not unlinked on drain"; exit 1; fi
 
 echo "== bench --compare vs checked-in trajectory (serve group) =="
 # perf-regression gate: rerun the serve bench group and fail on any
@@ -100,6 +151,18 @@ echo "== bench --compare vs checked-in trajectory (gap group) =="
 dune exec bench/main.exe -- gap --compare BENCH_gap.json || {
   echo "-- retrying once (transient load can trip the 25% threshold) --"
   dune exec bench/main.exe -- gap --compare BENCH_gap.json
+}
+
+echo "== bench --compare vs checked-in trajectory (daemon group) =="
+# allocation-service gate: rerun the daemon bench (requests/s, p50/p99
+# latency, leaf-evals/s over the real socket at 1/4/16 clients) and
+# fail on a >25% per-request ns regression vs BENCH_daemon.json — or on
+# the acceptance gate itself: coalesced serving below 1.5x the
+# per-request ablation's requests/s at 4+ clients, or a mean coalesced
+# batch size <= 1
+dune exec bench/main.exe -- daemon --compare BENCH_daemon.json || {
+  echo "-- retrying once (transient load can trip the 25% threshold) --"
+  dune exec bench/main.exe -- daemon --compare BENCH_daemon.json
 }
 
 echo "== pbqp_lint --self-test =="

@@ -166,6 +166,53 @@ let test_server_exception_propagates () =
       in
       Array.iter (fun r -> check_results "post-failure submit" direct r) again)
 
+(* Regression for the daemon-wedging failure mode: an exception raised
+   in the server's result-DISTRIBUTION phase (after the forward, lock
+   held) used to propagate with [serving] still set, parking every other
+   submitter in Condition.wait forever.  The poison hook injects exactly
+   that; every ticket of the batch must re-raise, and the service must
+   keep working afterwards. *)
+let test_poisoned_batch_releases_every_waiter () =
+  let m = 3 in
+  let base = tiny_net ~m () in
+  with_pool ~domains:3 (fun pool ->
+      let nw = Par.Pool.size pool in
+      let replicas =
+        Array.init nw (fun w -> if w = 0 then base else Nn.Pvnet.clone base)
+      in
+      let waves =
+        Array.init nw (fun i -> wave base (random_graph ~seed:(70 + i) ~n:5 ~m))
+      in
+      let rows = Array.fold_left (fun a w -> a + Array.length w) 0 waves in
+      (* one full batch holding every wave: all nw submitters have
+         tickets in the poisoned batch, most of them parked waiters *)
+      let srv =
+        Nn.Infer.create ~max_batch:rows ~wait_us:5_000_000 ~workers:nw ()
+      in
+      let exception Poison in
+      Nn.Infer.poison_next_batch_for_test srv Poison;
+      let outcomes =
+        Par.Pool.map pool (Array.init nw Fun.id) ~f:(fun ~worker i ->
+            match Nn.Infer.submit srv ~net:replicas.(worker) waves.(i) with
+            | _ -> false
+            | exception Poison -> true)
+      in
+      Alcotest.(check (array bool)) "poison fans out to every submitter"
+        (Array.make nw true) outcomes;
+      (* not wedged: the poison is one-shot, the serving flag cleared,
+         the broadcast happened — the same waves now evaluate bitwise *)
+      let direct = Array.map (Nn.Pvnet.predict_prepared base) waves in
+      let again =
+        Par.Pool.map pool (Array.init nw Fun.id) ~f:(fun ~worker i ->
+            Nn.Infer.submit srv ~net:replicas.(worker) waves.(i))
+      in
+      Array.iteri
+        (fun i r -> check_results "post-poison submit bitwise" direct.(i) r)
+        again;
+      let s = Nn.Infer.stats srv in
+      Alcotest.(check bool) "batches kept being served" true
+        (s.Nn.Infer.batches >= 2))
+
 let test_infer_validations () =
   Alcotest.check_raises "max_batch positive"
     (Invalid_argument "Infer.create: max_batch <= 0") (fun () ->
@@ -527,6 +574,8 @@ let () =
             test_oversized_wave_never_split;
           Alcotest.test_case "server exception reaches every submitter"
             `Quick test_server_exception_propagates;
+          Alcotest.test_case "poisoned batch releases every waiter" `Quick
+            test_poisoned_batch_releases_every_waiter;
           Alcotest.test_case "validations" `Quick test_infer_validations;
         ] );
       ( "episodes",
