@@ -1130,10 +1130,12 @@ let serve_bench () =
       if s.Nn.Infer.batches > 0 then
         Printf.printf
           "      service: %d batches (%d full, %d timeout), %.1f rows/batch, \
-           largest %d\n%!"
+           largest %d, queue wait p50/p99 %.0f/%.0f us\n\
+           %!"
           s.Nn.Infer.batches s.Nn.Infer.full_flushes s.Nn.Infer.timeout_flushes
           (float_of_int s.Nn.Infer.rows /. float_of_int s.Nn.Infer.batches)
-          s.Nn.Infer.max_batch_rows;
+          s.Nn.Infer.max_batch_rows s.Nn.Infer.wait_p50_us
+          s.Nn.Infer.wait_p99_us;
       Par.Pool.shutdown pool)
     [ 1; 2; 4; 8 ]
 
@@ -1436,7 +1438,10 @@ let daemon_bench () =
       pct 50 *. 1e3,
       pct 99 *. 1e3,
       float_of_string (kv "eval_count") /. wall,
-      float_of_string (kv "infer_rows_per_batch") )
+      float_of_string (kv "infer_rows_per_batch"),
+      float_of_string (kv "cache_hit_rate"),
+      float_of_string (kv "infer_wait_p50_us"),
+      float_of_string (kv "infer_wait_p99_us") )
   in
   let results = Hashtbl.create 8 in
   List.iter
@@ -1448,9 +1453,16 @@ let daemon_bench () =
               (if coalesce then "coalesced" else "per-request")
               clients
           in
-          let wall, p50, p99, evals_s, rpb = run_scenario ~coalesce ~clients in
+          let wall, p50, p99, evals_s, rpb, hit_rate, w50, w99 =
+            run_scenario ~coalesce ~clients
+          in
           let rps = float_of_int total /. wall in
           Hashtbl.replace results (coalesce, clients) (rps, rpb);
+          (* leaf_evals_per_s counts network forwards only; coalesced
+             rows also share an evaluation cache that short-circuits
+             repeat leaves entirely, so a LOWER forwards/s with a high
+             cache_hit_rate is the service doing less work per request,
+             not running slower — always read the two together *)
           record ~group:"daemon" ~name ~iters:total
             ~ns_per_op:(wall /. float_of_int total *. 1e9)
             ~allocs_per_op:0.0
@@ -1460,14 +1472,17 @@ let daemon_bench () =
                 ("p50_ms", p50);
                 ("p99_ms", p99);
                 ("leaf_evals_per_s", evals_s);
+                ("cache_hit_rate", hit_rate);
                 ("rows_per_batch", rpb);
+                ("infer_wait_p50_us", w50);
+                ("infer_wait_p99_us", w99);
               ]
             ();
           Printf.printf
             "  %-18s %7.1f req/s  p50 %7.2f ms  p99 %7.2f ms  %8.0f leaf/s  \
-             %5.2f rows/batch\n\
+             (%.0f%% cache)  %5.2f rows/batch  wait p50/p99 %.0f/%.0f us\n\
              %!"
-            name rps p50 p99 evals_s rpb)
+            name rps p50 p99 evals_s (hit_rate *. 100.0) rpb w50 w99)
         [ false; true ])
     [ 1; 4; 16 ];
   List.iter
@@ -1498,6 +1513,92 @@ let daemon_bench () =
               :: !gate_failures
       | _ -> ())
     [ 4; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Distributed actor/learner self-play (lib/dist): whole training runs
+   with domain-hosted actors over socketpairs — the same Frame wire
+   protocol as the subprocess topology, minus fork/exec.  On this
+   1-core bench host the actor domains oversubscribe the core, so the
+   actors=2/4 rows measure protocol + framing overhead under
+   contention, NOT parallel speedup; the meaningful comparison is
+   actors=1 vs in-process, which is bit-identical by construction
+   (test_dist asserts it), so that row IS the determinism overhead of
+   distribution: snapshot broadcasts, sample framing, hub pumping. *)
+
+let dist_bench () =
+  section "Distributed self-play (lib/dist): in-process vs actors=1/2/4";
+  Printf.printf
+    "host reports %d recommended domain(s); on a 1-core host the actor\n\
+     rows measure wire/protocol overhead, not parallel speedup.\n\
+     actors=1 is bit-identical to the in-process loop (test_dist), so\n\
+     wall_vs_in_process on that row is pure distribution overhead.\n\n"
+    (Domain.recommended_domain_count ());
+  let m = 8 in
+  let iterations = 2 and episodes = 8 and batches = 4 in
+  let cfg =
+    {
+      (Core.Train.default_config ~m) with
+      iterations;
+      episodes_per_iteration = episodes;
+      domains = 1;
+      mcts = { Mcts.default_config with k = 8 };
+      net =
+        { (Nn.Pvnet.default_config ~m) with trunk_width = 16;
+          trunk_blocks = 1; gcn_layers = 2 };
+      n_mean = 12.0;
+      n_stddev = 2.0;
+      arena_games = 2;
+      batches_per_iteration = batches;
+      batch_size = 16;
+    }
+  in
+  let run_once ~actors =
+    let samples = ref 0 in
+    let on_iteration p = samples := p.Core.Train.replay_size in
+    let (), wall =
+      time_it (fun () ->
+          let net =
+            match actors with
+            | 0 -> Core.Train.run ~on_iteration ~rng:(rng 7) cfg
+            | n ->
+                let launch, join = Dist.Spawn.domains ~config:cfg in
+                Core.Train.run ~on_iteration
+                  ~make_source:
+                    (Dist.Learner.source ~config:cfg ~actors:n
+                       ~on_shutdown:join ~launch ())
+                  ~rng:(rng 7) cfg
+          in
+          ignore (net : Nn.Pvnet.t))
+    in
+    (wall, !samples)
+  in
+  let baseline = ref 0.0 in
+  List.iter
+    (fun actors ->
+      let wall, samples = run_once ~actors in
+      let name =
+        if actors = 0 then "in-process (actors=0)"
+        else Printf.sprintf "actors=%d (domain-hosted)" actors
+      in
+      let samples_s = float_of_int samples /. wall in
+      let steps_s = float_of_int (iterations * batches) /. wall in
+      if actors = 0 then baseline := wall;
+      let overhead = if !baseline > 0.0 then wall /. !baseline else 1.0 in
+      record ~group:"dist" ~name ~iters:iterations
+        ~ns_per_op:(wall /. float_of_int iterations *. 1e9)
+        ~allocs_per_op:0.0
+        ~extra:
+          [
+            ("samples_per_s", samples_s);
+            ("learner_steps_per_s", steps_s);
+            ("wall_vs_in_process", overhead);
+          ]
+        ();
+      Printf.printf
+        "  %-26s %6.2f s  %8.1f samples/s  %6.2f step/s  %5.2fx in-process\n\
+         %!"
+        name wall samples_s steps_s overhead)
+    [ 0; 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* --compare OLD.json: after the selected groups have run, diff the
@@ -1633,6 +1734,7 @@ let () =
   | "analyze" -> analyze_bench ()
   | "gap" -> gap_bench ()
   | "daemon" -> daemon_bench ()
+  | "dist" -> dist_bench ()
   | "all" ->
       e1 ();
       e2 ();
@@ -1649,11 +1751,12 @@ let () =
       serve_bench ();
       analyze_bench ();
       gap_bench ();
-      daemon_bench ()
+      daemon_bench ();
+      dist_bench ()
   | other ->
       Printf.eprintf
         "unknown experiment %S (e1..e6, ext, micro, batch, par, incr, gemm, \
-         serve, analyze, gap, daemon, all)\n"
+         serve, analyze, gap, daemon, dist, all)\n"
         other;
       exit 1);
   (match !json_out with

@@ -27,6 +27,86 @@ let sample_batch ~rng t n =
         | None -> assert false)
 
 
+(* --- sample codec ----------------------------------------------------- *)
+
+(* One sample as a text block ([sample]/[policy] header lines, a PBQP
+   instance via Pbqp.Io, an [endsample] terminator).  Floats are %.17g,
+   so values round-trip exactly.  The same blocks appear inside replay
+   checkpoint files and — the distributed trainer — inside actor→learner
+   sample frames, which is why the codec is exposed separately from
+   {!save}/{!load}. *)
+
+let write_sample buf (s : Nn.Pvnet.sample) =
+  Buffer.add_string buf
+    (Printf.sprintf "sample %d %.17g\n" s.Nn.Pvnet.next s.Nn.Pvnet.value);
+  Buffer.add_string buf
+    (Printf.sprintf "policy%s\n"
+       (String.concat ""
+          (Array.to_list
+             (Array.map (Printf.sprintf " %.17g") s.Nn.Pvnet.policy))));
+  Buffer.add_string buf (Pbqp.Io.to_string s.Nn.Pvnet.graph);
+  Buffer.add_string buf "endsample\n"
+
+let sample_to_string s =
+  let b = Buffer.create 256 in
+  write_sample b s;
+  Buffer.contents b
+
+(* Parse consecutive sample blocks from a pull-based line source until
+   it is exhausted; blank lines between blocks are tolerated. *)
+let parse_samples ~what next_line emit =
+  let fail msg = invalid_arg (what ^ ": " ^ msg) in
+  let line () =
+    match next_line () with
+    | Some l -> l
+    | None -> fail "truncated sample block"
+  in
+  try
+    while true do
+      match next_line () with
+      | None -> raise Exit
+      | Some l when String.trim l = "" -> ()
+      | Some l -> (
+          match String.split_on_char ' ' l with
+          | [ "sample"; next; value ] ->
+              let next = int_of_string next in
+              let value = float_of_string value in
+              let policy =
+                match String.split_on_char ' ' (line ()) with
+                | "policy" :: ps -> Array.of_list (List.map float_of_string ps)
+                | _ -> fail "expected policy line"
+              in
+              let buf = Buffer.create 256 in
+              let rec slurp () =
+                let l = line () in
+                if String.trim l = "endsample" then ()
+                else begin
+                  Buffer.add_string buf l;
+                  Buffer.add_char buf '\n';
+                  slurp ()
+                end
+              in
+              slurp ();
+              let graph = Pbqp.Io.of_string (Buffer.contents buf) in
+              emit { Nn.Pvnet.graph; next; policy; value }
+          | _ -> fail ("unexpected line: " ^ l))
+    done
+  with Exit -> ()
+
+let samples_of_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  let next_line () =
+    match !lines with
+    | [] -> None
+    | l :: rest ->
+        lines := rest;
+        Some l
+  in
+  let acc = ref [] in
+  parse_samples ~what:"Replay.samples_of_string" next_line (fun s ->
+      acc := s :: !acc);
+  List.rev !acc
+
 (* --- persistence ------------------------------------------------------ *)
 
 let iter_oldest_first t f =
@@ -41,15 +121,11 @@ let save t path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Printf.fprintf oc "replay %d %d\n" (Array.length t.buf) t.size;
-      iter_oldest_first t (fun (s : Nn.Pvnet.sample) ->
-          Printf.fprintf oc "sample %d %.17g\n" s.Nn.Pvnet.next
-            s.Nn.Pvnet.value;
-          Printf.fprintf oc "policy%s\n"
-            (String.concat ""
-               (Array.to_list
-                  (Array.map (Printf.sprintf " %.17g") s.Nn.Pvnet.policy)));
-          output_string oc (Pbqp.Io.to_string s.Nn.Pvnet.graph);
-          output_string oc "endsample\n"))
+      let b = Buffer.create 1024 in
+      iter_oldest_first t (fun s ->
+          Buffer.clear b;
+          write_sample b s;
+          Buffer.output_buffer oc b))
 
 let load path =
   let ic = open_in path in
@@ -67,36 +143,7 @@ let load path =
         | [ "replay"; cap; _count ] -> create ~capacity:(int_of_string cap)
         | _ -> fail "bad header"
       in
-      (try
-         while true do
-           match In_channel.input_line ic with
-           | None -> raise Exit
-           | Some l when String.trim l = "" -> ()
-           | Some l -> (
-               match String.split_on_char ' ' l with
-               | [ "sample"; next; value ] ->
-                   let next = int_of_string next in
-                   let value = float_of_string value in
-                   let policy =
-                     match String.split_on_char ' ' (line ()) with
-                     | "policy" :: ps ->
-                         Array.of_list (List.map float_of_string ps)
-                     | _ -> fail "expected policy line"
-                   in
-                   let buf = Buffer.create 256 in
-                   let rec slurp () =
-                     let l = line () in
-                     if String.trim l = "endsample" then ()
-                     else begin
-                       Buffer.add_string buf l;
-                       Buffer.add_char buf '\n';
-                       slurp ()
-                     end
-                   in
-                   slurp ();
-                   let graph = Pbqp.Io.of_string (Buffer.contents buf) in
-                   add t { Nn.Pvnet.graph; next; policy; value }
-               | _ -> fail ("unexpected line: " ^ l))
-         done
-       with Exit -> ());
+      parse_samples ~what:"Replay.load"
+        (fun () -> In_channel.input_line ic)
+        (add t);
       t)

@@ -19,6 +19,19 @@ val sample_batch :
 (** Uniform sample with replacement; at most [length t] distinct tuples.
     Empty list if the buffer is empty. *)
 
+(** {1 Sample wire codec}
+
+    One sample as a self-delimiting text block — the unit format shared
+    by replay checkpoint files and the distributed trainer's
+    actor→learner sample frames.  Floats are rendered [%.17g], so a
+    round-trip is value-exact. *)
+
+val sample_to_string : Nn.Pvnet.sample -> string
+
+val samples_of_string : string -> Nn.Pvnet.sample list
+(** Parse zero or more concatenated sample blocks.
+    @raise Invalid_argument on malformed blocks. *)
+
 (** {1 Persistence}
 
     Checkpointing for long (paper-scale) training runs: the buffer's

@@ -144,7 +144,84 @@ let checkpoint_paths prefix =
     prefix ^ ".replay.txt",
     prefix ^ ".opt.ckpt" )
 
-let run ?(on_iteration = fun _ -> ()) ~rng config =
+let dist_state_path prefix = prefix ^ ".dist.txt"
+
+(* --- episode rng discipline (shared with the distributed trainer) ----- *)
+
+(* Per-episode rngs come from per-actor split streams rooted in a
+   manifest seed: actor [i]'s root is the (i+1)-th sequential
+   [Random.State.split] of [Random.State.make [|seed|]], and episode G
+   (global index) uses split #((G - i) / actors) of the root of actor
+   [G mod actors].  The in-process trainer IS the actors=1 topology —
+   it draws its episode rngs as successive splits of actor 0's root —
+   which is what makes a [--actors 1] distributed run sample-for-sample
+   equal to it by construction, and an N-actor run reproducible from
+   (seed, N) alone. *)
+let actor_root ~manifest_seed actor =
+  if actor < 0 then invalid_arg "Train.actor_root: negative actor id";
+  let mrng = Random.State.make [| manifest_seed |] in
+  let root = ref (Random.State.split mrng) in
+  for _ = 1 to actor do
+    root := Random.State.split mrng
+  done;
+  !root
+
+(* One self-play episode: the candidate plays (collecting) against the
+   best player's cost on the same graph; returns the stamped training
+   tuples and whether the candidate failed to finish.  Safe to run as a
+   pool task — or in an actor process — given private net replicas and a
+   private rng.  Caches and serving are bitwise-neutral (they return
+   what the net would compute), so a plain uncached call produces the
+   same tuples as the learner's cached, coalescing configuration. *)
+let self_play_episode ?best_cache ?current_cache ?best_serve ?current_serve
+    ~rng ~best ~current config =
+  let g = random_graph ~rng config in
+  let best_outcome, _ =
+    play_once ?cache:best_cache ?serve:best_serve ~rng ~net:best
+      ~temperature_moves:0 config g
+  in
+  let cur_outcome, samples =
+    play_once ~collect:true ?cache:current_cache ?serve:current_serve ~rng
+      ~net:current ~temperature_moves:config.temperature_moves config g
+  in
+  certify_outcome config "best" g best_outcome;
+  certify_outcome config "current" g cur_outcome;
+  (* In the no-spill (0/∞) setting the game is feasibility: finishing is
+     the win condition itself, so the label is absolute.  In the general
+     setting the label is the paper's comparison against the best
+     player. *)
+  let z =
+    if config.graph.Generate.zero_inf then
+      Game.reward Game.Feasibility cur_outcome.Episode.cost
+    else compare_costs cur_outcome.Episode.cost best_outcome.Episode.cost
+  in
+  (Episode.set_values z samples, cur_outcome.Episode.solution = None)
+
+(* --- episode/replay source ------------------------------------------- *)
+
+type episode_result = {
+  er_samples : Nn.Pvnet.sample list;
+  er_failed : bool;
+  er_generation : int;
+  er_origin : int;
+}
+
+type source = {
+  src_pipeline : int;
+  src_broadcast : generation:int -> unit;
+  src_dispatch : iteration:int -> unit;
+  src_collect : iteration:int -> episode_result array;
+  src_add : episode_result array -> unit;
+  src_seed : Nn.Pvnet.sample list -> unit;
+  src_sample :
+    rng:Random.State.t -> int -> Nn.Pvnet.sample list * float array option;
+  src_length : unit -> int;
+  src_save : string -> unit;
+  src_load : string -> unit;
+  src_shutdown : unit -> unit;
+}
+
+let run ?(on_iteration = fun _ -> ()) ?make_source ~rng config =
   (* resume from a checkpoint prefix when the three original files exist
      (the optimizer file is optional for back-compat with older runs) *)
   let resume =
@@ -152,28 +229,47 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
     | Some prefix ->
         let b, c, r, _ = checkpoint_paths prefix in
         if Sys.file_exists b && Sys.file_exists c && Sys.file_exists r then
-          Some (Nn.Pvnet.load b, Nn.Pvnet.load c, Replay.load r)
+          Some (Nn.Pvnet.load b, Nn.Pvnet.load c)
         else None
     | None -> None
   in
-  let best, current, replay =
+  let best, current =
     match resume with
-    | Some (b, c, r) -> (b, c, r)
+    | Some (b, c) -> (b, c)
     | None ->
         let best = Nn.Pvnet.create ~rng config.net in
-        (best, Nn.Pvnet.clone best,
-         Replay.create ~capacity:config.replay_capacity)
+        (best, Nn.Pvnet.clone best)
   in
-  (* Supervised pretraining seed: expand each exact-optimal label into
-     one tuple per move and enqueue before any self-play, so the first
-     gradient batches already train on proven-optimal decisions.  Fresh
-     runs only — a resumed replay already contains (possibly the same)
-     data, and re-seeding would break bit-identical resumption. *)
-  (match (resume, config.pretrain_labels) with
-  | None, Some path ->
-      Replay.add_list replay
-        (List.concat_map (fun l -> Labels.to_samples l) (Labels.load path))
-  | _ -> ());
+  (* The episode-stream manifest (see [actor_root]).  A fresh run draws
+     the seed from the main rng at this fixed point — identically in the
+     in-process and distributed modes, so both consume the same rng
+     prefix.  A resumed run reads the seed and the episode-stream
+     position back from the checkpoint (drawing a fresh seed would
+     desynchronize both the main rng and the episode streams from an
+     uninterrupted run). *)
+  let manifest_seed, resume_episodes =
+    let resumed =
+      match (resume, config.checkpoint) with
+      | Some _, Some prefix when Sys.file_exists (dist_state_path prefix) -> (
+          let ic = open_in (dist_state_path prefix) in
+          let line =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> input_line ic)
+          in
+          match String.split_on_char ' ' line with
+          | [ "manifest"; seed; episodes ] -> (
+              match (int_of_string_opt seed, int_of_string_opt episodes) with
+              | Some s, Some e -> Some (s, e)
+              | _ -> invalid_arg "Train: malformed dist-state checkpoint")
+          | _ -> invalid_arg "Train: malformed dist-state checkpoint")
+      | _ -> None
+    in
+    match resumed with
+    | Some se -> se
+    | None -> (Random.State.bits rng, 0)
+  in
+  let episodes_collected = ref resume_episodes in
   (* Int8 quantized serving: switch both nets into quantized mode and
      certify the initial weights before any replica is cloned — the
      certificate travels with every subsequent [sync]/[copy_into].
@@ -198,43 +294,6 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
       if Sys.file_exists o then
         Nn.Adam.load opt ~params:(Nn.Pvnet.params current) o
   | _ -> ());
-  let save_checkpoint () =
-    match config.checkpoint with
-    | None -> ()
-    | Some prefix ->
-        let b, c, r, o = checkpoint_paths prefix in
-        Nn.Pvnet.save best b;
-        Nn.Pvnet.save current c;
-        Replay.save replay r;
-        Nn.Adam.save opt ~params:(Nn.Pvnet.params current) o
-  in
-  (* One self-play episode: returns the stamped training tuples and
-     whether the (collecting) player failed to finish.  Safe to run as a
-     pool task given private net replicas and a private rng. *)
-  let one_episode ~rng ~best ~current ?best_cache ?current_cache ?best_serve
-      ?current_serve () =
-    let g = random_graph ~rng config in
-    let best_outcome, _ =
-      play_once ?cache:best_cache ?serve:best_serve ~rng ~net:best
-        ~temperature_moves:0 config g
-    in
-    let cur_outcome, samples =
-      play_once ~collect:true ?cache:current_cache ?serve:current_serve ~rng
-        ~net:current ~temperature_moves:config.temperature_moves config g
-    in
-    certify_outcome config "best" g best_outcome;
-    certify_outcome config "current" g cur_outcome;
-    (* In the no-spill (0/∞) setting the game is feasibility: finishing is
-       the win condition itself, so the label is absolute.  In the general
-       setting the label is the paper's comparison against the best
-       player. *)
-    let z =
-      if config.graph.Generate.zero_inf then
-        Game.reward Game.Feasibility cur_outcome.Episode.cost
-      else compare_costs cur_outcome.Episode.cost best_outcome.Episode.cost
-    in
-    (Episode.set_values z samples, cur_outcome.Episode.solution = None)
-  in
   (* One persistent pool for the whole run: self-play episodes, the
      data-parallel gradient step, arena games and (via [Tensor.set_pool])
      any large main-domain GEMM all share it, instead of paying a
@@ -335,33 +394,127 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
         in
         compare_costs c.Episode.cost b.Episode.cost)
   in
+  (* --- episode/replay source --- *)
+  (* The in-process default source plays episodes on the run's own pool
+     and stores them in a plain [Replay] ring: the actors=1 topology of
+     the distributed trainer, executed inline.  [make_source] (the
+     distributed learner) swaps in actor processes and a sharded replay
+     behind the same interface; the iteration loop below is shared. *)
+  let in_process_source () =
+    let root = actor_root ~manifest_seed 0 in
+    for _ = 1 to resume_episodes do
+      ignore (Random.State.split root : Random.State.t)
+    done;
+    let replay = ref (Replay.create ~capacity:config.replay_capacity) in
+    {
+      src_pipeline = 0;
+      src_broadcast = (fun ~generation:_ -> ());
+      src_dispatch = (fun ~iteration:_ -> ());
+      src_collect =
+        (fun ~iteration:_ ->
+          refresh_replicas ();
+          let rngs =
+            Array.init config.episodes_per_iteration (fun _ ->
+                Random.State.split root)
+          in
+          Par.Pool.map pool (indices config.episodes_per_iteration)
+            ~f:(fun ~worker i ->
+              let samples, failed =
+                self_play_episode ~rng:rngs.(i) ~best:bests.(worker)
+                  ~current:currents.(worker) ?best_cache ?current_cache
+                  ?best_serve ?current_serve config
+              in
+              {
+                er_samples = samples;
+                er_failed = failed;
+                er_generation = 0;
+                er_origin = 0;
+              }));
+      src_add =
+        (fun results ->
+          Array.iter (fun r -> Replay.add_list !replay r.er_samples) results);
+      src_seed = (fun ss -> Replay.add_list !replay ss);
+      src_sample =
+        (fun ~rng n -> (Replay.sample_batch ~rng !replay n, None));
+      src_length = (fun () -> Replay.length !replay);
+      src_save = (fun path -> Replay.save !replay path);
+      src_load = (fun path -> replay := Replay.load path);
+      src_shutdown = (fun () -> ());
+    }
+  in
+  let source =
+    match make_source with
+    | Some f ->
+        f ~manifest_seed ~resume_episodes ~best ~current
+    | None -> in_process_source ()
+  in
+  Fun.protect ~finally:(fun () -> source.src_shutdown ())
+  @@ fun () ->
+  (* Replay contents: resumed runs reload the checkpointed buffer;
+     fresh runs optionally seed it with supervised pretraining tuples —
+     each exact-optimal label expands into one tuple per move, so the
+     first gradient batches already train on proven-optimal decisions.
+     (Fresh runs only: a resumed replay already contains possibly the
+     same data, and re-seeding would break bit-identical resumption.) *)
+  (match (resume, config.checkpoint) with
+  | Some _, Some prefix ->
+      let _, _, r, _ = checkpoint_paths prefix in
+      source.src_load r
+  | _ -> (
+      match config.pretrain_labels with
+      | Some path ->
+          source.src_seed
+            (List.concat_map (fun l -> Labels.to_samples l) (Labels.load path))
+      | None -> ()));
+  let save_checkpoint () =
+    match config.checkpoint with
+    | None -> ()
+    | Some prefix ->
+        let b, c, r, o = checkpoint_paths prefix in
+        Nn.Pvnet.save best b;
+        Nn.Pvnet.save current c;
+        source.src_save r;
+        Nn.Adam.save opt ~params:(Nn.Pvnet.params current) o;
+        let oc = open_out (dist_state_path prefix) in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Printf.fprintf oc "manifest %d %d\n" manifest_seed
+              !episodes_collected)
+  in
+  (* Dispatch runs [src_pipeline] iterations ahead of collection — the
+     assignment for iteration t+p is sent before the snapshot that
+     follows iteration t's optimizer step enters the (FIFO) stream, so
+     pipelined episodes are played under weights exactly p generations
+     stale: the staleness schedule is part of the message order, not of
+     wall-clock scheduling, which keeps pipelined runs bit-reproducible.
+     The in-process source pipelines by 0 (episodes run inline). *)
+  let dispatched = ref 0 in
+  let ensure_dispatched upto =
+    while !dispatched < upto do
+      incr dispatched;
+      source.src_dispatch ~iteration:!dispatched
+    done
+  in
   for iteration = 1 to config.iterations do
     (* --- self-play data generation --- *)
-    refresh_replicas ();
-    let episodes_failed = ref 0 in
-    let rngs = split_rngs config.episodes_per_iteration in
-    let results =
-      Par.Pool.map pool (indices config.episodes_per_iteration)
-        ~f:(fun ~worker i ->
-          one_episode ~rng:rngs.(i) ~best:bests.(worker)
-            ~current:currents.(worker) ?best_cache ?current_cache ?best_serve
-            ?current_serve ())
-    in
+    source.src_broadcast ~generation:!current_version;
+    ensure_dispatched (min (iteration + source.src_pipeline) config.iterations);
+    let results = source.src_collect ~iteration in
     (* Merge in episode order: replay contents and [episodes_failed] are
        reproducible for a fixed seed regardless of scheduling. *)
-    Array.iter
-      (fun (samples, failed) ->
-        if failed then incr episodes_failed;
-        Replay.add_list replay samples)
-      results;
+    let episodes_failed = ref 0 in
+    Array.iter (fun r -> if r.er_failed then incr episodes_failed) results;
+    source.src_add results;
+    episodes_collected := !episodes_collected + Array.length results;
     (* --- gradient training (data-parallel, bit-identical to serial) --- *)
     let losses = ref [] in
     for _ = 1 to config.batches_per_iteration do
-      let batch = Replay.sample_batch ~rng replay config.batch_size in
+      let batch, weights = source.src_sample ~rng config.batch_size in
       if batch <> [] then
         losses :=
-          Nn.Pvnet.train_batch_parallel ~pool ~replicas:currents current opt
-            batch
+          Nn.Pvnet.train_batch_parallel ?weights ~pool ~replicas:currents
+            current opt batch
           :: !losses
     done;
     if !losses <> [] then incr current_version;
@@ -400,7 +553,7 @@ let run ?(on_iteration = fun _ -> ()) ~rng config =
         arena_wins = !wins;
         arena_ties = !ties;
         kept;
-        replay_size = Replay.length replay;
+        replay_size = source.src_length ();
         episodes_failed = !episodes_failed;
       };
     save_checkpoint ()

@@ -142,9 +142,91 @@ type progress = {
   episodes_failed : int;  (** self-plays that dead-ended *)
 }
 
+(** {1 Episode rng discipline (shared with the distributed trainer)}
+
+    Per-episode rngs come from per-actor split streams rooted in a
+    {e manifest seed}: actor [i]'s root is the (i+1)-th sequential
+    [Random.State.split] of [Random.State.make [|seed|]], and global
+    episode [G] uses split #[(G - i) / actors] of actor [G mod actors]'s
+    root.  The in-process trainer is the actors=1 topology (successive
+    splits of actor 0's root), so a [--actors 1] distributed run is
+    sample-for-sample equal to it by construction, and an N-actor run is
+    bit-reproducible from [(seed, N)] alone.  The seed itself is drawn
+    from the main rng once per fresh run and checkpointed (with the
+    episode-stream position) in [<prefix>.dist.txt]. *)
+
+val actor_root : manifest_seed:int -> int -> Random.State.t
+(** The root rng of one actor's episode stream.
+    @raise Invalid_argument on a negative actor id. *)
+
+val self_play_episode :
+  ?best_cache:Nn.Cache.t ->
+  ?current_cache:Nn.Cache.t ->
+  ?best_serve:Nn.Infer.t ->
+  ?current_serve:Nn.Infer.t ->
+  rng:Random.State.t ->
+  best:Nn.Pvnet.t ->
+  current:Nn.Pvnet.t ->
+  config ->
+  Nn.Pvnet.sample list * bool
+(** One self-play episode exactly as the training loop plays it (best
+    player sets the cost reference, candidate collects tuples): the
+    stamped samples and whether the candidate dead-ended.  Exposed for
+    actor processes; caches/serving are bitwise-neutral, so an uncached
+    actor call yields the same tuples as the learner's configuration. *)
+
+(** {1 Episode/replay source}
+
+    The training loop is abstracted over where episodes come from and
+    where replay tuples live.  The in-process default plays episodes on
+    the run's own domain pool into a plain {!Replay} ring; the
+    distributed learner ([Dist.Learner]) substitutes actor processes
+    and a sharded replay behind the same record.  The loop drives it as:
+    broadcast parameters, dispatch [src_pipeline] iterations ahead,
+    collect, add, sample (with optional per-sample staleness weights fed
+    to [Nn.Pvnet.train_batch_parallel]). *)
+
+type episode_result = {
+  er_samples : Nn.Pvnet.sample list;
+  er_failed : bool;
+  er_generation : int;  (** generation the episode was played under *)
+  er_origin : int;  (** producing actor id (0 in-process) *)
+}
+
+type source = {
+  src_pipeline : int;
+      (** iterations dispatch runs ahead of collection (0 in-process);
+          pipelined episodes are played under weights exactly this many
+          generations stale, deterministically *)
+  src_broadcast : generation:int -> unit;
+  src_dispatch : iteration:int -> unit;
+  src_collect : iteration:int -> episode_result array;
+      (** blocks until the iteration's episodes are in, returned in
+          global episode order *)
+  src_add : episode_result array -> unit;
+  src_seed : Nn.Pvnet.sample list -> unit;  (** pretraining tuples *)
+  src_sample :
+    rng:Random.State.t -> int -> Nn.Pvnet.sample list * float array option;
+      (** a training batch plus optional per-sample staleness weights
+          ([None] means all ones) *)
+  src_length : unit -> int;
+  src_save : string -> unit;  (** replay checkpoint (Replay text format) *)
+  src_load : string -> unit;
+  src_shutdown : unit -> unit;
+}
+
 val run :
   ?on_iteration:(progress -> unit) ->
+  ?make_source:
+    (manifest_seed:int ->
+    resume_episodes:int ->
+    best:Nn.Pvnet.t ->
+    current:Nn.Pvnet.t ->
+    source) ->
   rng:Random.State.t ->
   config ->
   Nn.Pvnet.t
-(** Returns the final best network. *)
+(** Returns the final best network.  [make_source] (default: the
+    in-process source) receives the run's manifest seed, the number of
+    episodes already consumed by a resumed checkpoint (its streams must
+    fast-forward past them), and the two live nets it will broadcast. *)

@@ -1,0 +1,23 @@
+(** The self-play actor loop: one process (or domain) that receives
+    parameter snapshots and episode assignments over {!Frame}d
+    {!Msg} messages and streams finished episodes back.
+
+    The actor owns no rng of its own: every episode's rng comes from the
+    manifest-derived split stream of its actor id (see [Core.Train]'s
+    rng discipline), so episode [G]'s tuples depend only on
+    [(manifest, G)] and the snapshot generation it was played under —
+    never on timing. *)
+
+val run :
+  config:Core.Train.config ->
+  manifest:Manifest.t ->
+  actor:int ->
+  in_fd:Unix.file_descr ->
+  out_fd:Unix.file_descr ->
+  unit
+(** Serve until [Quit] or EOF on [in_fd].  Blocking IO throughout (the
+    learner's {!Hub} side guarantees progress).  [config] must equal the
+    learner's config — in the subprocess topology both parse the same
+    command line.
+    @raise Invalid_argument if an assignment arrives before the first
+    snapshot. *)

@@ -1,0 +1,113 @@
+open Core.Train
+
+let source ~config ~actors ?shards ?(stale_decay = 1.0) ?(pipeline = 0)
+    ?(on_shutdown = fun () -> ()) ~launch () ~manifest_seed ~resume_episodes
+    ~best ~current =
+  if actors <= 0 then invalid_arg "Learner.source: actors <= 0";
+  if pipeline < 0 then invalid_arg "Learner.source: pipeline < 0";
+  if not (stale_decay > 0.0 && stale_decay <= 1.0) then
+    invalid_arg "Learner.source: stale_decay outside (0, 1]";
+  let shards = match shards with Some s -> s | None -> actors in
+  let manifest = Manifest.make ~seed:manifest_seed ~actors in
+  let fds = Array.init actors (fun actor -> launch ~manifest ~actor) in
+  let hub = Hub.create fds in
+  let replay =
+    Shards.create
+      ~capacity:(max shards config.replay_capacity)
+      ~shards
+  in
+  let epi = config.episodes_per_iteration in
+  let next_index = ref resume_episodes in
+  let cur_gen = ref 0 in
+  let sent_versions = ref None in
+  (* episodes that arrived ahead of their collection point (pipelining
+     interleaves iterations on the wire), keyed by iteration *)
+  let pending : (int, episode_result * int) Hashtbl.t = Hashtbl.create 16 in
+  let stash iteration index r = Hashtbl.add pending iteration (r, index) in
+  let receive_one () =
+    let _, payload = Hub.recv hub in
+    match Msg.to_learner_of_string payload with
+    | Msg.Episode { iteration; index; actor; generation; failed; samples } ->
+        stash iteration index
+          {
+            er_samples = samples;
+            er_failed = failed;
+            er_generation = generation;
+            er_origin = actor;
+          }
+  in
+  {
+    src_pipeline = pipeline;
+    src_broadcast =
+      (fun ~generation ->
+        cur_gen := generation;
+        (* resend only when either net actually changed: equal
+           [Pvnet.version] stamps imply bitwise-equal weights *)
+        let versions = (Nn.Pvnet.version best, Nn.Pvnet.version current) in
+        if !sent_versions <> Some versions then begin
+          Hub.broadcast hub
+            (Msg.to_actor_to_string
+               (Msg.Snapshot
+                  {
+                    generation;
+                    best = Nn.Pvnet.snapshot best;
+                    current = Nn.Pvnet.snapshot current;
+                  }));
+          sent_versions := Some versions
+        end);
+    src_dispatch =
+      (fun ~iteration ->
+        let lo = !next_index in
+        let hi = lo + epi in
+        next_index := hi;
+        Hub.broadcast hub
+          (Msg.to_actor_to_string (Msg.Assign { iteration; lo; hi })));
+    src_collect =
+      (fun ~iteration ->
+        while List.length (Hashtbl.find_all pending iteration) < epi do
+          receive_one ()
+        done;
+        let rs = Hashtbl.find_all pending iteration in
+        while Hashtbl.mem pending iteration do
+          Hashtbl.remove pending iteration
+        done;
+        let arr = Array.of_list rs in
+        (* merge in global episode order, independent of arrival order *)
+        Array.sort (fun (_, i) (_, j) -> compare i j) arr;
+        Array.map fst arr);
+    src_add =
+      (fun results ->
+        Array.iter
+          (fun r ->
+            let lag = max 0 (!cur_gen - r.er_generation) in
+            List.iter
+              (Shards.add replay ~origin:r.er_origin ~lag)
+              r.er_samples)
+          results);
+    src_seed =
+      (fun ss ->
+        List.iteri (fun i s -> Shards.add replay ~origin:i ~lag:0 s) ss);
+    src_sample =
+      (fun ~rng n ->
+        let drawn = Shards.sample_batch ~rng replay n in
+        let samples = List.map fst drawn in
+        let weights =
+          List.map
+            (fun (_, lag) ->
+              if lag <= 0 then 1.0
+              else stale_decay ** float_of_int lag)
+            drawn
+        in
+        (samples, Some (Array.of_list weights)));
+    src_length = (fun () -> Shards.length replay);
+    src_save = (fun path -> Shards.save replay path);
+    src_load = (fun path -> Shards.load_into replay path);
+    src_shutdown =
+      (fun () ->
+        (try
+           Hub.broadcast hub (Msg.to_actor_to_string Msg.Quit);
+           Hub.flush hub
+         with _ -> ());
+        Hub.close hub;
+        on_shutdown ());
+  }

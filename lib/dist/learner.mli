@@ -1,0 +1,37 @@
+(** The distributed episode source: a [Core.Train.source] whose episodes
+    are played by actor processes.
+
+    Topology: the learner (the process running [Core.Train.run]) owns
+    the optimizer, the arena and a {!Shards} replay buffer; [actors]
+    self-play actors receive parameter snapshots and episode
+    assignments through the {!Hub} and stream [(state, policy, value)]
+    samples back.  Staleness is deterministic: with [pipeline = p],
+    iteration [t+p]'s assignment enters each actor's FIFO stream before
+    the snapshot that follows iteration [t]'s optimizer step, so its
+    episodes are played under weights exactly [p] generations old and
+    their samples are down-weighted by [stale_decay]^lag forever after
+    ([lag <= 0] weighs exactly 1.0, so an unpipelined run trains
+    bit-identically to the in-process loop). *)
+
+val source :
+  config:Core.Train.config ->
+  actors:int ->
+  ?shards:int ->
+  ?stale_decay:float ->
+  ?pipeline:int ->
+  ?on_shutdown:(unit -> unit) ->
+  launch:(manifest:Manifest.t -> actor:int -> Unix.file_descr * Unix.file_descr) ->
+  unit ->
+  manifest_seed:int ->
+  resume_episodes:int ->
+  best:Nn.Pvnet.t ->
+  current:Nn.Pvnet.t ->
+  Core.Train.source
+(** A factory for [Core.Train.run]'s [make_source].  [launch] starts
+    actor [i] (subprocess, domain, ...) and returns the learner-side
+    [(read, write)] fds of its channel; [on_shutdown] runs after the
+    hub closes (reap/join the actors there).  [shards] defaults to
+    [actors], [stale_decay] to [1.0] (no down-weighting), [pipeline] to
+    [0].
+    @raise Invalid_argument if [actors <= 0], [pipeline < 0], or
+    [stale_decay] is outside [(0, 1]]. *)

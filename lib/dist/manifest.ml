@@ -1,0 +1,31 @@
+type t = { seed : int; actors : int }
+
+let make ~seed ~actors =
+  if actors <= 0 then invalid_arg "Manifest.make: actors <= 0";
+  { seed; actors }
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Printf.fprintf oc "manifest %d %d\n" t.seed t.actors)
+
+let load path =
+  let ic = open_in path in
+  let line =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try input_line ic
+        with End_of_file -> invalid_arg "Manifest.load: empty file")
+  in
+  match String.split_on_char ' ' line with
+  | [ "manifest"; seed; actors ] -> (
+      match (int_of_string_opt seed, int_of_string_opt actors) with
+      | Some seed, Some actors when actors > 0 -> { seed; actors }
+      | _ -> invalid_arg "Manifest.load: malformed manifest")
+  | _ -> invalid_arg "Manifest.load: malformed manifest"
+
+let actor_root t i =
+  if i < 0 || i >= t.actors then invalid_arg "Manifest.actor_root: bad actor id";
+  Core.Train.actor_root ~manifest_seed:t.seed i

@@ -1,0 +1,20 @@
+(** The seeded actor manifest: the (seed, actor count) pair from which
+    every per-actor episode rng stream derives (see [Core.Train]'s rng
+    discipline).  The learner writes it before spawning actors; each
+    actor subprocess reads it back, so a [--actors N] run is
+    bit-reproducible from the manifest file alone. *)
+
+type t = { seed : int; actors : int }
+
+val make : seed:int -> actors:int -> t
+(** @raise Invalid_argument if [actors <= 0]. *)
+
+val save : t -> string -> unit
+(** One text line: [manifest <seed> <actors>]. *)
+
+val load : string -> t
+(** @raise Invalid_argument on malformed files. *)
+
+val actor_root : t -> int -> Random.State.t
+(** Actor [i]'s episode-stream root ([Core.Train.actor_root]).
+    @raise Invalid_argument unless [0 <= i < actors]. *)

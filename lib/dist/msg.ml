@@ -1,0 +1,82 @@
+type to_actor =
+  | Snapshot of { generation : int; best : string; current : string }
+  | Assign of { iteration : int; lo : int; hi : int }
+  | Quit
+
+type to_learner =
+  | Episode of {
+      iteration : int;
+      index : int;
+      actor : int;
+      generation : int;
+      failed : bool;
+      samples : Nn.Pvnet.sample list;
+    }
+
+let split_header s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let int_field what v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Dist.Msg: malformed %s %S" what v)
+
+let to_actor_to_string = function
+  | Snapshot { generation; best; current } ->
+      Printf.sprintf "snapshot %d %d\n%s%s" generation (String.length best)
+        best current
+  | Assign { iteration; lo; hi } -> Printf.sprintf "assign %d %d %d" iteration lo hi
+  | Quit -> "quit"
+
+let to_actor_of_string s =
+  let line, body = split_header s in
+  match String.split_on_char ' ' line with
+  | [ "snapshot"; generation; blen ] ->
+      let generation = int_field "generation" generation in
+      let blen = int_field "snapshot length" blen in
+      if blen < 0 || blen > String.length body then
+        invalid_arg "Dist.Msg: snapshot body shorter than declared";
+      Snapshot
+        {
+          generation;
+          best = String.sub body 0 blen;
+          current = String.sub body blen (String.length body - blen);
+        }
+  | [ "assign"; iteration; lo; hi ] ->
+      Assign
+        {
+          iteration = int_field "iteration" iteration;
+          lo = int_field "lo" lo;
+          hi = int_field "hi" hi;
+        }
+  | [ "quit" ] -> Quit
+  | _ -> invalid_arg ("Dist.Msg: unknown learner frame: " ^ line)
+
+let to_learner_to_string = function
+  | Episode { iteration; index; actor; generation; failed; samples } ->
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Printf.sprintf "episode %d %d %d %d %d\n" iteration index actor
+           generation
+           (if failed then 1 else 0));
+      List.iter
+        (fun s -> Buffer.add_string b (Core.Replay.sample_to_string s))
+        samples;
+      Buffer.contents b
+
+let to_learner_of_string s =
+  let line, body = split_header s in
+  match String.split_on_char ' ' line with
+  | [ "episode"; iteration; index; actor; generation; failed ] ->
+      Episode
+        {
+          iteration = int_field "iteration" iteration;
+          index = int_field "index" index;
+          actor = int_field "actor" actor;
+          generation = int_field "generation" generation;
+          failed = int_field "failed" failed <> 0;
+          samples = Core.Replay.samples_of_string body;
+        }
+  | _ -> invalid_arg ("Dist.Msg: unknown actor frame: " ^ line)

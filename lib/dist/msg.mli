@@ -1,0 +1,33 @@
+(** Frame payloads spoken between the learner and its actors (both
+    directions ride the shared length-prefixed {!Frame} codec).
+
+    Payloads are one text header line followed by an optional body:
+    binary parameter snapshots ([Nn.Pvnet.snapshot]) in learner→actor
+    frames, replay-format sample blocks ([Core.Replay.sample_to_string])
+    in actor→learner frames.  Both ends are our own processes, so
+    malformed payloads are bugs and raise [Invalid_argument]. *)
+
+type to_actor =
+  | Snapshot of { generation : int; best : string; current : string }
+      (** new parameters for both net roles, stamped with the learner's
+          staleness generation (the [Pvnet.version] stamps travel inside
+          the snapshot bodies) *)
+  | Assign of { iteration : int; lo : int; hi : int }
+      (** play the global episodes [lo, hi) of [iteration] — each actor
+          keeps the indices congruent to its id modulo the actor count *)
+  | Quit
+
+type to_learner =
+  | Episode of {
+      iteration : int;
+      index : int;  (** global episode index *)
+      actor : int;
+      generation : int;  (** generation of the snapshot it played under *)
+      failed : bool;
+      samples : Nn.Pvnet.sample list;
+    }
+
+val to_actor_to_string : to_actor -> string
+val to_actor_of_string : string -> to_actor
+val to_learner_to_string : to_learner -> string
+val to_learner_of_string : string -> to_learner

@@ -1,0 +1,104 @@
+type slot = { s_sample : Nn.Pvnet.sample; s_lag : int; s_seq : int }
+
+type shard = {
+  buf : slot option array;
+  mutable head : int;  (* next write position *)
+  mutable size : int;
+}
+
+type t = { shards : shard array; mutable seq : int }
+
+let create ~capacity ~shards =
+  if shards <= 0 then invalid_arg "Shards.create: shards <= 0";
+  if capacity < shards then invalid_arg "Shards.create: capacity < shards";
+  let base = capacity / shards and extra = capacity mod shards in
+  {
+    shards =
+      Array.init shards (fun i ->
+          let cap = base + if i < extra then 1 else 0 in
+          { buf = Array.make cap None; head = 0; size = 0 });
+    seq = 0;
+  }
+
+let capacity t =
+  Array.fold_left (fun acc s -> acc + Array.length s.buf) 0 t.shards
+
+let length t = Array.fold_left (fun acc s -> acc + s.size) 0 t.shards
+
+let add t ~origin ~lag sample =
+  let sh = t.shards.(origin mod Array.length t.shards) in
+  sh.buf.(sh.head) <- Some { s_sample = sample; s_lag = lag; s_seq = t.seq };
+  t.seq <- t.seq + 1;
+  sh.head <- (sh.head + 1) mod Array.length sh.buf;
+  sh.size <- min (sh.size + 1) (Array.length sh.buf)
+
+(* The [u]-th element of the concatenation of the shards' newest-first
+   sequences.  Within a shard the index arithmetic is exactly
+   [Replay.sample_batch]'s, so at shards=1 draw [u] selects the very
+   same element the plain ring would. *)
+let nth_newest t u =
+  let rec go i u =
+    let sh = t.shards.(i) in
+    if u < sh.size then
+      let cap = Array.length sh.buf in
+      match sh.buf.((sh.head - 1 - u + (2 * cap)) mod cap) with
+      | Some s -> s
+      | None -> assert false
+    else go (i + 1) (u - sh.size)
+  in
+  go 0 u
+
+let sample_batch ~rng t n =
+  let total = length t in
+  if total = 0 then []
+  else
+    List.init n (fun _ ->
+        let s = nth_newest t (Random.State.int rng total) in
+        (s.s_sample, s.s_lag))
+
+let iter_oldest_first t f =
+  (* flatten and order globally by insertion sequence *)
+  let all = ref [] in
+  Array.iter
+    (fun sh ->
+      for i = 0 to sh.size - 1 do
+        let cap = Array.length sh.buf in
+        match sh.buf.((sh.head - sh.size + i + (2 * cap)) mod cap) with
+        | Some s -> all := s :: !all
+        | None -> assert false
+      done)
+    t.shards;
+  List.iter (fun s -> f s.s_sample)
+    (List.sort (fun a b -> compare a.s_seq b.s_seq) !all)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "replay %d %d\n" (capacity t) (length t);
+      let b = Buffer.create 1024 in
+      iter_oldest_first t (fun s ->
+          Buffer.clear b;
+          Buffer.add_string b (Core.Replay.sample_to_string s);
+          Buffer.output_buffer oc b))
+
+let load_into t path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> In_channel.input_all ic)
+  in
+  let header, body =
+    match String.index_opt text '\n' with
+    | None -> invalid_arg "Shards.load_into: truncated file"
+    | Some i ->
+        (String.sub text 0 i, String.sub text (i + 1) (String.length text - i - 1))
+  in
+  (match String.split_on_char ' ' header with
+  | [ "replay"; _cap; _count ] -> ()
+  | _ -> invalid_arg "Shards.load_into: bad header");
+  List.iteri
+    (fun i s -> add t ~origin:i ~lag:0 s)
+    (Core.Replay.samples_of_string body)

@@ -1,0 +1,43 @@
+(** The learner's sharded replay buffer.
+
+    Bounded FIFO rings of training tuples, sharded by producing actor
+    ([origin mod shards]) so ring maintenance per insertion touches one
+    small shard.  Each slot carries the sample's staleness {e lag} (how
+    many generations behind the learner the weights that played it
+    were — fixed at insertion time) and a global sequence number that
+    orders checkpoints.
+
+    At [shards = 1] the structure is element-for-element the plain
+    [Core.Replay] ring: [sample_batch] performs the identical
+    newest-first index arithmetic per draw and [save] emits a
+    byte-identical checkpoint file — the keystone of the [--actors 1] ≡
+    in-process equality. *)
+
+type t
+
+val create : capacity:int -> shards:int -> t
+(** Total [capacity] split as evenly as possible across [shards] rings.
+    @raise Invalid_argument if [shards <= 0] or [capacity < shards]. *)
+
+val add : t -> origin:int -> lag:int -> Nn.Pvnet.sample -> unit
+(** Insert into shard [origin mod shards], evicting that shard's oldest
+    sample when it is full. *)
+
+val length : t -> int
+val capacity : t -> int
+
+val sample_batch :
+  rng:Random.State.t -> t -> int -> (Nn.Pvnet.sample * int) list
+(** [n] uniform draws with replacement (one rng draw per sample, as
+    [Replay.sample_batch]), each returned with its staleness lag.  Draw
+    [u] indexes the concatenation of the shards' newest-first
+    sequences.  Empty list if the buffer is empty. *)
+
+val save : t -> string -> unit
+(** Checkpoint in the plain [Replay] text format, globally oldest-first
+    (lags are not persisted: reloaded samples restart at lag 0). *)
+
+val load_into : t -> string -> unit
+(** Refill from a [Replay]-format checkpoint, oldest-first at lag 0,
+    distributing samples round-robin across shards.
+    @raise Invalid_argument on malformed files. *)

@@ -1,0 +1,20 @@
+let domains ~config =
+  let spawned : unit Domain.t list ref = ref [] in
+  let launch ~manifest ~actor =
+    let learner_end, actor_end =
+      Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+    in
+    let d =
+      Domain.spawn (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close actor_end with Unix.Unix_error _ -> ())
+            (fun () ->
+              Actor.run ~config ~manifest ~actor ~in_fd:actor_end
+                ~out_fd:actor_end))
+    in
+    spawned := d :: !spawned;
+    (learner_end, learner_end)
+  in
+  let join () = List.iter Domain.join !spawned in
+  (launch, join)

@@ -1,0 +1,16 @@
+(** Actor launchers.
+
+    The production topology spawns actor {e subprocesses} (bin/train
+    re-executes itself with [--actor]); tests and benchmarks host actors
+    in {e domains} of the same process over socketpairs — same wire
+    protocol, no fork (the bench host runs everything on one core, and
+    forking after domains have been spawned is hazardous). *)
+
+val domains :
+  config:Core.Train.config ->
+  (manifest:Manifest.t -> actor:int -> Unix.file_descr * Unix.file_descr)
+  * (unit -> unit)
+(** [(launch, join)] for domain-hosted actors: [launch] starts one
+    {!Actor.run} domain on the far end of a socketpair and returns the
+    learner-side fds; pass [launch] to {!Learner.source} and [join] as
+    its [on_shutdown].  [join] re-raises the first actor exception. *)

@@ -1,0 +1,68 @@
+(* Length-prefixed binary framing shared by the allocation service
+   (Serve.Wire) and the distributed trainer (Dist): a frame is a 4-byte
+   big-endian payload length followed by that many payload bytes.  The
+   payload is opaque at this layer — Serve.Wire puts line-oriented text
+   in it, Dist mixes a text header line with binary snapshot bodies.
+
+   Robustness contract (test_wire locks it down for the service,
+   test_dist for the trainer): a frame whose declared length exceeds
+   [max_frame] is rejected before any allocation; a truncated frame is
+   detected as EOF-mid-frame by the reader; a clean EOF at a frame
+   boundary reads as [None]. *)
+
+let max_frame = 8 * 1024 * 1024
+let header_bytes = 4
+
+exception Frame_error of string
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_frame then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b header_bytes n;
+  b
+
+let decode_len b off = Int32.to_int (Bytes.get_int32_be b off)
+
+let check_len n =
+  if n < 0 || n > max_frame then
+    raise (Frame_error (Printf.sprintf "bad frame length %d" n))
+
+(* Blocking write of a whole frame. *)
+let write fd payload =
+  let b = encode payload in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd b !off (len - !off) in
+    if n = 0 then failwith "Frame.write: connection closed";
+    off := !off + n
+  done
+
+(* Blocking read of exactly [n] bytes; [None] on clean EOF at a frame
+   boundary, [Frame_error] on EOF mid-frame. *)
+let read_exact fd n ~mid_frame =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    let r = Unix.read fd b !off (n - !off) in
+    if r = 0 then eof := true else off := !off + r
+  done;
+  if !eof then
+    if !off = 0 && not mid_frame then None
+    else raise (Frame_error "truncated frame: EOF mid-frame")
+  else Some b
+
+let read fd =
+  match read_exact fd header_bytes ~mid_frame:false with
+  | None -> None
+  | Some hdr -> (
+      let n = decode_len hdr 0 in
+      check_len n;
+      if n = 0 then Some ""
+      else
+        match read_exact fd n ~mid_frame:true with
+        | None -> None (* unreachable: mid_frame raises *)
+        | Some b -> Some (Bytes.to_string b))

@@ -1,0 +1,33 @@
+(** Length-prefixed binary framing shared by the allocation service
+    ([Serve.Wire]) and the distributed trainer ([Dist]).
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    payload bytes; the payload is opaque at this layer. *)
+
+val max_frame : int
+(** Hard payload cap (8 MiB): declared lengths beyond it are rejected
+    before any allocation. *)
+
+val header_bytes : int
+
+exception Frame_error of string
+(** Framing violations: oversized/negative declared length, EOF in the
+    middle of a frame. *)
+
+val encode : string -> Bytes.t
+(** The on-wire bytes of one frame.
+    @raise Invalid_argument if the payload exceeds {!max_frame}. *)
+
+val decode_len : Bytes.t -> int -> int
+(** Read a frame header's declared payload length at the given offset
+    (no validation — pair with {!check_len}). *)
+
+val check_len : int -> unit
+(** @raise Frame_error if the length is negative or exceeds {!max_frame}. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Blocking write of a whole frame. *)
+
+val read : Unix.file_descr -> string option
+(** Blocking read of one frame: [None] on clean EOF at a frame boundary.
+    @raise Frame_error on EOF mid-frame or a bad declared length. *)

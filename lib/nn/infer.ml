@@ -54,7 +54,46 @@ type stats = {
   full_flushes : int;
   timeout_flushes : int;
   max_batch_rows : int;
+  waits : int;
+  wait_p50_us : float;
+  wait_p99_us : float;
 }
+
+(* Queue-wait histogram: log2 µs buckets — bucket i counts tickets that
+   waited in [2^i, 2^(i+1)) µs between enqueue and batch drain (bucket 0
+   also absorbs sub-µs waits).  Quantiles are read back as a bucket's
+   upper bound, so a reported p99 means "99% of tickets waited at most
+   this long" to within the 2x bucket resolution. *)
+let wait_buckets = 32
+
+let wait_bucket_of_us us =
+  if us < 2.0 then 0
+  else begin
+    let b = ref 0 and v = ref (int_of_float us) in
+    while !v > 1 do
+      incr b;
+      v := !v lsr 1
+    done;
+    min (wait_buckets - 1) !b
+  end
+
+let wait_quantile hist total q =
+  if total = 0 then 0.0
+  else begin
+    let rank = Float.max 1.0 (Float.round (q *. float_of_int total)) in
+    let acc = ref 0 and b = ref 0 in
+    (try
+       for i = 0 to wait_buckets - 1 do
+         acc := !acc + hist.(i);
+         if float_of_int !acc >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done;
+       b := wait_buckets - 1
+     with Exit -> ());
+    ldexp 1.0 (!b + 1)
+  end
 
 type t = {
   mutex : Mutex.t;
@@ -70,6 +109,8 @@ type t = {
   mutable s_full : int [@guarded_by "mutex"];
   mutable s_timeout : int [@guarded_by "mutex"];
   mutable s_max_rows : int [@guarded_by "mutex"];
+  mutable s_waits : int [@guarded_by "mutex"];
+  s_wait_hist : int array; [@guarded_by "mutex"]
   mutable poison : exn option [@guarded_by "mutex"];
       (* test hook: raised once inside the server's result-distribution
          phase (lock held) to prove the failure path cannot wedge *)
@@ -93,6 +134,8 @@ let create ?(max_batch = 32) ?(wait_us = 200) ~workers () =
     s_full = 0;
     s_timeout = 0;
     s_max_rows = 0;
+    s_waits = 0;
+    s_wait_hist = Array.make wait_buckets 0;
     poison = None;
   }
 
@@ -113,6 +156,9 @@ let stats t =
       full_flushes = t.s_full;
       timeout_flushes = t.s_timeout;
       max_batch_rows = t.s_max_rows;
+      waits = t.s_waits;
+      wait_p50_us = wait_quantile t.s_wait_hist t.s_waits 0.50;
+      wait_p99_us = wait_quantile t.s_wait_hist t.s_waits 0.99;
     }
   in
   Mutex.unlock t.mutex;
@@ -126,6 +172,7 @@ let drain_batch t =
   let head = Queue.peek t.queue in
   let batch = ref [] and brows = ref 0 in
   let continue_ = ref true in
+  let now = Unix.gettimeofday () in
   while !continue_ do
     match Queue.peek_opt t.queue with
     | Some tk
@@ -133,6 +180,10 @@ let drain_batch t =
            && (!brows = 0 || !brows + Array.length tk.t_preps <= t.max_batch)
       ->
         ignore (Queue.pop t.queue);
+        let wait_us = (now -. tk.t_enqueued) *. 1e6 in
+        let b = wait_bucket_of_us wait_us in
+        t.s_wait_hist.(b) <- t.s_wait_hist.(b) + 1;
+        t.s_waits <- t.s_waits + 1;
         batch := tk :: !batch;
         brows := !brows + Array.length tk.t_preps
     | _ -> continue_ := false

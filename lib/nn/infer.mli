@@ -45,6 +45,12 @@ type stats = {
   full_flushes : int;  (** batches triggered by a full row budget *)
   timeout_flushes : int;  (** batches triggered by [wait_us] expiry *)
   max_batch_rows : int;  (** largest coalesced batch observed *)
+  waits : int;  (** tickets drained (one queue wait each) *)
+  wait_p50_us : float;
+      (** median µs a ticket waited between enqueue and its batch firing,
+          read from a log2-bucket histogram as the containing bucket's
+          upper bound (2x resolution) *)
+  wait_p99_us : float;  (** 99th-percentile queue wait, same resolution *)
 }
 
 val stats : t -> stats

@@ -756,13 +756,26 @@ let train_batch t opt samples =
    add_into, like [Grads.add]), losses summed in sample order, the grads
    list handed to Adam in [params] order — so the updated weights are
    bit-identical to [train_batch] for any pool size. *)
-let train_batch_parallel ~pool ~replicas t opt samples =
+let train_batch_parallel ?weights ~pool ~replicas t opt samples =
   match samples with
   | [] -> 0.0
   | _ ->
       let nw = Par.Pool.size pool in
       if Array.length replicas <> nw then
         invalid_arg "Pvnet.train_batch_parallel: replicas/pool size mismatch";
+      (* Stale-sample down-weighting (distributed learner): sample [i]'s
+         loss and gradient are scaled by [weights.(i)] before the merge.
+         An all-ones array short-circuits to the unweighted path, whose
+         bitwise behaviour is locked down by test_par — the distributed
+         N=1 run leans on that identity. *)
+      let weights =
+        match weights with
+        | Some ws when Array.exists (fun w -> w <> 1.0) ws ->
+            if Array.length ws <> List.length samples then
+              invalid_arg "Pvnet.train_batch_parallel: weights/samples mismatch";
+            Some ws
+        | _ -> None
+      in
       Array.iter (fun r -> copy_into ~src:t ~dst:r) replicas;
       let rparams = Array.map (fun r -> Array.of_list (params r)) replicas in
       let samples = Array.of_list samples in
@@ -784,11 +797,13 @@ let train_batch_parallel ~pool ~replicas t opt samples =
       let vars = Array.of_list (params t) in
       let acc = Array.make (Array.length vars) None in
       let total = ref 0.0 in
-      Array.iter
-        (fun (l, gs) ->
-          total := !total +. l;
+      Array.iteri
+        (fun i (l, gs) ->
+          let w = match weights with None -> 1.0 | Some ws -> ws.(i) in
+          total := !total +. (w *. l);
           List.iter
             (fun (j, g) ->
+              let g = match weights with None -> g | Some _ -> Tensor.scale w g in
               match acc.(j) with
               | None -> acc.(j) <- Some (Tensor.copy g)
               | Some a -> Tensor.add_into a g)
@@ -896,3 +911,118 @@ let load path =
        with Exit -> ());
       bump_version t;
       t)
+
+(* --- Compact binary snapshots (parameter broadcast) ------------------- *)
+
+(* The distributed learner broadcasts weights to actor processes after
+   every optimizer step; the text checkpoint above renders ~%.17g per
+   float (≈25 bytes), the snapshot stores raw IEEE-754 bits (8 bytes)
+   and round-trips bitwise by construction.  Layout: one text header
+   line, then per parameter a text line [p <name> <shape> <numel>]
+   followed by numel little-endian float64 words and a newline.  Adam
+   moments are deliberately excluded — actors only run inference. *)
+
+let snapshot t =
+  let b = Buffer.create 65536 in
+  let c = t.config in
+  Buffer.add_string b
+    (Printf.sprintf "pvnet-bin1 %d %d %d %d %.17g\n" c.m c.gcn_layers
+       c.trunk_width c.trunk_blocks c.cost_scale);
+  List.iter
+    (fun (v : Var.t) ->
+      let shape = Tensor.shape v.Var.value in
+      let d = Tensor.data v.Var.value in
+      let n = Float.Array.length d in
+      Buffer.add_string b
+        (Printf.sprintf "p %s %s %d\n" v.Var.name
+           (String.concat "x" (Array.to_list (Array.map string_of_int shape)))
+           n);
+      let raw = Bytes.create (8 * n) in
+      for i = 0 to n - 1 do
+        Bytes.set_int64_le raw (8 * i) (Int64.bits_of_float (Float.Array.get d i))
+      done;
+      Buffer.add_bytes b raw;
+      Buffer.add_char b '\n')
+    (params t);
+  Buffer.contents b
+
+(* Cursor-based parse over the snapshot string (it mixes text lines with
+   raw float words, so a line-oriented reader cannot be reused). *)
+let snapshot_header s =
+  let fail msg = invalid_arg ("Pvnet.load_snapshot: " ^ msg) in
+  let nl = try String.index s '\n' with Not_found -> fail "truncated header" in
+  let config =
+    match String.split_on_char ' ' (String.sub s 0 nl) with
+    | [ "pvnet-bin1"; m; gl; tw; tb; cs ] -> (
+        try
+          {
+            m = int_of_string m;
+            gcn_layers = int_of_string gl;
+            trunk_width = int_of_string tw;
+            trunk_blocks = int_of_string tb;
+            cost_scale = float_of_string cs;
+          }
+        with _ -> fail "malformed header")
+    | _ -> fail "bad magic (expected pvnet-bin1)"
+  in
+  (config, nl + 1)
+
+let load_snapshot t s =
+  let fail msg = invalid_arg ("Pvnet.load_snapshot: " ^ msg) in
+  let config, start = snapshot_header s in
+  if config <> t.config then fail "config mismatch";
+  let by_name = Hashtbl.create 32 in
+  List.iter (fun (v : Var.t) -> Hashtbl.replace by_name v.Var.name v) (params t);
+  let len = String.length s in
+  let pos = ref start in
+  let seen = ref 0 in
+  while !pos < len do
+    let nl =
+      try String.index_from s !pos '\n' with Not_found -> fail "truncated entry"
+    in
+    let line = String.sub s !pos (nl - !pos) in
+    pos := nl + 1;
+    match String.split_on_char ' ' line with
+    | [ "p"; name; shape_s; numel_s ] ->
+        let numel =
+          match int_of_string_opt numel_s with
+          | Some n when n >= 0 -> n
+          | _ -> fail "malformed numel"
+        in
+        let var =
+          match Hashtbl.find_opt by_name name with
+          | Some v -> v
+          | None -> fail (Printf.sprintf "unknown param %s" name)
+        in
+        let shape =
+          try
+            String.split_on_char 'x' shape_s
+            |> List.map int_of_string |> Array.of_list
+          with _ -> fail "malformed shape"
+        in
+        if shape <> Tensor.shape var.Var.value then
+          fail (Printf.sprintf "shape mismatch for %s" name);
+        let d = Tensor.data var.Var.value in
+        if numel <> Float.Array.length d then
+          fail (Printf.sprintf "numel mismatch for %s" name);
+        if !pos + (8 * numel) + 1 > len then fail "truncated values";
+        let raw = Bytes.unsafe_of_string s in
+        for i = 0 to numel - 1 do
+          Float.Array.set d i
+            (Int64.float_of_bits (Bytes.get_int64_le raw (!pos + (8 * i))))
+        done;
+        pos := !pos + (8 * numel);
+        if s.[!pos] <> '\n' then fail "missing entry terminator";
+        incr pos;
+        incr seen
+    | [ "" ] -> () (* tolerate a trailing blank line *)
+    | _ -> fail "malformed entry line"
+  done;
+  if !seen <> List.length (params t) then fail "missing parameters";
+  bump_version t
+
+let snapshot_of_string s =
+  let config, _ = snapshot_header s in
+  let t = create ~rng:(Random.State.make [| 0 |]) config in
+  load_snapshot t s;
+  t

@@ -187,6 +187,7 @@ val train_batch : t -> Adam.t -> sample list -> float
     reproduces. *)
 
 val train_batch_parallel :
+  ?weights:float array ->
   pool:Par.Pool.t -> replicas:t array -> t -> Adam.t -> sample list -> float
 (** {!train_batch} with per-sample forward/backward passes sharded
     across the pool.  [replicas] must hold one net per pool worker
@@ -196,11 +197,37 @@ val train_batch_parallel :
     domain in ascending sample order and handed to Adam in [params]
     order — exactly the serial reduction — so the step is bit-identical
     to {!train_batch} for any pool size.
+
+    [weights] (default all ones) scales each sample's loss and gradient
+    contribution before the merge — the distributed learner's staleness
+    down-weighting.  An all-ones array short-circuits to the unweighted
+    path, so passing explicit 1.0s is bit-identical to omitting the
+    argument.
     @raise Invalid_argument if [Array.length replicas] differs from the
-    pool size or a replica's config differs from [t]'s. *)
+    pool size, a replica's config differs from [t]'s, or [weights] and
+    the batch have different lengths. *)
 
 (** {1 Persistence} *)
 
 val save : t -> string -> unit
 val load : string -> t
 (** @raise Invalid_argument on malformed or mismatched checkpoint files. *)
+
+(** {1 Binary snapshots (parameter broadcast)}
+
+    The compact wire form the distributed learner broadcasts to actors
+    after optimizer steps: raw IEEE-754 parameter bits (bitwise
+    round-trip by construction, ~3x smaller than the text checkpoint),
+    excluding Adam moments — actors only run inference. *)
+
+val snapshot : t -> string
+(** Serialize config + all parameters. *)
+
+val load_snapshot : t -> string -> unit
+(** Overwrite [t]'s parameters from a snapshot and install a fresh
+    {!version} stamp.  [load_snapshot t (snapshot src)] makes [t]'s
+    parameters bitwise-equal to [src]'s.
+    @raise Invalid_argument on malformed snapshots or config mismatch. *)
+
+val snapshot_of_string : string -> t
+(** A fresh net built from a snapshot (actor-side first receive). *)

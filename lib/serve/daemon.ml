@@ -464,6 +464,9 @@ let stats_kvs t =
             Printf.sprintf "%.3f"
               (if s.Nn.Infer.batches = 0 then 0.0
                else float_of_int s.Nn.Infer.rows /. float_of_int s.Nn.Infer.batches) );
+          ("infer_waits", string_of_int s.Nn.Infer.waits);
+          ("infer_wait_p50_us", Printf.sprintf "%.1f" s.Nn.Infer.wait_p50_us);
+          ("infer_wait_p99_us", Printf.sprintf "%.1f" s.Nn.Infer.wait_p99_us);
         ]
   in
   base @ cache @ infer

@@ -16,64 +16,26 @@
    exception escaping to the connection loop; a truncated frame is
    detected as EOF-mid-frame by the reader. *)
 
-let max_frame = 8 * 1024 * 1024
-let header_bytes = 4
+(* The framing itself lives in the shared [Frame] library (the
+   distributed trainer speaks the same length-prefixed frames); this
+   module re-exports it under the historical Wire names so the daemon,
+   client and tests are unaffected by the extraction. *)
 
-(* --- frame codec --- *)
+let max_frame = Frame.max_frame
+let header_bytes = Frame.header_bytes
 
-let encode_frame payload =
-  let n = String.length payload in
-  if n > max_frame then invalid_arg "Wire.encode_frame: payload too large";
-  let b = Bytes.create (header_bytes + n) in
-  Bytes.set_int32_be b 0 (Int32.of_int n);
-  Bytes.blit_string payload 0 b header_bytes n;
-  b
+(* --- frame codec (see Frame) --- *)
 
-let decode_len b off =
-  let n = Int32.to_int (Bytes.get_int32_be b off) in
-  n
+let encode_frame = Frame.encode
+let decode_len = Frame.decode_len
 
 (* Blocking write of a whole frame (client side; the daemon's IO domain
    uses its own buffered nonblocking writes). *)
-let write_frame fd payload =
-  let b = encode_frame payload in
-  let len = Bytes.length b in
-  let off = ref 0 in
-  while !off < len do
-    let n = Unix.write fd b !off (len - !off) in
-    if n = 0 then failwith "Wire.write_frame: connection closed";
-    off := !off + n
-  done
+let write_frame = Frame.write
 
-exception Frame_error of string
+exception Frame_error = Frame.Frame_error
 
-(* Blocking read of exactly [n] bytes; [None] on clean EOF at a frame
-   boundary, [Frame_error] on EOF mid-frame. *)
-let read_exact fd n ~mid_frame =
-  let b = Bytes.create n in
-  let off = ref 0 in
-  let eof = ref false in
-  while (not !eof) && !off < n do
-    let r = Unix.read fd b !off (n - !off) in
-    if r = 0 then eof := true else off := !off + r
-  done;
-  if !eof then
-    if !off = 0 && not mid_frame then None
-    else raise (Frame_error "truncated frame: EOF mid-frame")
-  else Some b
-
-let read_frame fd =
-  match read_exact fd header_bytes ~mid_frame:false with
-  | None -> None
-  | Some hdr -> (
-      let n = decode_len hdr 0 in
-      if n < 0 || n > max_frame then
-        raise (Frame_error (Printf.sprintf "bad frame length %d" n))
-      else if n = 0 then Some ""
-      else
-        match read_exact fd n ~mid_frame:true with
-        | None -> None (* unreachable: mid_frame raises *)
-        | Some b -> Some (Bytes.to_string b))
+let read_frame = Frame.read
 
 (* --- requests --- *)
 

@@ -66,6 +66,13 @@ echo "== dune build @daemon =="
 # poisoned-batch Nn.Infer regression
 dune build @daemon
 
+echo "== dune build @dist =="
+# distributed actor/learner suite: manifest and message codecs, binary
+# parameter-snapshot round trips, the sharded replay vs the plain ring,
+# the weighted (staleness) train step, and the whole-run equalities
+# (--actors 1 = in-process bitwise; multi-actor runs bit-reproducible)
+dune build @dist
+
 echo "== multi-domain smoke (train -j 2 --incremental --eval-cache --check) =="
 # a tiny end-to-end training run on the domain pool with per-episode
 # solution certification on, exercising pool self-play on the trail
@@ -84,6 +91,35 @@ dune exec bin/train.exe -- -i 1 -e 4 -j 2 -k 8 --n-mean 8 --check \
   --incremental --eval-cache 512 --serve-batch 16 --batch 8 \
   -o "$smoke_dir/serve.ckpt"
 test -f "$smoke_dir/serve.ckpt"
+
+echo "== distributed smoke (2 actor subprocesses vs single-process) =="
+# the real subprocess topology: one in-process reference run, then a
+# --actors 1 run (must produce a bitwise-identical net checkpoint and
+# replay buffer on the same seed), then two --actors 2 runs with a
+# seeded manifest (their learner replay digests must agree with each
+# other — bit-reproducibility across invocations)
+train=./_build/default/bin/train.exe
+dist_args="-i 1 -e 4 -j 1 -k 6 --n-mean 6 --batch 8 --seed 11"
+"$train" $dist_args --checkpoint "$smoke_dir/ref" \
+  -o "$smoke_dir/ref.ckpt" > /dev/null
+"$train" $dist_args --checkpoint "$smoke_dir/d1" --actors 1 \
+  --manifest "$smoke_dir/d1.manifest" -o "$smoke_dir/d1.ckpt" > /dev/null
+cmp "$smoke_dir/ref.ckpt" "$smoke_dir/d1.ckpt" || {
+  echo "--actors 1 net checkpoint differs from the in-process run"; exit 1
+}
+cmp "$smoke_dir/ref.replay.txt" "$smoke_dir/d1.replay.txt" || {
+  echo "--actors 1 replay buffer differs from the in-process run"; exit 1
+}
+"$train" $dist_args --checkpoint "$smoke_dir/d2a" --actors 2 \
+  --manifest "$smoke_dir/d2a.manifest" -o "$smoke_dir/d2a.ckpt" > /dev/null
+"$train" $dist_args --checkpoint "$smoke_dir/d2b" --actors 2 \
+  --manifest "$smoke_dir/d2b.manifest" -o "$smoke_dir/d2b.ckpt" > /dev/null
+cmp "$smoke_dir/d2a.replay.txt" "$smoke_dir/d2b.replay.txt" || {
+  echo "2-actor learner replay digest not reproducible across runs"; exit 1
+}
+cmp "$smoke_dir/d2a.ckpt" "$smoke_dir/d2b.ckpt" || {
+  echo "2-actor net checkpoint not reproducible across runs"; exit 1
+}
 
 echo "== allocation daemon smoke (4 concurrent clients vs batch CLI) =="
 # start the daemon on a scratch socket, drive it with 4 concurrent
@@ -163,6 +199,15 @@ echo "== bench --compare vs checked-in trajectory (daemon group) =="
 dune exec bench/main.exe -- daemon --compare BENCH_daemon.json || {
   echo "-- retrying once (transient load can trip the 25% threshold) --"
   dune exec bench/main.exe -- daemon --compare BENCH_daemon.json
+}
+
+echo "== bench --compare vs checked-in trajectory (dist group) =="
+# distributed-training gate: rerun the dist bench (whole training runs,
+# in-process vs 1/2/4 domain-hosted actors over the real wire protocol)
+# and fail on a >25% per-iteration ns regression vs BENCH_dist.json
+dune exec bench/main.exe -- dist --compare BENCH_dist.json || {
+  echo "-- retrying once (transient load can trip the 25% threshold) --"
+  dune exec bench/main.exe -- dist --compare BENCH_dist.json
 }
 
 echo "== pbqp_lint --self-test =="

@@ -52,8 +52,10 @@ let test_frame_codec () =
     (Bytes.length b);
   Alcotest.(check int) "declared length" (String.length payload)
     (Serve.Wire.decode_len b 0);
+  (* encode_frame delegates to the shared Frame codec, so the rejection
+     is raised under its name *)
   Alcotest.check_raises "oversized payload rejected at encode"
-    (Invalid_argument "Wire.encode_frame: payload too large") (fun () ->
+    (Invalid_argument "Frame.encode: payload too large") (fun () ->
       ignore (Serve.Wire.encode_frame (String.make (Serve.Wire.max_frame + 1) 'x')))
 
 let roundtrip_request env =
